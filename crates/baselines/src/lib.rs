@@ -1,0 +1,18 @@
+//! Comparator models for the paper's evaluation:
+//!
+//! * [`pentium4`] — the Intel Pentium IV 3.2 GHz running optimized but
+//!   scalar, un-vectorized Jasper (Figure 9's baseline);
+//! * [`muta`] — Muta et al.'s Motion-JPEG2000 Cell encoder (ACM-MM 2007),
+//!   modelled from its published design choices (Figures 6-8's baseline).
+//!
+//! Both consume the same measured [`j2k_core::WorkloadProfile`] as our
+//! encoder's Cell mapping, so every comparison below runs identical
+//! *measured work* under different machine/scheduling assumptions — the
+//! differences in simulated time come only from the design decisions the
+//! paper credits.
+
+pub mod muta;
+pub mod pentium4;
+
+pub use muta::{simulate_muta, MutaMode};
+pub use pentium4::simulate_p4;

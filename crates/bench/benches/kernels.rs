@@ -1,0 +1,147 @@
+//! Criterion wall-clock benchmarks of the real host kernels: DWT variants
+//! (the paper's Section 4 kernels), the MQ coder, Tier-1 block coding, and
+//! the full encoders. These complement the figure binaries (which measure
+//! *simulated* Cell time): here the measured quantity is actual Rust
+//! throughput on the host.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use j2k_core::EncoderParams;
+use mqcoder::{Contexts, MqEncoder};
+use wavelet::VerticalVariant;
+use xpart::AlignedPlane;
+
+const EDGE: usize = 256;
+
+fn plane_i32() -> AlignedPlane<i32> {
+    let im = imgio::synth::natural(EDGE, EDGE, 7);
+    let dense: Vec<i32> = im.planes[0].iter().map(|&v| v as i32).collect();
+    AlignedPlane::from_dense(EDGE, EDGE, &dense).unwrap()
+}
+
+fn bench_dwt_variants(c: &mut Criterion) {
+    let p0 = plane_i32();
+    let mut g = c.benchmark_group("dwt53_forward_2d");
+    g.throughput(Throughput::Elements((EDGE * EDGE) as u64));
+    for variant in [
+        VerticalVariant::Separate,
+        VerticalVariant::Interleaved,
+        VerticalVariant::Merged,
+    ] {
+        g.bench_with_input(BenchmarkId::from_parameter(format!("{variant:?}")), &variant, |b, &v| {
+            b.iter(|| {
+                let mut p = p0.clone();
+                wavelet::forward_2d_53(&mut p, 5, v);
+                p
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_dwt97_float_vs_fixed(c: &mut Criterion) {
+    let p0 = plane_i32();
+    let mut g = c.benchmark_group("dwt97_forward_2d");
+    g.throughput(Throughput::Elements((EDGE * EDGE) as u64));
+    g.bench_function("f32", |b| {
+        let f0 = p0.to_f32();
+        b.iter(|| {
+            let mut p = f0.clone();
+            wavelet::forward_2d_97(&mut p, 5, VerticalVariant::Merged);
+            p
+        })
+    });
+    g.bench_function("fixed_q13", |b| {
+        let q0 = p0.map(wavelet::fixed::to_fixed);
+        b.iter(|| {
+            let mut p = q0.clone();
+            wavelet::transform2d::forward_2d_97_fixed(&mut p, 5, VerticalVariant::Merged);
+            p
+        })
+    });
+    g.finish();
+}
+
+fn bench_mq_coder(c: &mut Criterion) {
+    let mut x: u32 = 0xC0FFEE;
+    let seq: Vec<(usize, u8)> = (0..100_000)
+        .map(|_| {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            ((x >> 9) as usize % 19, ((x >> 20) & 1) as u8)
+        })
+        .collect();
+    let mut g = c.benchmark_group("mq_encoder");
+    g.throughput(Throughput::Elements(seq.len() as u64));
+    g.bench_function("mixed_contexts", |b| {
+        b.iter(|| {
+            let mut ctxs = Contexts::new(19);
+            let mut enc = MqEncoder::new();
+            for &(cx, d) in &seq {
+                enc.encode(&mut ctxs, cx, d);
+            }
+            enc.finish()
+        })
+    });
+    g.finish();
+}
+
+fn bench_tier1_block(c: &mut Criterion) {
+    let mut x: u32 = 5;
+    let data: Vec<i32> = (0..64 * 64)
+        .map(|_| {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            ((x >> 8) as i32 % 255) - 127
+        })
+        .collect();
+    let mut g = c.benchmark_group("tier1");
+    g.throughput(Throughput::Elements((64 * 64) as u64));
+    g.bench_function("encode_block_64x64", |b| {
+        b.iter(|| ebcot::encode_block(&data, 64, 64, ebcot::BandKind::Hl))
+    });
+    g.finish();
+}
+
+fn bench_full_encode(c: &mut Criterion) {
+    let im = imgio::synth::natural(EDGE, EDGE, 3);
+    let mut g = c.benchmark_group("encode_full");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes(im.raw_bytes() as u64));
+    g.bench_function("lossless_256", |b| {
+        b.iter(|| j2k_core::encode(&im, &EncoderParams::lossless()).unwrap())
+    });
+    g.bench_function("lossy_r0.1_256", |b| {
+        b.iter(|| j2k_core::encode(&im, &EncoderParams::lossy(0.1)).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_cell_simulation(c: &mut Criterion) {
+    let im = imgio::synth::natural(EDGE, EDGE, 3);
+    let prof = j2k_core::encode_with_profile(&im, &EncoderParams::lossless())
+        .unwrap()
+        .1;
+    let cfg = cellsim::MachineConfig::qs20_single();
+    c.bench_function("cellsim_schedule_lossless_256", |b| {
+        b.iter(|| j2k_core::cell::simulate(&prof, &cfg, &j2k_core::cell::SimOptions::default()))
+    });
+}
+
+fn fast_config() -> Criterion {
+    // Keep `cargo bench --workspace` under a couple of minutes on one core;
+    // raise these locally for publication-grade confidence intervals.
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+        .sample_size(20)
+}
+
+criterion_group! {
+    name = benches;
+    config = fast_config();
+    targets = bench_dwt_variants,
+        bench_dwt97_float_vs_fixed,
+        bench_mq_coder,
+        bench_tier1_block,
+        bench_full_encode,
+        bench_cell_simulation
+}
+criterion_main!(benches);

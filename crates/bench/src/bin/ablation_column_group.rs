@@ -1,0 +1,38 @@
+//! Column-group-width ablation: the paper fixes group width to a multiple
+//! of the cache line; narrower groups mean more, smaller DMAs, and
+//! non-aligned groups pay the misalignment penalty.
+
+use cellsim::{DmaClass, MachineConfig};
+use j2k_bench::{lossless_params, ms, parse_args, profile, row, workload_rgb};
+use j2k_core::cell::{simulate, SimOptions};
+
+fn main() {
+    let args = parse_args();
+    let im = workload_rgb(&args);
+    let prof = profile(&im, &lossless_params(args.levels));
+    let cfg = MachineConfig::qs20_single();
+    println!("Column-group ablation, {}x{} RGB lossless (8 SPEs)", args.size, args.size);
+    row(args.csv, &["group_bytes".into(), "alignment".into(), "dwtv_ms".into(), "dma_requests".into()]);
+    for bytes in [128usize, 512, 2048, 8192] {
+        for (label, class) in [("line-aligned", DmaClass::LineOptimal), ("unaligned", DmaClass::QuadAligned)] {
+            let opts = SimOptions {
+                chunk_width_bytes: Some(bytes),
+                dma_class: class,
+                ..Default::default()
+            };
+            let tl = simulate(&prof, &cfg, &opts);
+            let reqs: u64 = tl
+                .stages
+                .iter()
+                .filter(|s| s.name.starts_with("dwt-vertical"))
+                .map(|s| s.dma_requests)
+                .sum();
+            row(args.csv, &[
+                format!("{bytes}"),
+                label.into(),
+                ms(tl.cycles_matching("dwt-vertical") as f64 / cfg.clock_hz),
+                format!("{reqs}"),
+            ]);
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Fixed-point (Jasper Q13) vs single-precision float 9/7 (Section 4):
+//! the representation switch that pays off on the SPE but not on the P4.
+
+use baselines::pentium4::{p4_machine, simulate_p4};
+use cellsim::MachineConfig;
+use j2k_bench::{lossy_params, ms, parse_args, profile, row, workload_rgb};
+use j2k_core::cell::{simulate, SimOptions};
+use j2k_core::{Arithmetic, EncoderParams};
+use std::time::Instant;
+use wavelet::VerticalVariant;
+use xpart::AlignedPlane;
+
+fn main() {
+    let args = parse_args();
+    let im = workload_rgb(&args);
+    println!("Fixed vs float 9/7 ablation, {}x{} RGB lossy rate 0.1", args.size, args.size);
+    row(args.csv, &["arithmetic".into(), "cell_dwt_ms".into(), "p4_dwt_ms".into(), "host_fwd2d_ms".into()]);
+    let cfg = MachineConfig::qs20_single();
+    for arith in [Arithmetic::Float32, Arithmetic::FixedQ13] {
+        let params = EncoderParams { arithmetic: arith, ..lossy_params(args.levels) };
+        let prof = profile(&im, &params);
+        let cell = simulate(&prof, &cfg, &SimOptions::default());
+        let p4 = simulate_p4(&prof);
+        let host = {
+            let dense: Vec<i32> = im.planes[0].iter().map(|&v| v as i32).collect();
+            let plane = AlignedPlane::from_dense(im.width, im.height, &dense).unwrap();
+            let t0 = Instant::now();
+            match arith {
+                Arithmetic::Float32 => {
+                    let mut p = plane.to_f32();
+                    wavelet::forward_2d_97(&mut p, args.levels, VerticalVariant::Merged);
+                }
+                Arithmetic::FixedQ13 => {
+                    let mut p = plane.map(wavelet::fixed::to_fixed);
+                    wavelet::transform2d::forward_2d_97_fixed(
+                        &mut p, args.levels, VerticalVariant::Merged);
+                }
+            }
+            t0.elapsed().as_secs_f64()
+        };
+        row(args.csv, &[
+            format!("{arith:?}"),
+            ms(cell.cycles_matching("dwt") as f64 / cfg.clock_hz),
+            ms(p4.cycles_matching("dwt") as f64 / p4_machine().clock_hz),
+            ms(host),
+        ]);
+    }
+}

@@ -1,0 +1,41 @@
+//! Ablation of Algorithms 1/2 and the merged split (Section 4): DMA
+//! traffic, simulated vertical-DWT time, and measured host wall time per
+//! variant. All variants produce identical coefficients.
+
+use cellsim::MachineConfig;
+use j2k_bench::{lossless_params, ms, parse_args, profile, row, workload_rgb};
+use j2k_core::cell::{simulate, SimOptions};
+use j2k_core::EncoderParams;
+use std::time::Instant;
+use wavelet::{Filter, VerticalVariant};
+use xpart::AlignedPlane;
+
+fn main() {
+    let args = parse_args();
+    let im = workload_rgb(&args);
+    println!(
+        "Lifting-schedule ablation, {}x{} RGB lossless (Algorithm 1 = Separate, Algorithm 2 = Interleaved)",
+        args.size, args.size
+    );
+    row(args.csv, &["variant".into(), "traffic_elems/sample".into(), "sim_dwtv_ms".into(), "host_fwd2d_ms".into()]);
+    let cfg = MachineConfig::qs20_single();
+    for variant in [VerticalVariant::Separate, VerticalVariant::Interleaved, VerticalVariant::Merged] {
+        let params = EncoderParams { variant, ..lossless_params(args.levels) };
+        let prof = profile(&im, &params);
+        let tl = simulate(&prof, &cfg, &SimOptions::default());
+        let t = wavelet::vertical_traffic(variant, Filter::Rev53, 1000, 1000);
+        // Host wall time of the real forward transform on one plane.
+        let dense: Vec<i32> = im.planes[0].iter().map(|&v| v as i32).collect();
+        let plane = AlignedPlane::from_dense(im.width, im.height, &dense).unwrap();
+        let t0 = Instant::now();
+        let mut p = plane.clone();
+        wavelet::forward_2d_53(&mut p, args.levels, variant);
+        let host = t0.elapsed().as_secs_f64();
+        row(args.csv, &[
+            format!("{variant:?}"),
+            format!("{:.2}", t.total() as f64 / 1e6),
+            ms(tl.cycles_matching("dwt-vertical") as f64 / cfg.clock_hz),
+            ms(host),
+        ]);
+    }
+}

@@ -1,0 +1,42 @@
+//! Figure 4: lossless encoding time and speedup vs SPE count
+//! (additional PPEs participate in Tier-1 encoding).
+
+use cellsim::MachineConfig;
+use j2k_bench::{lossless_params, ms, paper, parse_args, profile, row, workload_rgb};
+use j2k_core::cell::{simulate, SimOptions};
+
+fn machine_for(spes: usize) -> MachineConfig {
+    if spes > 8 { MachineConfig::qs20_blade().with_spes(spes) } else { MachineConfig::qs20_single().with_spes(spes) }
+}
+
+fn main() {
+    let args = parse_args();
+    let im = workload_rgb(&args);
+    let prof = profile(&im, &lossless_params(args.levels));
+    println!(
+        "Figure 4 — lossless encode, {}x{} RGB (paper: {}x at 8 SPE vs 1 SPE; {}x vs PPE-only)",
+        args.size, args.size, paper::LOSSLESS_SPEEDUP_8SPE, paper::LOSSLESS_VS_PPE
+    );
+    row(args.csv, &["config".into(), "time_ms".into(), "speedup_vs_1spe".into(), "vs_ppe_only".into()]);
+    let ppe_only = simulate(&prof, &machine_for(0), &SimOptions::default()).total_seconds();
+    let base = simulate(&prof, &machine_for(1), &SimOptions::default()).total_seconds();
+    row(args.csv, &["1 PPE only".into(), ms(ppe_only), format!("{:.2}", base / ppe_only), "1.00".into()]);
+    for &n in &args.spes {
+        let t = simulate(&prof, &machine_for(n), &SimOptions::default()).total_seconds();
+        row(args.csv, &[format!("{n} SPE"), ms(t), format!("{:.2}", base / t), format!("{:.2}", ppe_only / t)]);
+        for ppes in [1usize, 2] {
+            let cfg = machine_for(n).with_ppes(ppes);
+            let t2 = simulate(&prof, &cfg, &SimOptions { ppe_tier1: true, ..Default::default() })
+                .total_seconds();
+            row(
+                args.csv,
+                &[
+                    format!("{n} SPE + {ppes} PPE"),
+                    ms(t2),
+                    format!("{:.2}", base / t2),
+                    format!("{:.2}", ppe_only / t2),
+                ],
+            );
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Figure 9: Cell/B.E. vs Intel Pentium IV 3.2 GHz, overall and DWT,
+//! lossless and lossy.
+
+use baselines::pentium4::{p4_machine, simulate_p4};
+use cellsim::MachineConfig;
+use j2k_bench::{lossless_params, lossy_params, ms, paper, parse_args, profile, row, workload_rgb};
+use j2k_core::cell::{simulate, SimOptions};
+
+fn main() {
+    let args = parse_args();
+    let im = workload_rgb(&args);
+    println!(
+        "Figure 9 — Cell (8 SPE + 1 PPE) vs Pentium IV 3.2 GHz, {}x{} RGB \
+         (paper: overall {}x lossless / {}x lossy; DWT {}x / {}x)",
+        args.size, args.size,
+        paper::VS_P4_LOSSLESS, paper::VS_P4_LOSSY,
+        paper::VS_P4_DWT_LOSSLESS, paper::VS_P4_DWT_LOSSY
+    );
+    row(args.csv, &["metric".into(), "p4_ms".into(), "cell_ms".into(), "speedup".into(), "paper".into()]);
+    let cell_cfg = MachineConfig::qs20_single();
+    let opts = SimOptions { ppe_tier1: true, ..Default::default() };
+    for (name, params, overall_ref, dwt_ref) in [
+        ("lossless", lossless_params(args.levels), paper::VS_P4_LOSSLESS, paper::VS_P4_DWT_LOSSLESS),
+        ("lossy", lossy_params(args.levels), paper::VS_P4_LOSSY, paper::VS_P4_DWT_LOSSY),
+    ] {
+        // The Cell runs the float path (the paper's optimization); the P4
+        // runs stock Jasper's fixed-point representation.
+        let prof = profile(&im, &params);
+        let p4_params = j2k_core::EncoderParams {
+            arithmetic: j2k_core::Arithmetic::FixedQ13,
+            ..params
+        };
+        let p4_prof = if matches!(params.mode, j2k_core::Mode::Lossy { .. }) {
+            profile(&im, &p4_params)
+        } else {
+            prof.clone()
+        };
+        let p4 = simulate_p4(&p4_prof);
+        let cell = simulate(&prof, &cell_cfg, &opts);
+        let p4_total = p4.total_seconds();
+        let cell_total = cell.total_seconds();
+        row(args.csv, &[format!("{name} overall"), ms(p4_total), ms(cell_total),
+            format!("{:.2}", p4_total / cell_total), format!("{overall_ref:.1}")]);
+        let p4_dwt = p4.cycles_matching("dwt") as f64 / p4_machine().clock_hz;
+        let cell_dwt = cell.cycles_matching("dwt") as f64 / cell_cfg.clock_hz;
+        row(args.csv, &[format!("{name} DWT"), ms(p4_dwt), ms(cell_dwt),
+            format!("{:.2}", p4_dwt / cell_dwt), format!("{dwt_ref:.1}")]);
+    }
+}

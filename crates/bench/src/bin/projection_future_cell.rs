@@ -1,0 +1,70 @@
+//! Projection for future Cell processors: the paper's conclusion claims
+//! the approach "will work efficiently even in the future Cell/B.E.
+//! processors with more SPEs" (32 were anticipated). Sweep SPE counts past
+//! the QS20 and report where each pipeline saturates and why.
+
+use cellsim::MachineConfig;
+use j2k_bench::{lossless_params, lossy_params, ms, parse_args, profile, row, workload_rgb};
+use j2k_core::cell::{simulate, SimOptions};
+
+fn machine_for(spes: usize) -> MachineConfig {
+    // Future parts: scale memory bandwidth with chip count (8 SPEs/chip).
+    let chips = spes.div_ceil(8).max(1);
+    MachineConfig {
+        num_spes: spes,
+        num_ppes: chips,
+        mem_bw_bytes_per_s: chips as f64 * 25.6e9,
+        ..MachineConfig::qs20_single()
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let im = workload_rgb(&args);
+    println!(
+        "Future-Cell projection, {}x{} RGB (paper conclusion: scaling should continue past 16 SPEs)",
+        args.size, args.size
+    );
+    for (name, params) in
+        [("lossless", lossless_params(args.levels)), ("lossy r=0.1", lossy_params(args.levels))]
+    {
+        let prof = profile(&im, &params);
+        println!("-- {name} --");
+        row(
+            args.csv,
+            &[
+                "spes".into(),
+                "time_ms".into(),
+                "speedup".into(),
+                "tier1_share".into(),
+                "seq_share".into(),
+            ],
+        );
+        let base =
+            simulate(&prof, &machine_for(1), &SimOptions::default()).total_seconds();
+        for spes in [1usize, 2, 4, 8, 16, 32, 64] {
+            let tl = simulate(
+                &prof,
+                &machine_for(spes),
+                &SimOptions { ppe_tier1: true, ..Default::default() },
+            );
+            let seq = tl.fraction_matching("rate-control")
+                + tl.fraction_matching("tier2")
+                + tl.fraction_matching("stream-io")
+                + tl.fraction_matching("read-convert-seq");
+            row(
+                args.csv,
+                &[
+                    format!("{spes}"),
+                    ms(tl.total_seconds()),
+                    format!("{:.2}", base / tl.total_seconds()),
+                    format!("{:.2}", tl.fraction_matching("tier1")),
+                    format!("{:.2}", seq),
+                ],
+            );
+        }
+    }
+    println!();
+    println!("(seq_share = Amdahl residue: rate control + Tier-2 + stream I/O +");
+    println!(" sequential read; it bounds the achievable speedup as SPEs grow.)");
+}

@@ -1,0 +1,26 @@
+//! Table 1: SPE instruction latencies and the fixed-vs-float consequence.
+
+use cellsim::isa;
+
+fn main() {
+    println!("Table 1 — Latency for the SPE instructions (paper, Section 4)");
+    println!("{:<8} {:<44} {:>8}", "instr", "description", "latency");
+    for i in isa::TABLE1 {
+        println!("{:<8} {:<44} {:>7}c", i.name, i.desc, i.latency);
+    }
+    println!();
+    println!(
+        "Derived: emulated 32-bit integer multiply = {} instructions, \
+         dependent-chain latency {} cycles, vs. one pipelined fm ({} cycles).",
+        isa::MUL32_EMULATION_INSTRS,
+        isa::MUL32_EMULATION_LATENCY,
+        isa::FM.latency
+    );
+    println!(
+        "Modelled per-sample lifting-step cost on the SPE: f32 {:.2}c, Q13 fixed {:.2}c ({}x).",
+        cellsim::cost::cycles_per_item(cellsim::ProcKind::Spe, cellsim::Kernel::DwtLift97F32),
+        cellsim::cost::cycles_per_item(cellsim::ProcKind::Spe, cellsim::Kernel::DwtLift97Fixed),
+        cellsim::cost::cycles_per_item(cellsim::ProcKind::Spe, cellsim::Kernel::DwtLift97Fixed)
+            / cellsim::cost::cycles_per_item(cellsim::ProcKind::Spe, cellsim::Kernel::DwtLift97F32),
+    );
+}

@@ -1,0 +1,187 @@
+//! Kernel cost models: cycles per work item, per processor.
+//!
+//! These tables are the calibrated analytic substitute for SPU-level
+//! simulation (see DESIGN.md §2). Work items are *measured* by the real
+//! codec (samples transformed, MQ decisions coded, bytes written), so the
+//! model's job is only the per-item rate. Calibration anchors, all from the
+//! paper:
+//!
+//! * Tier-1 is branchy and integer-based: "the PPE runs the code faster
+//!   than the SPE" — SPE/PPE per-symbol ratio > 1.
+//! * A single SPE beats a single PPE "by far" on the DWT (4-wide SIMD,
+//!   software-pipelined lifting vs. scalar in-order execution).
+//! * The SPE's emulated 32-bit multiply ([`crate::isa`]) makes the Q13
+//!   fixed-point 9/7 ~3.5x dearer per lifting step than `f32`.
+//! * The Pentium IV runs un-vectorized Jasper: scalar throughput close to
+//!   the PPE's but with a better branch predictor and out-of-order window,
+//!   so it is markedly faster on Tier-1.
+
+use serde::{Deserialize, Serialize};
+
+/// Which processor executes a kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProcKind {
+    /// Cell synergistic processing element.
+    Spe,
+    /// Cell PowerPC element (one hardware thread).
+    Ppe,
+    /// Intel Pentium IV 3.2 GHz (Figure 9 comparison).
+    PentiumIV,
+}
+
+/// Algorithmic kernels of the JPEG2000 pipeline, with their work-item unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Kernel {
+    /// Jasper intermediate-stream read + type conversion — per sample.
+    TypeConvert,
+    /// Merged level shift + inter-component transform — per sample.
+    LevelShiftIct,
+    /// Row split/copy pass of the vertical DWT — per sample moved.
+    DwtSplit,
+    /// One reversible 5/3 lifting pass — per sample.
+    DwtLift53,
+    /// One irreversible 9/7 lifting pass in `f32` — per sample.
+    DwtLift97F32,
+    /// One irreversible 9/7 lifting pass in Q13 fixed point — per sample.
+    DwtLift97Fixed,
+    /// Scaling pass of the 9/7 — per sample.
+    DwtScale,
+    /// Convolution-based 9/7 (Muta baseline) — per sample.
+    DwtConv97,
+    /// Dead-zone quantization — per sample.
+    Quantize,
+    /// EBCOT Tier-1 bit modeling + MQ coding — per coded decision.
+    Tier1,
+    /// EBCOT Tier-2 tag trees + packet headers — per code block.
+    Tier2,
+    /// PCRD rate control — per coding pass examined.
+    RateControl,
+    /// Codestream assembly and file I/O — per byte.
+    StreamIo,
+}
+
+/// Cycles per work item for `kernel` on `proc`.
+///
+/// SPE streaming kernels assume the aligned, constant-trip-count loops the
+/// data decomposition scheme guarantees (SIMD 4-wide, unrolled, compile-time
+/// scheduled); the misalignment penalty for schemes that violate those
+/// guarantees is applied by the DMA layer, not here.
+pub fn cycles_per_item(proc: ProcKind, kernel: Kernel) -> f64 {
+    use Kernel::*;
+    use ProcKind::*;
+    match (proc, kernel) {
+        // --- data-parallel streaming kernels (per sample) ---
+        (Spe, TypeConvert) => 0.5,
+        (Ppe, TypeConvert) => 2.0,
+        (PentiumIV, TypeConvert) => 1.5,
+
+        (Spe, LevelShiftIct) => 0.8,
+        (Ppe, LevelShiftIct) => 4.0,
+        (PentiumIV, LevelShiftIct) => 3.0,
+
+        (Spe, DwtSplit) => 0.4,
+        (Ppe, DwtSplit) => 2.0,
+        (PentiumIV, DwtSplit) => 2.5,
+
+        // Pentium IV DWT costs include Jasper's cache-hostile column-major
+        // vertical traversal ("poor cache behavior in a column-major
+        // traversal ... becomes a bottleneck"), hence ~10 cycles/sample.
+        (Spe, DwtLift53) => 0.6,
+        (Ppe, DwtLift53) => 3.5,
+        (PentiumIV, DwtLift53) => 5.4,
+
+        // The in-order PPE is far weaker on scalar single-precision
+        // lifting than on integer shifts/adds (long FPU latency, no
+        // vectorization in the baseline code) — this is what makes the
+        // paper's lossy PPE-only case 2.4x slower than one SPE.
+        (Spe, DwtLift97F32) => 0.6,
+        (Ppe, DwtLift97F32) => 14.0,
+        (PentiumIV, DwtLift97F32) => 6.3,
+
+        // Emulated 32-bit multiply: ~5 instructions vs 1 fm (isa module).
+        // On the P4, fixed point is the *faster* representation — the very
+        // reason Jasper chose it.
+        (Spe, DwtLift97Fixed) => 2.2,
+        (Ppe, DwtLift97Fixed) => 8.0,
+        (PentiumIV, DwtLift97Fixed) => 5.0,
+
+        (Spe, DwtScale) => 0.3,
+        (Ppe, DwtScale) => 1.5,
+        (PentiumIV, DwtScale) => 1.2,
+
+        // 16 taps / 2 outputs vs ~5 lifting MACs: ~2x arithmetic, plus
+        // the shuffle/permute work that misaligned sliding-window vector
+        // loads require on the SPU.
+        (Spe, DwtConv97) => 4.0,
+        (Ppe, DwtConv97) => 9.0,
+        (PentiumIV, DwtConv97) => 7.5,
+
+        (Spe, Quantize) => 0.7,
+        (Ppe, Quantize) => 6.0,
+        (PentiumIV, Quantize) => 2.5,
+
+        // --- branchy integer kernels ---
+        // Per MQ decision, including bit modeling. The SPE pays for absent
+        // branch prediction (isa::SPU_BRANCH_MISS amortized over the
+        // decision loop); the P4's OoO core is the fastest of the three.
+        (Spe, Tier1) => 64.0,
+        (Ppe, Tier1) => 57.0,
+        (PentiumIV, Tier1) => 16.0,
+
+        // Per code block (tag-tree updates + header emission).
+        (Spe, Tier2) => 6_000.0,
+        (Ppe, Tier2) => 3_500.0,
+        (PentiumIV, Tier2) => 3_000.0,
+
+        // Per coding pass examined by the PCRD search (sequential stage);
+        // the item count comes from the real bisection's hull traversals.
+        (Spe, RateControl) => 170.0,
+        (Ppe, RateControl) => 100.0,
+        (PentiumIV, RateControl) => 67.0,
+
+        // Per byte moved/formatted.
+        (Spe, StreamIo) => 1.0,
+        (Ppe, StreamIo) => 0.8,
+        (PentiumIV, StreamIo) => 1.0,
+    }
+}
+
+/// Total cycles for `items` work items of `kernel` on `proc`.
+pub fn cycles(proc: ProcKind, kernel: Kernel, items: u64) -> u64 {
+    (cycles_per_item(proc, kernel) * items as f64).ceil() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cost_orderings_hold() {
+        use Kernel::*;
+        use ProcKind::*;
+        // Tier-1: PPE beats SPE, P4 beats both per-core.
+        assert!(cycles_per_item(Ppe, Tier1) < cycles_per_item(Spe, Tier1));
+        assert!(cycles_per_item(PentiumIV, Tier1) < cycles_per_item(Ppe, Tier1));
+        // DWT: one SPE beats one PPE by far.
+        assert!(cycles_per_item(Spe, DwtLift53) * 4.0 < cycles_per_item(Ppe, DwtLift53));
+        // Fixed point loses on the SPE but wins on the P4 (Jasper's premise).
+        assert!(
+            cycles_per_item(Spe, DwtLift97Fixed) > 3.0 * cycles_per_item(Spe, DwtLift97F32)
+        );
+        assert!(
+            cycles_per_item(PentiumIV, DwtLift97Fixed)
+                <= cycles_per_item(PentiumIV, DwtLift97F32)
+        );
+        // Convolution is dearer than lifting everywhere.
+        assert!(cycles_per_item(Spe, DwtConv97) > cycles_per_item(Spe, DwtLift97F32));
+    }
+
+    #[test]
+    fn cycles_scales_linearly() {
+        assert_eq!(
+            cycles(ProcKind::Spe, Kernel::Tier1, 1000),
+            (64.0f64 * 1000.0) as u64
+        );
+        assert_eq!(cycles(ProcKind::Ppe, Kernel::Quantize, 0), 0);
+    }
+}

@@ -1,0 +1,70 @@
+//! SPU instruction latencies (Table 1 of the paper) and derived operation
+//! costs that justify the fixed-point → floating-point switch.
+
+/// Latency of one SPU instruction in cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Instr {
+    /// Mnemonic.
+    pub name: &'static str,
+    /// Description from Table 1.
+    pub desc: &'static str,
+    /// Result latency in cycles.
+    pub latency: u32,
+}
+
+/// `mpyh`: two-byte integer multiply high — 7 cycles.
+pub const MPYH: Instr =
+    Instr { name: "mpyh", desc: "two byte integer multiply high", latency: 7 };
+/// `mpyu`: two-byte integer multiply unsigned — 7 cycles.
+pub const MPYU: Instr =
+    Instr { name: "mpyu", desc: "two byte integer multiply unsigned", latency: 7 };
+/// `a`: word add — 2 cycles.
+pub const A: Instr = Instr { name: "a", desc: "add word", latency: 2 };
+/// `fm`: single-precision floating-point multiply — 6 cycles.
+pub const FM: Instr =
+    Instr { name: "fm", desc: "single precision floating point multiply", latency: 6 };
+
+/// Table 1, in paper order.
+pub const TABLE1: [Instr; 4] = [MPYH, MPYU, A, FM];
+
+/// Instruction count of an emulated 32-bit integer multiply on the SPU.
+///
+/// The SPU ISA only multiplies 16-bit halves, so `a * b` (32-bit) becomes
+/// `mpyh(a,b) + mpyh(b,a) + mpyu(a,b)` combined with two adds:
+/// 3 multiplies + 2 adds = 5 instructions, vs. a single pipelined `fm`
+/// for the floating-point path. This asymmetry is why the paper replaces
+/// Jasper's fixed-point representation with `f32` (Section 4).
+pub const MUL32_EMULATION_INSTRS: u32 = 5;
+
+/// Dependent-chain latency of the emulated 32-bit multiply
+/// (`mpyh` || `mpyh` || `mpyu` then two dependent adds).
+pub const MUL32_EMULATION_LATENCY: u32 = MPYH.latency + A.latency + A.latency;
+
+/// SIMD width for 32-bit lanes (128-bit registers).
+pub const SIMD_LANES: u32 = 4;
+
+/// Branch-miss penalty on the SPU (no dynamic prediction; compiler hints
+/// only). ~18 cycles flush per the Cell BE Handbook.
+pub const SPU_BRANCH_MISS: u32 = 18;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        assert_eq!(MPYH.latency, 7);
+        assert_eq!(MPYU.latency, 7);
+        assert_eq!(A.latency, 2);
+        assert_eq!(FM.latency, 6);
+        assert_eq!(TABLE1.len(), 4);
+    }
+
+    #[test]
+    fn fixed_point_multiply_is_dearer_than_float() {
+        // The whole point of Section 4: emulated integer multiply costs
+        // several instructions and a longer dependence chain than fm.
+        assert!(MUL32_EMULATION_INSTRS as u32 > 1);
+        assert!(MUL32_EMULATION_LATENCY > FM.latency);
+    }
+}

@@ -1,0 +1,59 @@
+//! Local Store budgeting for Tier-1 code blocks.
+//!
+//! The paper's §3.2 discussion of code-block size is a Local Store
+//! argument: a 64x64 block of 4-byte coefficients needs 16 KiB in and a
+//! few KiB out, so one block fits the Local Store comfortably but double
+//! buffering two of them plus the Tier-1 state arrays gets tight; Muta et
+//! al. chose 32x32 "to reduce the Local Store memory requirements and
+//! enable double buffering", at the price of 4x the PPE interaction. This
+//! module makes that trade-off computable.
+
+/// Bytes of Local Store needed to Tier-1-encode one `cb x cb` block:
+/// coefficient buffer (4 B/sample) + state flags (1 B/sample) + an output
+/// buffer sized for the worst case (~2 B/sample) per buffered block.
+pub fn tier1_block_footprint(cb: usize) -> usize {
+    let samples = cb * cb;
+    samples * 4 + samples + samples * 2
+}
+
+/// Highest buffering level (1 = single, 2 = double, ...) that fits the
+/// given Local Store data budget for `cb x cb` Tier-1 blocks. Returns 0
+/// when even a single block does not fit.
+pub fn tier1_max_buffering(cb: usize, ls_budget: usize) -> usize {
+    let per = tier1_block_footprint(cb);
+    if per == 0 {
+        return 0;
+    }
+    ls_budget / per
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MachineConfig;
+
+    #[test]
+    fn paper_blocks_fit_single_buffered() {
+        let budget = MachineConfig::qs20_single().ls_data_budget();
+        // 64x64: one block fits; double buffering is marginal (the paper
+        // runs single buffered, accepting it because Tier-1 is compute
+        // bound: "efficient DMA data transfer is less important owing to
+        // the relatively high computation to communication ratio").
+        assert!(tier1_max_buffering(64, budget) >= 1);
+        assert!(tier1_max_buffering(64, budget) < 8);
+        // 32x32: plenty of room for double buffering — Muta's rationale.
+        assert!(tier1_max_buffering(32, budget) >= 2);
+    }
+
+    #[test]
+    fn footprint_scales_quadratically() {
+        assert_eq!(tier1_block_footprint(64), 4 * tier1_block_footprint(32));
+        assert_eq!(tier1_block_footprint(0), 0);
+        assert_eq!(tier1_max_buffering(0, 1024), 0);
+    }
+
+    #[test]
+    fn huge_blocks_do_not_fit() {
+        assert_eq!(tier1_max_buffering(1024, 192 * 1024), 0);
+    }
+}

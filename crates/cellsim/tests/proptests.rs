@@ -1,0 +1,117 @@
+//! Property tests for the discrete-event machine model: determinism, work
+//! conservation, scheduling sanity, and bandwidth limits.
+
+use cellsim::stage::{run_stage, Assignment, TaskSpec};
+use cellsim::{DmaClass, Kernel, MachineConfig, ProcKind};
+use proptest::prelude::*;
+
+fn task_strategy() -> impl Strategy<Value = TaskSpec> {
+    (1u64..50_000, 0u64..100_000, 0u64..100_000).prop_map(|(items, din, dout)| TaskSpec {
+        kernel: Kernel::Tier1,
+        items,
+        dma_in: din,
+        dma_out: dout,
+        class: DmaClass::LineOptimal,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn queue_runs_every_task_exactly_once(
+        tasks in prop::collection::vec(task_strategy(), 1..60),
+        npes in 1usize..12,
+        buffering in 1usize..4,
+    ) {
+        let cfg = MachineConfig::qs20_single();
+        let pes = vec![ProcKind::Spe; npes];
+        let out = run_stage(&cfg, &pes, &Assignment::Queue(tasks.clone()), buffering);
+        prop_assert_eq!(out.tasks_run.iter().sum::<usize>(), tasks.len());
+        let expected: u64 = tasks.iter().map(|t| t.dma_in + t.dma_out).sum();
+        prop_assert_eq!(out.bytes, expected);
+        for &b in &out.busy {
+            prop_assert!(b <= out.makespan);
+        }
+    }
+
+    #[test]
+    fn determinism(
+        tasks in prop::collection::vec(task_strategy(), 1..40),
+        npes in 1usize..8,
+    ) {
+        let cfg = MachineConfig::qs20_single();
+        let pes = vec![ProcKind::Spe; npes];
+        let a = run_stage(&cfg, &pes, &Assignment::Queue(tasks.clone()), 2);
+        let b = run_stage(&cfg, &pes, &Assignment::Queue(tasks), 2);
+        prop_assert_eq!(a.makespan, b.makespan);
+        prop_assert_eq!(a.busy, b.busy);
+        prop_assert_eq!(a.tasks_run, b.tasks_run);
+    }
+
+    #[test]
+    fn makespan_never_beats_lower_bounds(
+        tasks in prop::collection::vec(task_strategy(), 1..50),
+        npes in 1usize..10,
+    ) {
+        // Two fundamental bounds: total compute / PE count, and total bus
+        // service time.
+        let cfg = MachineConfig::qs20_single();
+        let pes = vec![ProcKind::Spe; npes];
+        let out = run_stage(&cfg, &pes, &Assignment::Queue(tasks.clone()), 2);
+        let total_compute: u64 = tasks
+            .iter()
+            .map(|t| cellsim::cost::cycles(ProcKind::Spe, t.kernel, t.items))
+            .sum();
+        prop_assert!(out.makespan >= total_compute / npes as u64);
+        prop_assert!(out.makespan + cfg.dma_latency_cycles >= out.bus_busy);
+    }
+
+    #[test]
+    fn more_pes_never_hurt_queue_makespan(
+        tasks in prop::collection::vec(task_strategy(), 2..40),
+    ) {
+        // With zero DMA (no bus contention), adding PEs to a queue can
+        // only reduce (or keep) the makespan.
+        let compute_only: Vec<TaskSpec> = tasks
+            .iter()
+            .map(|t| TaskSpec { dma_in: 0, dma_out: 0, ..*t })
+            .collect();
+        let cfg = MachineConfig::qs20_single();
+        let mut prev = u64::MAX;
+        for n in [1usize, 2, 4, 8] {
+            let pes = vec![ProcKind::Spe; n];
+            let out = run_stage(&cfg, &pes, &Assignment::Queue(compute_only.clone()), 1);
+            prop_assert!(out.makespan <= prev, "{n} PEs: {} > {prev}", out.makespan);
+            prev = out.makespan;
+        }
+    }
+
+    #[test]
+    fn static_equals_queue_for_one_pe(
+        tasks in prop::collection::vec(task_strategy(), 1..30),
+    ) {
+        let cfg = MachineConfig::qs20_single();
+        let pes = [ProcKind::Spe];
+        let q = run_stage(&cfg, &pes, &Assignment::Queue(tasks.clone()), 1);
+        let s = run_stage(&cfg, &pes, &Assignment::Static(vec![tasks]), 1);
+        prop_assert_eq!(q.makespan, s.makespan);
+        prop_assert_eq!(q.busy, s.busy);
+    }
+
+    #[test]
+    fn misaligned_transfers_never_faster(
+        tasks in prop::collection::vec(task_strategy(), 1..30),
+        npes in 1usize..6,
+    ) {
+        let cfg = MachineConfig::qs20_single();
+        let pes = vec![ProcKind::Spe; npes];
+        let aligned = run_stage(&cfg, &pes, &Assignment::Queue(tasks.clone()), 1);
+        let quad: Vec<TaskSpec> = tasks
+            .iter()
+            .map(|t| TaskSpec { class: DmaClass::QuadAligned, ..*t })
+            .collect();
+        let mis = run_stage(&cfg, &pes, &Assignment::Queue(quad), 1);
+        prop_assert!(mis.makespan >= aligned.makespan);
+    }
+}

@@ -1,0 +1,169 @@
+//! `j2k-core` — a from-scratch JPEG2000 Part-1-shaped still image codec,
+//! engineered after Kang & Bader, *Optimizing JPEG2000 Still Image Encoding
+//! on the Cell Broadband Engine* (ICPP 2008).
+//!
+//! The crate provides three interchangeable encoder drivers that produce
+//! **byte-identical** codestreams:
+//!
+//! * [`encode`] — the sequential reference pipeline;
+//! * [`parallel::encode_parallel`] — a host-thread implementation of the
+//!   paper's parallelization (chunked sample stages + Tier-1 work queue);
+//! * [`cell::encode_on_cell`] — the same pipeline mapped onto the
+//!   [`cellsim`] machine model, returning a simulated per-stage
+//!   [`cellsim::Timeline`] alongside the codestream.
+//!
+//! plus [`decode`], a full decoder used to *verify* the encoder (lossless
+//! round-trip, lossy PSNR) in the absence of the paper's Jasper baseline.
+//!
+//! Pipeline (paper Figure 2): read + type convert → level shift merged with
+//! the inter-component transform ([`mct`]) → DWT ([`wavelet`]) →
+//! quantization ([`quant`]) → EBCOT Tier-1 ([`ebcot`]) → rate control →
+//! Tier-2 + codestream assembly ([`codestream`]).
+
+pub mod cell;
+pub mod codestream;
+pub mod jp2;
+pub mod mct;
+pub mod parallel;
+pub mod pipeline;
+pub mod profile;
+pub mod quant;
+
+pub use cell::encode_on_cell;
+pub use pipeline::{decode, decode_layers, decode_resolution, encode, encode_with_profile};
+pub use profile::WorkloadProfile;
+
+use wavelet::VerticalVariant;
+
+/// Compression mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Mode {
+    /// Reversible path: RCT + 5/3, no quantization, exact reconstruction.
+    Lossless,
+    /// Irreversible path: ICT + 9/7 + dead-zone quantization + PCRD rate
+    /// control targeting `rate` output bits per input bit (Jasper's
+    /// `-O rate=` convention; 0.1 = 10:1 compression).
+    Lossy {
+        /// Target compressed size as a fraction of the raw size.
+        rate: f64,
+    },
+}
+
+/// Arithmetic representation of the 9/7 path (Section 4 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arithmetic {
+    /// Single-precision float — the paper's choice for the SPE.
+    Float32,
+    /// Jasper-style Q13 fixed point — the representation the paper
+    /// replaces; kept for the ablation.
+    FixedQ13,
+}
+
+/// Encoder parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EncoderParams {
+    /// Lossless or lossy.
+    pub mode: Mode,
+    /// DWT decomposition levels.
+    pub levels: usize,
+    /// Code block width/height (power of two, <= 64). The paper uses 64;
+    /// Muta et al. use 32.
+    pub cb_size: usize,
+    /// Vertical-filter loop schedule.
+    pub variant: VerticalVariant,
+    /// 9/7 arithmetic (ignored for lossless).
+    pub arithmetic: Arithmetic,
+    /// Quality layers (>= 1).
+    pub layers: usize,
+    /// Selective arithmetic-coding bypass ("lazy" mode, Annex D.5):
+    /// deep-plane SPP/MRP passes emit raw bits, trading a little rate for
+    /// cheaper Tier-1.
+    pub bypass: bool,
+}
+
+impl Default for EncoderParams {
+    fn default() -> Self {
+        EncoderParams {
+            mode: Mode::Lossless,
+            levels: 5,
+            cb_size: 64,
+            variant: VerticalVariant::Merged,
+            arithmetic: Arithmetic::Float32,
+            layers: 1,
+            bypass: false,
+        }
+    }
+}
+
+impl EncoderParams {
+    /// Default lossless configuration.
+    pub fn lossless() -> Self {
+        Self::default()
+    }
+
+    /// Default lossy configuration at `rate` (e.g. 0.1).
+    pub fn lossy(rate: f64) -> Self {
+        EncoderParams { mode: Mode::Lossy { rate }, ..Self::default() }
+    }
+
+    /// Validate parameter combinations.
+    pub fn validate(&self) -> Result<(), CodecError> {
+        if !(1..=64).contains(&self.cb_size) || !self.cb_size.is_power_of_two() {
+            return Err(CodecError::Params(format!(
+                "code block size {} must be a power of two in 4..=64",
+                self.cb_size
+            )));
+        }
+        if self.levels == 0 || self.levels > 10 {
+            return Err(CodecError::Params(format!("levels {} out of 1..=10", self.levels)));
+        }
+        if self.layers == 0 || self.layers > 16 {
+            return Err(CodecError::Params(format!("layers {} out of 1..=16", self.layers)));
+        }
+        if let Mode::Lossy { rate } = self.mode {
+            if !(rate > 0.0 && rate <= 1.0) {
+                return Err(CodecError::Params(format!("rate {rate} out of (0, 1]")));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Codec errors.
+#[derive(Debug)]
+pub enum CodecError {
+    /// Invalid encoder parameters.
+    Params(String),
+    /// Unsupported or malformed image input.
+    Image(String),
+    /// Malformed codestream during decode.
+    Codestream(String),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Params(m) => write!(f, "bad parameters: {m}"),
+            CodecError::Image(m) => write!(f, "bad image: {m}"),
+            CodecError::Codestream(m) => write!(f, "bad codestream: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_validation() {
+        assert!(EncoderParams::lossless().validate().is_ok());
+        assert!(EncoderParams::lossy(0.1).validate().is_ok());
+        assert!(EncoderParams { cb_size: 48, ..Default::default() }.validate().is_err());
+        assert!(EncoderParams { levels: 0, ..Default::default() }.validate().is_err());
+        assert!(EncoderParams::lossy(0.0).validate().is_err());
+        assert!(EncoderParams::lossy(1.5).validate().is_err());
+        assert!(EncoderParams { layers: 0, ..Default::default() }.validate().is_err());
+    }
+}

@@ -1,0 +1,196 @@
+//! Level shift and multi-component transforms, merged into one pass over
+//! the samples ("the level shift and inter-component transform stages are
+//! merged to minimize the data transfer", Section 3.2).
+
+use xpart::AlignedPlane;
+
+/// Forward reversible color transform (RCT, Annex G.2) with level shift.
+/// Operates in place on the three component planes. Chroma outputs need
+/// one extra bit of dynamic range.
+pub fn forward_rct_shift(planes: &mut [AlignedPlane<i32>], shift: i32) {
+    assert_eq!(planes.len(), 3);
+    let (w, h) = (planes[0].width(), planes[0].height());
+    for y in 0..h {
+        for x in 0..w {
+            let r = planes[0].get(x, y) - shift;
+            let g = planes[1].get(x, y) - shift;
+            let b = planes[2].get(x, y) - shift;
+            let yy = (r + 2 * g + b) >> 2;
+            let u = b - g;
+            let v = r - g;
+            planes[0].set(x, y, yy);
+            planes[1].set(x, y, u);
+            planes[2].set(x, y, v);
+        }
+    }
+}
+
+/// Inverse RCT with level unshift.
+pub fn inverse_rct_shift(planes: &mut [AlignedPlane<i32>], shift: i32) {
+    assert_eq!(planes.len(), 3);
+    let (w, h) = (planes[0].width(), planes[0].height());
+    for y in 0..h {
+        for x in 0..w {
+            let yy = planes[0].get(x, y);
+            let u = planes[1].get(x, y);
+            let v = planes[2].get(x, y);
+            let g = yy - ((u + v) >> 2);
+            let r = v + g;
+            let b = u + g;
+            planes[0].set(x, y, r + shift);
+            planes[1].set(x, y, g + shift);
+            planes[2].set(x, y, b + shift);
+        }
+    }
+}
+
+/// Forward irreversible color transform (ICT, Annex G.3) with level shift,
+/// integer planes in, float planes out.
+pub fn forward_ict_shift(planes: &[AlignedPlane<i32>], shift: f32) -> Vec<AlignedPlane<f32>> {
+    assert_eq!(planes.len(), 3);
+    let (w, h) = (planes[0].width(), planes[0].height());
+    let mut out: Vec<AlignedPlane<f32>> =
+        (0..3).map(|_| AlignedPlane::new(w, h).expect("geometry")).collect();
+    for y in 0..h {
+        for x in 0..w {
+            let r = planes[0].get(x, y) as f32 - shift;
+            let g = planes[1].get(x, y) as f32 - shift;
+            let b = planes[2].get(x, y) as f32 - shift;
+            let yy = 0.299 * r + 0.587 * g + 0.114 * b;
+            let cb = -0.168_736 * r - 0.331_264 * g + 0.5 * b;
+            let cr = 0.5 * r - 0.418_688 * g - 0.081_312 * b;
+            out[0].set(x, y, yy);
+            out[1].set(x, y, cb);
+            out[2].set(x, y, cr);
+        }
+    }
+    out
+}
+
+/// Inverse ICT with level unshift, float planes in, integer planes out.
+pub fn inverse_ict_shift(planes: &[AlignedPlane<f32>], shift: f32) -> Vec<AlignedPlane<i32>> {
+    assert_eq!(planes.len(), 3);
+    let (w, h) = (planes[0].width(), planes[0].height());
+    let mut out: Vec<AlignedPlane<i32>> =
+        (0..3).map(|_| AlignedPlane::new(w, h).expect("geometry")).collect();
+    for y in 0..h {
+        for x in 0..w {
+            let yy = planes[0].get(x, y);
+            let cb = planes[1].get(x, y);
+            let cr = planes[2].get(x, y);
+            let r = yy + 1.402 * cr;
+            let g = yy - 0.344_136 * cb - 0.714_136 * cr;
+            let b = yy + 1.772 * cb;
+            out[0].set(x, y, (r + shift).round() as i32);
+            out[1].set(x, y, (g + shift).round() as i32);
+            out[2].set(x, y, (b + shift).round() as i32);
+        }
+    }
+    out
+}
+
+/// Plain level shift for non-RGB images (in place).
+pub fn level_shift(plane: &mut AlignedPlane<i32>, shift: i32) {
+    plane.for_each_mut(|_, _, v| *v -= shift);
+}
+
+/// Inverse level shift (in place).
+pub fn level_unshift(plane: &mut AlignedPlane<i32>, shift: i32) {
+    plane.for_each_mut(|_, _, v| *v += shift);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rgb_planes(seed: u32) -> Vec<AlignedPlane<i32>> {
+        let mut x = seed | 1;
+        (0..3)
+            .map(|_| {
+                let mut p = AlignedPlane::<i32>::new(9, 7).unwrap();
+                p.for_each_mut(|_, _, v| {
+                    x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+                    *v = ((x >> 9) % 256) as i32;
+                });
+                p
+            })
+            .collect()
+    }
+
+    #[test]
+    fn rct_roundtrip_exact() {
+        let orig = rgb_planes(1);
+        let mut p = orig.clone();
+        forward_rct_shift(&mut p, 128);
+        inverse_rct_shift(&mut p, 128);
+        for c in 0..3 {
+            assert_eq!(p[c].to_dense(), orig[c].to_dense(), "component {c}");
+        }
+    }
+
+    #[test]
+    fn rct_decorrelates_gray() {
+        // R = G = B means U = V = 0 and Y = sample - shift.
+        let mut p: Vec<AlignedPlane<i32>> = (0..3)
+            .map(|_| {
+                let mut q = AlignedPlane::<i32>::new(4, 4).unwrap();
+                q.for_each_mut(|x, y, v| *v = (40 + x * 10 + y) as i32);
+                q
+            })
+            .collect();
+        forward_rct_shift(&mut p, 128);
+        assert!(p[1].to_dense().iter().all(|&v| v == 0));
+        assert!(p[2].to_dense().iter().all(|&v| v == 0));
+        assert_eq!(p[0].get(0, 0), 40 - 128);
+    }
+
+    #[test]
+    fn rct_chroma_range_is_one_extra_bit() {
+        // Extremes: R=255,G=0,B=255 -> U=V=255; R=0,G=255,B=0 -> U=V=-255.
+        let mut p: Vec<AlignedPlane<i32>> = (0..3)
+            .map(|_| AlignedPlane::<i32>::new(1, 1).unwrap())
+            .collect();
+        p[0].set(0, 0, 255);
+        p[1].set(0, 0, 0);
+        p[2].set(0, 0, 255);
+        forward_rct_shift(&mut p, 128);
+        assert_eq!(p[1].get(0, 0), 255);
+        assert!(p[1].get(0, 0).unsigned_abs() < (1 << 9));
+    }
+
+    #[test]
+    fn ict_roundtrip_close() {
+        let orig = rgb_planes(2);
+        let f = forward_ict_shift(&orig, 128.0);
+        let back = inverse_ict_shift(&f, 128.0);
+        for c in 0..3 {
+            for (g, e) in back[c].to_dense().iter().zip(orig[c].to_dense()) {
+                assert!((g - e).abs() <= 1, "component {c}: {g} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn ict_luma_of_gray_is_value() {
+        let mut p: Vec<AlignedPlane<i32>> =
+            (0..3).map(|_| AlignedPlane::<i32>::new(1, 1).unwrap()).collect();
+        for c in 0..3 {
+            p[c].set(0, 0, 200);
+        }
+        let f = forward_ict_shift(&p, 128.0);
+        assert!((f[0].get(0, 0) - 72.0).abs() < 0.01);
+        assert!(f[1].get(0, 0).abs() < 0.01);
+        assert!(f[2].get(0, 0).abs() < 0.01);
+    }
+
+    #[test]
+    fn level_shift_roundtrip() {
+        let mut p = AlignedPlane::<i32>::new(3, 3).unwrap();
+        p.for_each_mut(|x, _, v| *v = x as i32 * 100);
+        let orig = p.clone();
+        level_shift(&mut p, 128);
+        assert_eq!(p.get(0, 0), -128);
+        level_unshift(&mut p, 128);
+        assert_eq!(p.to_dense(), orig.to_dense());
+    }
+}

@@ -1,0 +1,153 @@
+//! Host-thread implementation of the paper's parallelization strategy.
+//!
+//! Mirrors the Cell mapping with real threads: the per-component sample
+//! transforms run concurrently, and Tier-1 uses a dynamic work queue of
+//! code blocks (an atomic cursor) exactly like the paper's SPE/PPE queue.
+//! Output is byte-identical to the sequential encoder — parallelization
+//! must never change the codestream (asserted by tests).
+
+use crate::pipeline::{allocate_layers, assemble, band_kind, block_grid, transform_samples, BlockRecord};
+use crate::{CodecError, EncoderParams};
+use ebcot::block::encode_block_opts;
+use imgio::Image;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Encode with `workers` threads (clamped to at least 1).
+pub fn encode_parallel(
+    image: &Image,
+    params: &EncoderParams,
+    workers: usize,
+) -> Result<Vec<u8>, CodecError> {
+    params.validate()?;
+    image.validate().map_err(|e| CodecError::Image(e.to_string()))?;
+    let workers = workers.max(1);
+
+    // Sample stages (level shift + MCT + DWT + quantization). The
+    // transform is deterministic; the work queue below is where data-
+    // dependent imbalance lives.
+    let t = transform_samples(image, params)?;
+
+    // Build the block job list (comp, band, grid position, geometry).
+    struct Job {
+        comp: usize,
+        band_idx: usize,
+        bx: usize,
+        by: usize,
+        x0: usize,
+        y0: usize,
+        bw: usize,
+        bh: usize,
+    }
+    let mut jobs = Vec::new();
+    for c in 0..t.indices.len() {
+        for (bi, b) in t.bands.iter().enumerate() {
+            for (bx, by, x0, y0, bw, bh) in block_grid(b, params.cb_size) {
+                jobs.push(Job { comp: c, band_idx: bi, bx, by, x0, y0, bw, bh });
+            }
+        }
+    }
+
+    // Tier-1 work queue: workers pull the next job index atomically.
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<BlockRecord>> = Vec::with_capacity(jobs.len());
+    slots.resize_with(jobs.len(), || None);
+    let slot_ptr = SlotVec(slots.as_mut_ptr());
+    let njobs = jobs.len();
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            let cursor = &cursor;
+            let jobs = &jobs;
+            let t = &t;
+            let slot_ptr = &slot_ptr;
+            scope.spawn(move |_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= njobs {
+                    break;
+                }
+                let j = &jobs[i];
+                let plane = &t.indices[j.comp];
+                let mut data = Vec::with_capacity(j.bw * j.bh);
+                for y in j.y0..j.y0 + j.bh {
+                    for x in j.x0..j.x0 + j.bw {
+                        data.push(plane.get(x, y));
+                    }
+                }
+                let enc =
+                    encode_block_opts(&data, j.bw, j.bh, band_kind(t.bands[j.band_idx].band), params.bypass);
+                let rec = BlockRecord {
+                    comp: j.comp,
+                    band_idx: j.band_idx,
+                    bx: j.bx,
+                    by: j.by,
+                    enc,
+                    weight: t.weights[j.band_idx],
+                };
+                // SAFETY: each index i is claimed by exactly one worker
+                // (fetch_add), so no two threads write the same slot, and
+                // the main thread only reads after the scope joins.
+                unsafe {
+                    *slot_ptr.0.add(i) = Some(rec);
+                }
+            });
+        }
+    })
+    .map_err(|_| CodecError::Params("worker thread panicked".into()))?;
+
+    let records: Vec<BlockRecord> =
+        slots.into_iter().map(|s| s.expect("every job completed")).collect();
+    let raw = image.raw_bytes() as u64;
+    let (mut kept, _) = allocate_layers(&records, params, raw, 0);
+    let mut bytes = assemble(image, params, &t, &records, &kept);
+    if let crate::Mode::Lossy { rate } = params.mode {
+        let limit = (rate * raw as f64) as usize;
+        let mut reserve = 0usize;
+        let mut tries = 0;
+        while bytes.len() > limit && tries < 8 {
+            reserve += (bytes.len() - limit) + 32;
+            let (k, _) = allocate_layers(&records, params, raw, reserve);
+            kept = k;
+            bytes = assemble(image, params, &t, &records, &kept);
+            tries += 1;
+        }
+    }
+    Ok(bytes)
+}
+
+/// Shared raw pointer to the result slots; Sync because slot indices are
+/// partitioned dynamically but uniquely by the atomic cursor.
+struct SlotVec(*mut Option<BlockRecord>);
+unsafe impl Sync for SlotVec {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imgio::synth;
+
+    #[test]
+    fn parallel_matches_sequential_lossless() {
+        let im = synth::natural_rgb(96, 64, 13);
+        let params = EncoderParams { levels: 3, ..EncoderParams::lossless() };
+        let seq = crate::encode(&im, &params).unwrap();
+        for workers in [1usize, 2, 4, 7] {
+            let par = encode_parallel(&im, &params, workers).unwrap();
+            assert_eq!(par, seq, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_lossy() {
+        let im = synth::natural(80, 80, 21);
+        let params = EncoderParams::lossy(0.2);
+        let seq = crate::encode(&im, &params).unwrap();
+        let par = encode_parallel(&im, &params, 3).unwrap();
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn parallel_output_decodes() {
+        let im = synth::natural(64, 64, 30);
+        let bytes = encode_parallel(&im, &EncoderParams::lossless(), 4).unwrap();
+        let back = crate::decode(&bytes).unwrap();
+        assert_eq!(back, im);
+    }
+}

@@ -1,0 +1,904 @@
+//! The sequential reference pipeline: encode and decode.
+//!
+//! This is the ground truth that the host-parallel and Cell-simulated
+//! drivers must match byte-for-byte. Stage order follows the paper's
+//! Figure 2.
+
+use crate::codestream::{self, BlockStream, MainHeader, Quant};
+use crate::profile::{BlockWork, LevelWork, WorkloadProfile};
+use crate::quant::{band_delta, dequantize, quantize, StepSize, GUARD_BITS};
+use crate::{mct, Arithmetic, CodecError, EncoderParams, Mode};
+use ebcot::block::{decode_block_opts, encode_block_opts, BandKind, EncodedBlock};
+use ebcot::rate::{allocate, BlockSummary};
+use imgio::Image;
+use wavelet::{low_len, norms, Band, Subband};
+use xpart::AlignedPlane;
+
+/// Map subband orientation to Tier-1 context class.
+pub fn band_kind(b: Band) -> BandKind {
+    match b {
+        Band::LL | Band::LH => BandKind::LlLh,
+        Band::HL => BandKind::Hl,
+        Band::HH => BandKind::Hh,
+    }
+}
+
+/// Default base quantizer step for `depth`-bit imagery (image-domain
+/// units); per-band steps divide by the basis norm (see [`band_delta`]),
+/// so a unit index error costs `base/sqrt(12)` RMSE in every band. The
+/// value trades quality ceiling (~41 dB for 8-bit) against the number of
+/// magnitude bit planes Tier-1 has to code.
+pub fn default_base_step(depth: u8) -> f64 {
+    f64::powi(2.0, depth as i32 - 8) / 2.0
+}
+
+/// Per-level transform regions, finest first (mirrors the wavelet crate's
+/// internal recursion).
+pub fn level_dims(w: usize, h: usize, levels: usize) -> Vec<(usize, usize)> {
+    let (mut cw, mut ch) = (w, h);
+    let mut v = Vec::new();
+    for _ in 0..levels {
+        if cw < 2 && ch < 2 {
+            break;
+        }
+        v.push((cw, ch));
+        cw = low_len(cw);
+        ch = low_len(ch);
+    }
+    v
+}
+
+/// One Tier-1-coded block with its placement and R-D weight.
+pub(crate) struct BlockRecord {
+    pub comp: usize,
+    pub band_idx: usize,
+    pub bx: usize,
+    pub by: usize,
+    pub enc: EncodedBlock,
+    /// Image-domain distortion weight: (delta * basis norm)^2.
+    pub weight: f64,
+}
+
+/// Everything shared between the sample stages and entropy stages.
+pub(crate) struct Transformed {
+    /// Coefficient planes as quantizer indices (one per component).
+    pub indices: Vec<AlignedPlane<i32>>,
+    /// Per-band quantization (indexes match `bands`).
+    pub quant: Quant,
+    /// Subband geometry.
+    pub bands: Vec<Subband>,
+    /// Per-band M_b (max magnitude bit planes).
+    pub max_planes: Vec<u8>,
+    /// Per-band distortion weight ((delta * norm)^2).
+    pub weights: Vec<f64>,
+}
+
+/// Run level shift + MCT + DWT + quantization, producing quantizer-index
+/// planes and the quantization signalling. Shared by every driver.
+pub(crate) fn transform_samples(
+    image: &Image,
+    params: &EncoderParams,
+) -> Result<Transformed, CodecError> {
+    let (w, h) = (image.width, image.height);
+    let comps = image.comps();
+    let depth = image.bit_depth;
+    let shift = 1i32 << (depth - 1);
+    let use_mct = comps == 3;
+    let bands = wavelet::subbands(w, h, params.levels);
+
+    let mut int_planes: Vec<AlignedPlane<i32>> = image
+        .planes
+        .iter()
+        .map(|p| {
+            let dense: Vec<i32> = p.iter().map(|&v| v as i32).collect();
+            AlignedPlane::from_dense(w, h, &dense).map_err(|e| CodecError::Image(e.to_string()))
+        })
+        .collect::<Result<_, _>>()?;
+
+    match params.mode {
+        Mode::Lossless => {
+            if use_mct {
+                mct::forward_rct_shift(&mut int_planes, shift);
+            } else {
+                for p in &mut int_planes {
+                    mct::level_shift(p, shift);
+                }
+            }
+            for p in &mut int_planes {
+                wavelet::forward_2d_53(p, params.levels, params.variant);
+            }
+            let depth_eff = depth + u8::from(use_mct);
+            let exps: Vec<u8> =
+                bands.iter().map(|b| depth_eff + b.band.gain_log2()).collect();
+            let max_planes: Vec<u8> = exps.iter().map(|&e| GUARD_BITS + e - 1).collect();
+            let weights: Vec<f64> = bands
+                .iter()
+                .map(|b| {
+                    let n = norms::l2_norm_53(b.band, b.level.max(1));
+                    n * n
+                })
+                .collect();
+            Ok(Transformed {
+                indices: int_planes,
+                quant: Quant::Reversible(exps),
+                bands,
+                max_planes,
+                weights,
+            })
+        }
+        Mode::Lossy { .. } => {
+            let base = default_base_step(depth);
+            // Sample transform in the selected arithmetic.
+            let coeff_value: Vec<AlignedPlane<f32>> = match params.arithmetic {
+                Arithmetic::Float32 => {
+                    let mut fp: Vec<AlignedPlane<f32>> = if use_mct {
+                        mct::forward_ict_shift(&int_planes, shift as f32)
+                    } else {
+                        int_planes
+                            .iter_mut()
+                            .map(|p| {
+                                mct::level_shift(p, shift);
+                                p.to_f32()
+                            })
+                            .collect()
+                    };
+                    for p in &mut fp {
+                        wavelet::forward_2d_97(p, params.levels, params.variant);
+                    }
+                    fp
+                }
+                Arithmetic::FixedQ13 => {
+                    let fp: Vec<AlignedPlane<f32>> = if use_mct {
+                        mct::forward_ict_shift(&int_planes, shift as f32)
+                    } else {
+                        int_planes
+                            .iter_mut()
+                            .map(|p| {
+                                mct::level_shift(p, shift);
+                                p.to_f32()
+                            })
+                            .collect()
+                    };
+                    let mut q13: Vec<AlignedPlane<i32>> = fp
+                        .iter()
+                        .map(|p| p.map(|v| (v * 8192.0).round() as i32))
+                        .collect();
+                    for p in &mut q13 {
+                        wavelet::transform2d::forward_2d_97_fixed(
+                            p,
+                            params.levels,
+                            params.variant,
+                        );
+                    }
+                    q13.iter().map(|p| p.map(|v| v as f32 / 8192.0)).collect()
+                }
+            };
+            // Quantize per band.
+            let mut steps = Vec::with_capacity(bands.len());
+            let mut weights = Vec::with_capacity(bands.len());
+            let mut indices: Vec<AlignedPlane<i32>> = (0..comps)
+                .map(|_| AlignedPlane::new(w, h).expect("geometry"))
+                .collect();
+            for b in &bands {
+                let lev = b.level.max(1);
+                let delta = band_delta(base, b.band, lev);
+                let r_bits = depth as i32 + b.band.gain_log2() as i32;
+                let step = StepSize::from_delta(delta, r_bits);
+                let delta_sig = step.delta(r_bits); // signalled value
+                let nrm = norms::l2_norm_97(b.band, lev);
+                steps.push(step);
+                weights.push((delta_sig * nrm) * (delta_sig * nrm));
+                for (c, plane) in coeff_value.iter().enumerate() {
+                    for y in b.y0..b.y0 + b.h {
+                        for x in b.x0..b.x0 + b.w {
+                            indices[c].set(x, y, quantize(plane.get(x, y), delta_sig));
+                        }
+                    }
+                }
+            }
+            let max_planes: Vec<u8> =
+                steps.iter().map(|s| GUARD_BITS + s.exponent - 1).collect();
+            Ok(Transformed {
+                indices,
+                quant: Quant::Scalar(steps),
+                bands,
+                max_planes,
+                weights,
+            })
+        }
+    }
+}
+
+/// Extract the block grid of one band: `(bx, by, x0, y0, bw, bh)` tuples.
+pub(crate) fn block_grid(b: &Subband, cb: usize) -> Vec<(usize, usize, usize, usize, usize, usize)> {
+    let mut v = Vec::new();
+    let gw = b.w.div_ceil(cb);
+    let gh = b.h.div_ceil(cb);
+    for by in 0..gh {
+        for bx in 0..gw {
+            let x0 = b.x0 + bx * cb;
+            let y0 = b.y0 + by * cb;
+            let bw = cb.min(b.x0 + b.w - x0);
+            let bh = cb.min(b.y0 + b.h - y0);
+            v.push((bx, by, x0, y0, bw, bh));
+        }
+    }
+    v
+}
+
+/// Tier-1 encode every code block of every band/component (sequentially).
+pub(crate) fn tier1_all(t: &Transformed, params: &EncoderParams) -> Vec<BlockRecord> {
+    let mut out = Vec::new();
+    for (c, plane) in t.indices.iter().enumerate() {
+        for (bi, b) in t.bands.iter().enumerate() {
+            for (bx, by, x0, y0, bw, bh) in block_grid(b, params.cb_size) {
+                let mut data = Vec::with_capacity(bw * bh);
+                for y in y0..y0 + bh {
+                    for x in x0..x0 + bw {
+                        data.push(plane.get(x, y));
+                    }
+                }
+                let enc = encode_block_opts(&data, bw, bh, band_kind(b.band), params.bypass);
+                assert!(
+                    enc.num_planes <= t.max_planes[bi],
+                    "band {bi}: {} planes exceed M_b {}",
+                    enc.num_planes,
+                    t.max_planes[bi]
+                );
+                out.push(BlockRecord { comp: c, band_idx: bi, bx, by, enc, weight: t.weights[bi] });
+            }
+        }
+    }
+    out
+}
+
+/// Rate allocation: per-block cumulative kept passes per layer, plus the
+/// PCRD work count.
+pub(crate) fn allocate_layers(
+    records: &[BlockRecord],
+    params: &EncoderParams,
+    raw_bytes: u64,
+    extra_reserve: usize,
+) -> (Vec<Vec<usize>>, u64) {
+    let summaries: Vec<BlockSummary> = records
+        .iter()
+        .map(|r| BlockSummary {
+            rates: r.enc.pass_ends.clone(),
+            dists: r
+                .enc
+                .passes
+                .iter()
+                .scan(0.0, |acc, p| {
+                    *acc += p.dist_reduction * r.weight;
+                    Some(*acc)
+                })
+                .collect(),
+        })
+        .collect();
+    let mut kept: Vec<Vec<usize>> = vec![Vec::new(); records.len()];
+    let mut rc_items = 0u64;
+    match params.mode {
+        Mode::Lossless => {
+            // All passes, all in the final layer split evenly by bytes.
+            let totals: Vec<usize> = records.iter().map(|r| r.enc.passes.len()).collect();
+            for l in 0..params.layers {
+                if l + 1 == params.layers {
+                    for (i, &t) in totals.iter().enumerate() {
+                        kept[i].push(t);
+                    }
+                } else {
+                    let frac = (l + 1) as f64 / params.layers as f64;
+                    let budget: usize = (records
+                        .iter()
+                        .map(|r| r.enc.data.len() as f64)
+                        .sum::<f64>()
+                        * frac) as usize;
+                    let a = allocate(&summaries, budget);
+                    rc_items += a.passes_examined;
+                    for (i, &n) in a.passes.iter().enumerate() {
+                        kept[i].push(n);
+                    }
+                }
+            }
+        }
+        Mode::Lossy { rate } => {
+            // Reserve a sliver for markers and packet headers.
+            let header_estimate = 120 + records.len() * 2 + extra_reserve;
+            let budget_total =
+                ((rate * raw_bytes as f64) as usize).saturating_sub(header_estimate);
+            for l in 0..params.layers {
+                let frac = (l + 1) as f64 / params.layers as f64;
+                let a = allocate(&summaries, (budget_total as f64 * frac) as usize);
+                rc_items += a.passes_examined;
+                for (i, &n) in a.passes.iter().enumerate() {
+                    kept[i].push(n);
+                }
+            }
+        }
+    }
+    // Enforce monotonicity across layers.
+    for k in &mut kept {
+        for l in 1..k.len() {
+            if k[l] < k[l - 1] {
+                k[l] = k[l - 1];
+            }
+        }
+    }
+    (kept, rc_items)
+}
+
+/// Assemble the final codestream from coded blocks + allocations.
+pub(crate) fn assemble(
+    image: &Image,
+    params: &EncoderParams,
+    t: &Transformed,
+    records: &[BlockRecord],
+    kept: &[Vec<usize>],
+) -> Vec<u8> {
+    let header = MainHeader {
+        width: image.width,
+        height: image.height,
+        comps: image.comps(),
+        depth: image.bit_depth,
+        levels: params.levels,
+        layers: params.layers,
+        cb_size: params.cb_size,
+        lossless: matches!(params.mode, Mode::Lossless),
+        mct: image.comps() == 3,
+        arithmetic: params.arithmetic,
+        bypass: params.bypass,
+        guard: GUARD_BITS,
+        quant: t.quant.clone(),
+    };
+    let mut streams = Vec::new();
+    for (r, k) in records.iter().zip(kept) {
+        let last = *k.last().unwrap_or(&0);
+        if last == 0 {
+            continue;
+        }
+        let lens: Vec<usize> = (0..last)
+            .map(|i| {
+                r.enc.pass_ends[i] - if i == 0 { 0 } else { r.enc.pass_ends[i - 1] }
+            })
+            .collect();
+        streams.push(BlockStream {
+            comp: r.comp,
+            band_idx: r.band_idx,
+            bx: r.bx,
+            by: r.by,
+            zero_planes: (t.max_planes[r.band_idx] - r.enc.num_planes) as u32,
+            layer_passes: k.clone(),
+            pass_lens: lens,
+            data: r.enc.data[..r.enc.bytes_for_passes(last)].to_vec(),
+        });
+    }
+    codestream::write(&header, &streams)
+}
+
+/// Encode `image` with `params`, returning the codestream.
+pub fn encode(image: &Image, params: &EncoderParams) -> Result<Vec<u8>, CodecError> {
+    encode_with_profile(image, params).map(|(bytes, _)| bytes)
+}
+
+/// Encode and also return the measured [`WorkloadProfile`] that drives the
+/// machine models.
+pub fn encode_with_profile(
+    image: &Image,
+    params: &EncoderParams,
+) -> Result<(Vec<u8>, WorkloadProfile), CodecError> {
+    params.validate()?;
+    image.validate().map_err(|e| CodecError::Image(e.to_string()))?;
+    let t = transform_samples(image, params)?;
+    let records = tier1_all(&t, params);
+    let raw = image.raw_bytes() as u64;
+    let (mut kept, mut rc_items) = allocate_layers(&records, params, raw, 0);
+    let mut bytes = assemble(image, params, &t, &records, &kept);
+    if let Mode::Lossy { rate } = params.mode {
+        // The packet-header overhead is only known after assembly; shrink
+        // the payload budget and retry until the target is met.
+        let limit = (rate * raw as f64) as usize;
+        let mut reserve = 0usize;
+        let mut tries = 0;
+        while bytes.len() > limit && tries < 8 {
+            reserve += (bytes.len() - limit) + 32;
+            let (k, rc) = allocate_layers(&records, params, raw, reserve);
+            kept = k;
+            rc_items += rc;
+            bytes = assemble(image, params, &t, &records, &kept);
+            tries += 1;
+        }
+    }
+    let profile = WorkloadProfile {
+        params: *params,
+        width: image.width,
+        height: image.height,
+        comps: image.comps(),
+        samples: (image.width * image.height * image.comps()) as u64,
+        raw_bytes: raw,
+        levels: level_dims(image.width, image.height, params.levels)
+            .into_iter()
+            .map(|(w, h)| LevelWork { w: w as u64, h: h as u64 })
+            .collect(),
+        blocks: records
+            .iter()
+            .map(|r| {
+                // Effective Tier-1 work: raw (bypass) bits avoid the MQ
+                // coder's renormalization/byte-out machinery and cost
+                // roughly a quarter of an MQ decision.
+                let (mut mq, mut raw) = (0u64, 0u64);
+                for pi in &r.enc.passes {
+                    if ebcot::block::pass_is_raw(
+                        params.bypass,
+                        pi.pass_type,
+                        pi.plane,
+                        r.enc.num_planes,
+                    ) {
+                        raw += pi.symbols;
+                    } else {
+                        mq += pi.symbols;
+                    }
+                }
+                BlockWork {
+                    samples: (r.enc.w * r.enc.h) as u64,
+                    symbols: mq + raw / 4,
+                    passes: r.enc.passes.len() as u64,
+                    bytes: r.enc.data.len() as u64,
+                }
+            })
+            .collect(),
+        rate_control_items: rc_items,
+        output_bytes: bytes.len() as u64,
+    };
+    Ok((bytes, profile))
+}
+
+/// Decode a codestream produced by any of this crate's encoders.
+pub fn decode(data: &[u8]) -> Result<Image, CodecError> {
+    decode_layers(data, usize::MAX)
+}
+
+/// Decode only the first `max_layers` quality layers (progressive
+/// decoding): the defining JPEG2000 feature that a truncated or partially
+/// fetched stream still yields a complete, lower-quality image.
+pub fn decode_layers(data: &[u8], max_layers: usize) -> Result<Image, CodecError> {
+    decode_inner(data, max_layers, 0)
+}
+
+/// Decode at reduced resolution, discarding the `discard_levels` finest
+/// resolution levels: the output is the image downscaled by
+/// `2^discard_levels` (resolution-progressive decoding).
+pub fn decode_resolution(data: &[u8], discard_levels: usize) -> Result<Image, CodecError> {
+    decode_inner(data, usize::MAX, discard_levels)
+}
+
+fn decode_inner(
+    data: &[u8],
+    max_layers: usize,
+    discard_levels: usize,
+) -> Result<Image, CodecError> {
+    let parsed = codestream::parse(data)?;
+    let hdr = &parsed.header;
+    let (w, h) = (hdr.width, hdr.height);
+    let bands = hdr.bands();
+    let cb = hdr.cb_size;
+
+    // Reconstruct quantizer-index planes.
+    let mut indices: Vec<AlignedPlane<i32>> = (0..hdr.comps)
+        .map(|_| AlignedPlane::new(w, h).map_err(|e| CodecError::Codestream(e.to_string())))
+        .collect::<Result<_, _>>()?;
+    for blk in &parsed.blocks {
+        let b = bands
+            .get(blk.band_idx)
+            .ok_or_else(|| CodecError::Codestream("band index out of range".into()))?;
+        let x0 = b.x0 + blk.bx * cb;
+        let y0 = b.y0 + blk.by * cb;
+        if x0 >= b.x0 + b.w || y0 >= b.y0 + b.h || blk.comp >= hdr.comps {
+            return Err(CodecError::Codestream("block outside band".into()));
+        }
+        let bw = cb.min(b.x0 + b.w - x0);
+        let bh = cb.min(b.y0 + b.h - y0);
+        let mp = hdr.max_planes(blk.band_idx) as u32;
+        if blk.zero_planes > mp {
+            return Err(CodecError::Codestream("zero planes exceed M_b".into()));
+        }
+        let num_planes = (mp - blk.zero_planes) as u8;
+        if num_planes > 31 {
+            return Err(CodecError::Codestream(format!(
+                "implausible bit-plane count {num_planes}"
+            )));
+        }
+        let layer_idx = max_layers.min(blk.layer_passes.len());
+        let num_passes = if layer_idx == 0 {
+            0
+        } else {
+            blk.layer_passes[layer_idx - 1]
+        };
+        let mut pass_ends = Vec::with_capacity(blk.pass_lens.len());
+        let mut acc = 0usize;
+        for &l in &blk.pass_lens {
+            acc += l;
+            pass_ends.push(acc);
+        }
+        let vals = decode_block_opts(
+            &blk.data,
+            &pass_ends,
+            num_passes,
+            bw,
+            bh,
+            band_kind(b.band),
+            num_planes,
+            !hdr.lossless,
+            hdr.bypass,
+        );
+        for y in 0..bh {
+            for x in 0..bw {
+                indices[blk.comp].set(x0 + x, y0 + y, vals[y * bw + x]);
+            }
+        }
+    }
+
+    let depth = hdr.depth;
+    let shift = 1i32 << (depth - 1);
+    let maxv = ((1u32 << depth) - 1) as i32;
+    // Output dimensions after discarding the finest resolution levels.
+    let discard = discard_levels.min(hdr.levels);
+    let (ow, oh) = {
+        let (mut cw, mut ch) = (w, h);
+        for _ in 0..discard {
+            cw = low_len(cw);
+            ch = low_len(ch);
+        }
+        (cw, ch)
+    };
+    let mut out = Image::new(ow, oh, hdr.comps, depth)
+        .map_err(|e| CodecError::Codestream(e.to_string()))?;
+
+    if hdr.lossless {
+        let mut planes = indices;
+        for p in &mut planes {
+            wavelet::transform2d::inverse_2d_53_partial(p, hdr.levels, discard);
+        }
+        let mut planes: Vec<AlignedPlane<i32>> =
+            planes.iter().map(|p| crop(p, ow, oh)).collect();
+        if hdr.mct && hdr.comps == 3 {
+            mct::inverse_rct_shift(&mut planes, shift);
+        } else {
+            for p in &mut planes {
+                mct::level_unshift(p, shift);
+            }
+        }
+        for (c, p) in planes.iter().enumerate() {
+            for y in 0..oh {
+                for x in 0..ow {
+                    out.planes[c][y * ow + x] = p.get(x, y).clamp(0, maxv) as u16;
+                }
+            }
+        }
+        return Ok(out);
+    }
+
+    // Lossy: dequantize then inverse 9/7.
+    let steps = match &hdr.quant {
+        Quant::Scalar(s) => s.clone(),
+        Quant::Reversible(_) => {
+            return Err(CodecError::Codestream("lossy stream with reversible quant".into()))
+        }
+    };
+    let mut planes: Vec<AlignedPlane<f32>> = (0..hdr.comps)
+        .map(|_| AlignedPlane::new(w, h).map_err(|e| CodecError::Codestream(e.to_string())))
+        .collect::<Result<_, _>>()?;
+    for (bi, b) in bands.iter().enumerate() {
+        let step = steps
+            .get(bi)
+            .ok_or_else(|| CodecError::Codestream("missing band step".into()))?;
+        let r_bits = depth as i32 + b.band.gain_log2() as i32;
+        let delta = step.delta(r_bits);
+        for c in 0..hdr.comps {
+            for y in b.y0..b.y0 + b.h {
+                for x in b.x0..b.x0 + b.w {
+                    planes[c].set(x, y, dequantize(indices[c].get(x, y), delta));
+                }
+            }
+        }
+    }
+    match hdr.arithmetic {
+        Arithmetic::Float32 => {
+            for p in &mut planes {
+                wavelet::transform2d::inverse_2d_97_partial(p, hdr.levels, discard);
+            }
+        }
+        Arithmetic::FixedQ13 => {
+            // The fixed inverse has no partial variant; reduced-resolution
+            // decode of a fixed-point stream falls back to full inversion
+            // followed by DWT-domain cropping via the f32 path.
+            let mut q13: Vec<AlignedPlane<i32>> = planes
+                .iter()
+                .map(|p| p.map(|v| (v * 8192.0).round() as i32))
+                .collect();
+            for p in &mut q13 {
+                wavelet::transform2d::inverse_2d_97_fixed(p, hdr.levels);
+            }
+            planes = q13.iter().map(|p| p.map(|v| v as f32 / 8192.0)).collect();
+            if discard > 0 {
+                for p in &mut planes {
+                    wavelet::forward_2d_97(p, discard, wavelet::VerticalVariant::Merged);
+                }
+            }
+        }
+    }
+    let planes: Vec<AlignedPlane<f32>> = planes.iter().map(|p| crop(p, ow, oh)).collect();
+    let int_planes: Vec<AlignedPlane<i32>> = if hdr.mct && hdr.comps == 3 {
+        mct::inverse_ict_shift(&planes, shift as f32)
+    } else {
+        planes
+            .iter()
+            .map(|p| {
+                let mut q = p.to_i32_rounded();
+                mct::level_unshift(&mut q, shift);
+                q
+            })
+            .collect()
+    };
+    for (c, p) in int_planes.iter().enumerate() {
+        for y in 0..oh {
+            for x in 0..ow {
+                out.planes[c][y * ow + x] = p.get(x, y).clamp(0, maxv) as u16;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Copy the top-left `cw x ch` region of a plane (no-op-sized copy when
+/// the geometry already matches).
+fn crop<T: Copy + Default>(p: &AlignedPlane<T>, cw: usize, ch: usize) -> AlignedPlane<T> {
+    if cw == p.width() && ch == p.height() {
+        return p.clone();
+    }
+    let mut out = AlignedPlane::<T>::new(cw, ch).expect("crop geometry");
+    for y in 0..ch {
+        out.row_mut(y).copy_from_slice(&p.row(y)[..cw]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imgio::synth;
+
+    #[test]
+    fn lossless_roundtrip_gray() {
+        let im = synth::natural(96, 64, 7);
+        let bytes = encode(&im, &EncoderParams::lossless()).unwrap();
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back, im);
+    }
+
+    #[test]
+    fn lossless_roundtrip_rgb() {
+        let im = synth::natural_rgb(64, 48, 3);
+        let params = EncoderParams { levels: 3, cb_size: 32, ..EncoderParams::lossless() };
+        let bytes = encode(&im, &params).unwrap();
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back, im);
+    }
+
+    #[test]
+    fn lossless_compresses_natural_images() {
+        let im = synth::natural(128, 128, 9);
+        let bytes = encode(&im, &EncoderParams::lossless()).unwrap();
+        assert!(
+            bytes.len() < im.raw_bytes() * 8 / 10,
+            "{} vs raw {}",
+            bytes.len(),
+            im.raw_bytes()
+        );
+    }
+
+    #[test]
+    fn lossy_rate_is_respected_and_quality_reasonable() {
+        let im = synth::natural(128, 128, 11);
+        for rate in [0.5, 0.25, 0.1] {
+            let bytes = encode(&im, &EncoderParams::lossy(rate)).unwrap();
+            let limit = (im.raw_bytes() as f64 * rate) as usize;
+            assert!(bytes.len() <= limit + 64, "rate {rate}: {} > {limit}", bytes.len());
+            let back = decode(&bytes).unwrap();
+            let p = imgio::psnr(&im, &back).unwrap();
+            assert!(p > 24.0, "rate {rate}: psnr {p}");
+        }
+    }
+
+    #[test]
+    fn lossy_quality_monotone_in_rate() {
+        let im = synth::natural(96, 96, 5);
+        let mut prev = 0.0;
+        for rate in [0.05, 0.15, 0.5] {
+            let bytes = encode(&im, &EncoderParams::lossy(rate)).unwrap();
+            let back = decode(&bytes).unwrap();
+            let p = imgio::psnr(&im, &back).unwrap();
+            assert!(p >= prev - 0.2, "rate {rate}: {p} < {prev}");
+            prev = p;
+        }
+    }
+
+    #[test]
+    fn fixed_point_path_works() {
+        let im = synth::natural(64, 64, 2);
+        let params = EncoderParams {
+            arithmetic: Arithmetic::FixedQ13,
+            ..EncoderParams::lossy(0.3)
+        };
+        let bytes = encode(&im, &params).unwrap();
+        let back = decode(&bytes).unwrap();
+        let p = imgio::psnr(&im, &back).unwrap();
+        assert!(p > 25.0, "fixed-point psnr {p}");
+    }
+
+    #[test]
+    fn fixed_and_float_agree_closely() {
+        let im = synth::natural(64, 64, 4);
+        let pf = EncoderParams::lossy(0.4);
+        let pq = EncoderParams { arithmetic: Arithmetic::FixedQ13, ..pf };
+        let f = decode(&encode(&im, &pf).unwrap()).unwrap();
+        let q = decode(&encode(&im, &pq).unwrap()).unwrap();
+        let p = imgio::psnr(&f, &q).unwrap();
+        assert!(p > 35.0, "float-vs-fixed psnr {p}");
+    }
+
+    #[test]
+    fn progressive_layer_decode_improves_quality() {
+        let im = synth::natural(96, 96, 44);
+        let params = EncoderParams { layers: 4, ..EncoderParams::lossy(0.4) };
+        let bytes = encode(&im, &params).unwrap();
+        let mut prev = 0.0f64;
+        for l in 1..=4 {
+            let partial = decode_layers(&bytes, l).unwrap();
+            let p = imgio::psnr(&im, &partial).unwrap();
+            assert!(p >= prev - 0.01, "layer {l}: {p} < {prev}");
+            prev = p;
+        }
+        // Full decode equals decode of all layers.
+        assert_eq!(decode(&bytes).unwrap(), decode_layers(&bytes, 4).unwrap());
+        assert!(prev > 25.0, "final quality {prev}");
+    }
+
+    #[test]
+    fn resolution_progressive_decode() {
+        let im = synth::natural(64, 48, 12);
+        let bytes = encode(&im, &EncoderParams { levels: 3, ..Default::default() }).unwrap();
+        // Full resolution = normal decode.
+        assert_eq!(decode_resolution(&bytes, 0).unwrap(), im);
+        // Each discarded level halves the dimensions (ceil).
+        let half = decode_resolution(&bytes, 1).unwrap();
+        assert_eq!((half.width, half.height), (32, 24));
+        let eighth = decode_resolution(&bytes, 3).unwrap();
+        assert_eq!((eighth.width, eighth.height), (8, 6));
+        // Discarding more than `levels` clamps to the deepest LL.
+        let floor = decode_resolution(&bytes, 99).unwrap();
+        assert_eq!((floor.width, floor.height), (8, 6));
+        // The reduced image is a low-pass version: its mean tracks the
+        // original's mean closely.
+        let mean = |im: &Image| {
+            im.planes[0].iter().map(|&v| v as f64).sum::<f64>() / im.planes[0].len() as f64
+        };
+        assert!((mean(&half) - mean(&im)).abs() < 8.0);
+    }
+
+    #[test]
+    fn resolution_progressive_decode_lossy_rgb() {
+        let im = synth::natural_rgb(64, 64, 9);
+        let bytes = encode(&im, &EncoderParams { levels: 3, ..EncoderParams::lossy(0.5) }).unwrap();
+        let half = decode_resolution(&bytes, 1).unwrap();
+        assert_eq!((half.width, half.height, half.comps()), (32, 32, 3));
+        // Downscale the original by simple 2x2 averaging and compare: the
+        // DWT LL is a (better) low-pass of the same content.
+        let mut ds = Image::new(32, 32, 3, 8).unwrap();
+        for c in 0..3 {
+            for y in 0..32 {
+                for x in 0..32 {
+                    let s: u32 = [(0, 0), (1, 0), (0, 1), (1, 1)]
+                        .iter()
+                        .map(|&(dx, dy)| im.get(c, 2 * x + dx, 2 * y + dy) as u32)
+                        .sum();
+                    ds.set(c, x, y, (s / 4) as u16);
+                }
+            }
+        }
+        let p = imgio::psnr(&ds, &half).unwrap();
+        assert!(p > 20.0, "half-res vs box-downscale PSNR {p}");
+    }
+
+    #[test]
+    fn zero_layers_decodes_to_flat_image() {
+        let im = synth::natural(32, 32, 1);
+        let bytes = encode(&im, &EncoderParams::lossless()).unwrap();
+        let flat = decode_layers(&bytes, 0).unwrap();
+        assert_eq!(flat.width, 32);
+        // All coefficients dropped: the reconstruction is the level-shift
+        // midpoint everywhere.
+        assert!(flat.planes[0].iter().all(|&v| v == flat.planes[0][0]));
+    }
+
+    #[test]
+    fn bypass_mode_roundtrips_and_is_signalled() {
+        let im = synth::natural(96, 96, 61);
+        let params = EncoderParams { bypass: true, ..EncoderParams::lossless() };
+        let bytes = encode(&im, &params).unwrap();
+        assert_eq!(decode(&bytes).unwrap(), im);
+        let parsed = codestream::parse(&bytes).unwrap();
+        assert!(parsed.header.bypass);
+        // Lossy bypass too.
+        let params = EncoderParams { bypass: true, ..EncoderParams::lossy(0.2) };
+        let bytes = encode(&im, &params).unwrap();
+        let back = decode(&bytes).unwrap();
+        assert!(imgio::psnr(&im, &back).unwrap() > 25.0);
+    }
+
+    #[test]
+    fn multi_layer_lossless_roundtrip() {
+        let im = synth::natural(48, 48, 6);
+        let params = EncoderParams { layers: 3, levels: 3, ..EncoderParams::lossless() };
+        let bytes = encode(&im, &params).unwrap();
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back, im);
+    }
+
+    #[test]
+    fn all_variants_and_sizes_agree() {
+        use wavelet::VerticalVariant;
+        let im = synth::natural(33, 41, 8);
+        let base = EncoderParams { levels: 2, ..EncoderParams::lossless() };
+        let reference = encode(&im, &base).unwrap();
+        for variant in [
+            VerticalVariant::Separate,
+            VerticalVariant::Interleaved,
+            VerticalVariant::Merged,
+        ] {
+            let p = EncoderParams { variant, ..base };
+            assert_eq!(encode(&im, &p).unwrap(), reference, "{variant:?}");
+        }
+    }
+
+    #[test]
+    fn profile_measures_real_work() {
+        let im = synth::natural(64, 64, 1);
+        let (bytes, prof) = encode_with_profile(&im, &EncoderParams::lossless()).unwrap();
+        assert_eq!(prof.output_bytes as usize, bytes.len());
+        assert!(prof.tier1_symbols() > prof.samples, "EBCOT codes >1 decision/sample");
+        assert_eq!(prof.samples, 64 * 64);
+        assert_eq!(prof.rate_control_items, 0);
+        assert!(!prof.blocks.is_empty());
+        let (_, lossy_prof) =
+            encode_with_profile(&im, &EncoderParams::lossy(0.2)).unwrap();
+        assert!(lossy_prof.rate_control_items > 0);
+    }
+
+    #[test]
+    fn extreme_images_roundtrip_lossless() {
+        for im in [
+            synth::flat(32, 32, 0),
+            synth::flat(32, 32, 255),
+            synth::checkerboard(33, 31, 1),
+            synth::noise(40, 40, 1),
+            synth::gradient(17, 64),
+        ] {
+            let bytes = encode(&im, &EncoderParams { levels: 3, ..Default::default() }).unwrap();
+            let back = decode(&bytes).unwrap();
+            assert_eq!(back, im);
+        }
+    }
+
+    #[test]
+    fn tiny_images_roundtrip() {
+        for (w, h) in [(1usize, 1usize), (2, 2), (1, 17), (16, 1), (5, 5)] {
+            let mut im = Image::new(w, h, 1, 8).unwrap();
+            for (i, v) in im.planes[0].iter_mut().enumerate() {
+                *v = ((i * 37) % 256) as u16;
+            }
+            let params = EncoderParams { levels: 1, ..EncoderParams::lossless() };
+            let back = decode(&encode(&im, &params).unwrap()).unwrap();
+            assert_eq!(back, im, "{w}x{h}");
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Dead-zone scalar quantization and step-size signalling (Annex E).
+
+use wavelet::Band;
+
+/// Number of guard bits signalled in QCD.
+pub const GUARD_BITS: u8 = 3;
+
+/// A quantization step size in the standard's (exponent, mantissa) form:
+/// `delta = 2^(R - exponent) * (1 + mantissa / 2^11)` where `R` is the
+/// band's nominal dynamic range in bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepSize {
+    /// 5-bit exponent.
+    pub exponent: u8,
+    /// 11-bit mantissa.
+    pub mantissa: u16,
+}
+
+impl StepSize {
+    /// Encode a real step size relative to dynamic range `r_bits`.
+    /// The value is clamped into the representable range.
+    pub fn from_delta(delta: f64, r_bits: i32) -> StepSize {
+        let delta = delta.max(1e-12);
+        // delta = 2^(r - e) * (1 + m/2048)  =>  log2(delta) - r = -e + log2(1+m/2048)
+        let t = delta.log2() - r_bits as f64;
+        let mut e = (-t).ceil() as i32;
+        let mut frac = delta / f64::powi(2.0, r_bits - e) - 1.0;
+        if frac < 0.0 {
+            e += 1;
+            frac = delta / f64::powi(2.0, r_bits - e) - 1.0;
+        }
+        let e = e.clamp(0, 31);
+        let m = ((frac * 2048.0).round() as i64).clamp(0, 2047);
+        StepSize { exponent: e as u8, mantissa: m as u16 }
+    }
+
+    /// The real step size for dynamic range `r_bits`.
+    pub fn delta(&self, r_bits: i32) -> f64 {
+        f64::powi(2.0, r_bits - self.exponent as i32)
+            * (1.0 + self.mantissa as f64 / 2048.0)
+    }
+
+    /// Pack as the QCD 16-bit field.
+    pub fn pack(&self) -> u16 {
+        ((self.exponent as u16) << 11) | self.mantissa
+    }
+
+    /// Unpack from the QCD 16-bit field.
+    pub fn unpack(v: u16) -> StepSize {
+        StepSize { exponent: (v >> 11) as u8, mantissa: v & 0x7FF }
+    }
+}
+
+/// Choose the step size for a band: `base_step / basis norm`, so a unit
+/// quantization error costs the same image-domain MSE in every band.
+pub fn band_delta(base_step: f64, band: Band, level: usize) -> f64 {
+    base_step / wavelet::norms::l2_norm_97(band, level)
+}
+
+/// Dead-zone quantizer: `q = sign(v) * floor(|v| / delta)`.
+#[inline]
+pub fn quantize(v: f32, delta: f64) -> i32 {
+    let q = (v.abs() as f64 / delta) as i64;
+    let q = q.clamp(0, i32::MAX as i64) as i32;
+    if v < 0.0 {
+        -q
+    } else {
+        q
+    }
+}
+
+/// Mid-point dequantizer (reconstruction parameter 1/2).
+#[inline]
+pub fn dequantize(q: i32, delta: f64) -> f32 {
+    if q == 0 {
+        0.0
+    } else {
+        let m = q.unsigned_abs() as f64 + 0.5;
+        let v = m * delta;
+        if q < 0 {
+            -v as f32
+        } else {
+            v as f32
+        }
+    }
+}
+
+/// Maximum magnitude bit planes for a band with the signalled exponent:
+/// `M_b = guard + exponent - 1` (Annex E equation E-2).
+pub fn max_bitplanes(exponent: u8) -> u8 {
+    GUARD_BITS + exponent - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stepsize_roundtrips_through_packing() {
+        for (delta, r) in [(0.5f64, 9), (0.001, 10), (2.0, 8), (0.125, 12)] {
+            let s = StepSize::from_delta(delta, r);
+            let s2 = StepSize::unpack(s.pack());
+            assert_eq!(s, s2);
+            let back = s2.delta(r);
+            assert!(
+                (back / delta - 1.0).abs() < 1e-3,
+                "delta {delta} r {r}: back {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn stepsize_representation_error_is_small() {
+        for i in 1..100 {
+            let delta = i as f64 * 0.013;
+            let s = StepSize::from_delta(delta, 10);
+            let back = s.delta(10);
+            assert!((back / delta - 1.0).abs() < 1.0 / 2048.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn quantize_dequantize_bounds() {
+        let delta = 0.75;
+        for v in [-100.5f32, -1.0, -0.2, 0.0, 0.2, 0.74, 0.76, 3.0, 1000.0] {
+            let q = quantize(v, delta);
+            let r = dequantize(q, delta);
+            if q != 0 {
+                // Mid-point reconstruction error < delta/2.
+                assert!((r - v).abs() <= delta as f32 / 2.0 + 1e-5, "v={v} q={q} r={r}");
+            } else {
+                assert!(v.abs() < delta as f32);
+                assert_eq!(r, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_sign_symmetry() {
+        for v in [0.3f32, 1.7, 99.2] {
+            assert_eq!(quantize(v, 0.5), -quantize(-v, 0.5));
+        }
+    }
+
+    #[test]
+    fn band_deltas_grow_with_depth() {
+        // Deeper bands have larger basis norms, hence smaller deltas.
+        let d1 = band_delta(1.0, Band::HH, 1);
+        let d3 = band_delta(1.0, Band::HH, 3);
+        assert!(d3 < d1);
+    }
+
+    #[test]
+    fn max_bitplanes_formula() {
+        assert_eq!(max_bitplanes(10), GUARD_BITS + 9);
+    }
+}

@@ -1,0 +1,1039 @@
+//! Tier-1 code-block coder and decoder (JPEG2000 Annex D).
+//!
+//! Coefficients are coded in sign-magnitude form, bit-plane by bit-plane,
+//! most significant plane first. Each plane below the first runs three
+//! passes — significance propagation, magnitude refinement, cleanup — and
+//! every pass ends with an MQ termination (the standard's TERMALL /
+//! RESTART style), so truncation at any pass boundary is *exact*: rate
+//! control can drop a suffix of passes and the decoder reconstructs the
+//! included prefix bit-for-bit.
+//!
+//! The coder also measures, per pass, the byte cost, the estimated
+//! distortion reduction (for PCRD), and the MQ decision count (the Tier-1
+//! work items consumed by the `cellsim` cost model).
+
+use crate::context::{
+    initial_contexts, mr_context, sc_context, zc_context, CTX_RL, CTX_UNI,
+};
+use mqcoder::{Contexts, MqDecoder, MqEncoder, RawDecoder, RawEncoder};
+
+/// Band class for context selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BandKind {
+    /// LL and LH (vertically low-pass) bands share one table.
+    LlLh,
+    /// HL: horizontally high-pass (h/v roles swap).
+    Hl,
+    /// HH: diagonally oriented.
+    Hh,
+}
+
+/// Coding pass type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PassType {
+    /// Significance propagation.
+    SigProp,
+    /// Magnitude refinement.
+    MagRef,
+    /// Cleanup.
+    Cleanup,
+}
+
+/// Bookkeeping for one coding pass.
+#[derive(Debug, Clone)]
+pub struct PassInfo {
+    /// Pass type.
+    pub pass_type: PassType,
+    /// Bit-plane index (0 = least significant).
+    pub plane: u8,
+    /// Cumulative compressed bytes through the end of this pass.
+    pub rate_bytes: usize,
+    /// Estimated distortion reduction of this pass, in (quantizer-index)^2
+    /// units; multiply by (step * L2 basis norm)^2 to get image-domain MSE.
+    pub dist_reduction: f64,
+    /// MQ decisions coded in this pass (Tier-1 work items).
+    pub symbols: u64,
+}
+
+/// Output of [`encode_block`].
+#[derive(Debug, Clone)]
+pub struct EncodedBlock {
+    /// Concatenated per-pass MQ segments.
+    pub data: Vec<u8>,
+    /// Byte offset of the end of each pass's segment within `data`.
+    pub pass_ends: Vec<usize>,
+    /// Per-pass metadata (same length as `pass_ends`).
+    pub passes: Vec<PassInfo>,
+    /// Number of coded magnitude bit-planes (0 for an all-zero block).
+    pub num_planes: u8,
+    /// Block width.
+    pub w: usize,
+    /// Block height.
+    pub h: usize,
+}
+
+impl EncodedBlock {
+    /// Total MQ decisions across passes.
+    pub fn total_symbols(&self) -> u64 {
+        self.passes.iter().map(|p| p.symbols).sum()
+    }
+
+    /// Bytes if truncated to the first `n` passes.
+    pub fn bytes_for_passes(&self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            self.pass_ends[n.min(self.pass_ends.len()) - 1]
+        }
+    }
+}
+
+const SIG: u8 = 1;
+const VISITED: u8 = 2;
+const REFINED: u8 = 4;
+const NEG: u8 = 8;
+
+/// Shared significance/sign state grid with border handling.
+struct Grid {
+    w: usize,
+    h: usize,
+    flags: Vec<u8>,
+}
+
+impl Grid {
+    fn new(w: usize, h: usize) -> Self {
+        Grid { w, h, flags: vec![0; w * h] }
+    }
+
+    #[inline]
+    fn f(&self, x: isize, y: isize) -> u8 {
+        if x < 0 || y < 0 || x >= self.w as isize || y >= self.h as isize {
+            0
+        } else {
+            self.flags[y as usize * self.w + x as usize]
+        }
+    }
+
+    #[inline]
+    fn get(&self, x: usize, y: usize) -> u8 {
+        self.flags[y * self.w + x]
+    }
+
+    #[inline]
+    fn set(&mut self, x: usize, y: usize, bit: u8) {
+        self.flags[y * self.w + x] |= bit;
+    }
+
+    /// (horizontal, vertical, diagonal) significant-neighbor counts.
+    #[inline]
+    fn counts(&self, x: usize, y: usize) -> (u32, u32, u32) {
+        let (x, y) = (x as isize, y as isize);
+        let s = |dx: isize, dy: isize| u32::from(self.f(x + dx, y + dy) & SIG != 0);
+        let h = s(-1, 0) + s(1, 0);
+        let v = s(0, -1) + s(0, 1);
+        let d = s(-1, -1) + s(1, -1) + s(-1, 1) + s(1, 1);
+        (h, v, d)
+    }
+
+    /// Clamped sign contributions (hc, vc) of significant neighbors.
+    #[inline]
+    fn sign_contrib(&self, x: usize, y: usize) -> (i32, i32) {
+        let (x, y) = (x as isize, y as isize);
+        let c = |dx: isize, dy: isize| -> i32 {
+            let f = self.f(x + dx, y + dy);
+            if f & SIG == 0 {
+                0
+            } else if f & NEG != 0 {
+                -1
+            } else {
+                1
+            }
+        };
+        let hc = (c(-1, 0) + c(1, 0)).clamp(-1, 1);
+        let vc = (c(0, -1) + c(0, 1)).clamp(-1, 1);
+        (hc, vc)
+    }
+
+    fn clear_visited(&mut self) {
+        for f in &mut self.flags {
+            *f &= !VISITED;
+        }
+    }
+}
+
+fn num_planes_of(mags: &[u32]) -> u8 {
+    let max = mags.iter().copied().max().unwrap_or(0);
+    (32 - max.leading_zeros()) as u8
+}
+
+/// Distortion-reduction estimate when a sample becomes significant at
+/// plane `p` (reconstruction moves from 0 to the interval midpoint).
+#[inline]
+fn d_sig(p: u8) -> f64 {
+    2.25 * f64::powi(4.0, p as i32)
+}
+
+/// Distortion-reduction estimate for one refinement bit at plane `p`
+/// (uncertainty interval halves).
+#[inline]
+fn d_ref(p: u8) -> f64 {
+    0.25 * f64::powi(4.0, p as i32)
+}
+
+/// True when a pass is raw-coded under selective arithmetic-coding bypass
+/// (Annex D.5): significance-propagation and magnitude-refinement passes
+/// below the four most significant bit planes skip the MQ coder.
+#[inline]
+pub fn pass_is_raw(bypass: bool, pt: PassType, plane: u8, num_planes: u8) -> bool {
+    bypass && pt != PassType::Cleanup && plane + 4 < num_planes
+}
+
+/// Encode one code block of signed quantizer indices.
+pub fn encode_block(data: &[i32], w: usize, h: usize, kind: BandKind) -> EncodedBlock {
+    encode_block_opts(data, w, h, kind, false)
+}
+
+/// [`encode_block`] with the selective arithmetic-coding-bypass option
+/// ("lazy" mode): cheaper Tier-1 at a small rate cost.
+pub fn encode_block_opts(
+    data: &[i32],
+    w: usize,
+    h: usize,
+    kind: BandKind,
+    bypass: bool,
+) -> EncodedBlock {
+    assert_eq!(data.len(), w * h, "block data size");
+    let mags: Vec<u32> = data.iter().map(|&v| v.unsigned_abs()).collect();
+    let num_planes = num_planes_of(&mags);
+    let mut blk = EncodedBlock {
+        data: Vec::new(),
+        pass_ends: Vec::new(),
+        passes: Vec::new(),
+        num_planes,
+        w,
+        h,
+    };
+    if num_planes == 0 {
+        return blk;
+    }
+    let mut grid = Grid::new(w, h);
+    for (i, &v) in data.iter().enumerate() {
+        if v < 0 {
+            grid.flags[i] |= NEG;
+        }
+    }
+    let mut ctxs = initial_contexts();
+
+    for plane in (0..num_planes).rev() {
+        let first = plane == num_planes - 1;
+        let passes: &[PassType] = if first {
+            &[PassType::Cleanup]
+        } else {
+            &[PassType::SigProp, PassType::MagRef, PassType::Cleanup]
+        };
+        for &pt in passes {
+            let mut dist = 0.0f64;
+            let (seg, symbols) = if pass_is_raw(bypass, pt, plane, num_planes) {
+                let mut enc = RawEncoder::new();
+                let symbols = match pt {
+                    PassType::SigProp => {
+                        sig_prop_enc_raw(&mut enc, &mut grid, &mags, plane, kind, &mut dist)
+                    }
+                    PassType::MagRef => {
+                        mag_ref_enc_raw(&mut enc, &mut grid, &mags, plane, &mut dist)
+                    }
+                    PassType::Cleanup => unreachable!("cleanup is never raw"),
+                };
+                (enc.finish(), symbols)
+            } else {
+                let mut enc = MqEncoder::new();
+                match pt {
+                    PassType::SigProp => sig_prop_enc(
+                        &mut enc, &mut ctxs, &mut grid, &mags, plane, kind, &mut dist,
+                    ),
+                    PassType::MagRef => {
+                        mag_ref_enc(&mut enc, &mut ctxs, &mut grid, &mags, plane, &mut dist)
+                    }
+                    PassType::Cleanup => {
+                        cleanup_enc(&mut enc, &mut ctxs, &mut grid, &mags, plane, kind, &mut dist);
+                        grid.clear_visited();
+                    }
+                }
+                let symbols = enc.symbols();
+                (enc.finish(), symbols)
+            };
+            blk.data.extend_from_slice(&seg);
+            blk.pass_ends.push(blk.data.len());
+            blk.passes.push(PassInfo {
+                pass_type: pt,
+                plane,
+                rate_bytes: blk.data.len(),
+                dist_reduction: dist,
+                symbols,
+            });
+        }
+    }
+    blk
+}
+
+fn stripe_rows(h: usize, y0: usize) -> usize {
+    (h - y0).min(4)
+}
+
+fn code_sign_enc(enc: &mut MqEncoder, ctxs: &mut Contexts, grid: &Grid, x: usize, y: usize) {
+    let (hc, vc) = grid.sign_contrib(x, y);
+    let (cx, xor) = sc_context(hc, vc);
+    let neg = u8::from(grid.get(x, y) & NEG != 0);
+    enc.encode(ctxs, cx, neg ^ xor);
+}
+
+fn sig_prop_enc(
+    enc: &mut MqEncoder,
+    ctxs: &mut Contexts,
+    grid: &mut Grid,
+    mags: &[u32],
+    plane: u8,
+    kind: BandKind,
+    dist: &mut f64,
+) {
+    let (w, h) = (grid.w, grid.h);
+    let mut y0 = 0;
+    while y0 < h {
+        for x in 0..w {
+            for y in y0..y0 + stripe_rows(h, y0) {
+                let f = grid.get(x, y);
+                if f & SIG != 0 {
+                    continue;
+                }
+                let (hc, vc, dc) = grid.counts(x, y);
+                let cx = zc_context(kind, hc, vc, dc);
+                if cx == 0 {
+                    continue; // not in the preferred neighborhood
+                }
+                let bit = ((mags[y * w + x] >> plane) & 1) as u8;
+                enc.encode(ctxs, cx, bit);
+                grid.set(x, y, VISITED);
+                if bit == 1 {
+                    code_sign_enc(enc, ctxs, grid, x, y);
+                    grid.set(x, y, SIG);
+                    *dist += d_sig(plane);
+                }
+            }
+        }
+        y0 += 4;
+    }
+}
+
+fn mag_ref_enc(
+    enc: &mut MqEncoder,
+    ctxs: &mut Contexts,
+    grid: &mut Grid,
+    mags: &[u32],
+    plane: u8,
+    dist: &mut f64,
+) {
+    let (w, h) = (grid.w, grid.h);
+    let mut y0 = 0;
+    while y0 < h {
+        for x in 0..w {
+            for y in y0..y0 + stripe_rows(h, y0) {
+                let f = grid.get(x, y);
+                if f & SIG == 0 || f & VISITED != 0 {
+                    continue;
+                }
+                let (hc, vc, dc) = grid.counts(x, y);
+                let cx = mr_context(f & REFINED == 0, hc + vc + dc > 0);
+                let bit = ((mags[y * w + x] >> plane) & 1) as u8;
+                enc.encode(ctxs, cx, bit);
+                grid.set(x, y, REFINED);
+                *dist += d_ref(plane);
+            }
+        }
+        y0 += 4;
+    }
+}
+
+/// Raw (bypass) significance propagation: same membership rule as the MQ
+/// pass, but bits and signs are emitted uncoded. Returns bits emitted.
+fn sig_prop_enc_raw(
+    enc: &mut RawEncoder,
+    grid: &mut Grid,
+    mags: &[u32],
+    plane: u8,
+    kind: BandKind,
+    dist: &mut f64,
+) -> u64 {
+    let (w, h) = (grid.w, grid.h);
+    let mut bits = 0u64;
+    let mut y0 = 0;
+    while y0 < h {
+        for x in 0..w {
+            for y in y0..y0 + stripe_rows(h, y0) {
+                let f = grid.get(x, y);
+                if f & SIG != 0 {
+                    continue;
+                }
+                let (hc, vc, dc) = grid.counts(x, y);
+                if zc_context(kind, hc, vc, dc) == 0 {
+                    continue;
+                }
+                let bit = ((mags[y * w + x] >> plane) & 1) as u8;
+                enc.put(bit);
+                bits += 1;
+                grid.set(x, y, VISITED);
+                if bit == 1 {
+                    enc.put(u8::from(f & NEG != 0));
+                    bits += 1;
+                    grid.set(x, y, SIG);
+                    *dist += d_sig(plane);
+                }
+            }
+        }
+        y0 += 4;
+    }
+    bits
+}
+
+/// Raw (bypass) magnitude refinement. Returns bits emitted.
+fn mag_ref_enc_raw(
+    enc: &mut RawEncoder,
+    grid: &mut Grid,
+    mags: &[u32],
+    plane: u8,
+    dist: &mut f64,
+) -> u64 {
+    let (w, h) = (grid.w, grid.h);
+    let mut bits = 0u64;
+    let mut y0 = 0;
+    while y0 < h {
+        for x in 0..w {
+            for y in y0..y0 + stripe_rows(h, y0) {
+                let f = grid.get(x, y);
+                if f & SIG == 0 || f & VISITED != 0 {
+                    continue;
+                }
+                enc.put(((mags[y * w + x] >> plane) & 1) as u8);
+                bits += 1;
+                grid.set(x, y, REFINED);
+                *dist += d_ref(plane);
+            }
+        }
+        y0 += 4;
+    }
+    bits
+}
+
+fn cleanup_enc(
+    enc: &mut MqEncoder,
+    ctxs: &mut Contexts,
+    grid: &mut Grid,
+    mags: &[u32],
+    plane: u8,
+    kind: BandKind,
+    dist: &mut f64,
+) {
+    let (w, h) = (grid.w, grid.h);
+    let mut y0 = 0;
+    while y0 < h {
+        let rows = stripe_rows(h, y0);
+        for x in 0..w {
+            let mut start_row = 0usize;
+            // Run mode: full stripe column, all uncoded, all zero-context.
+            let run_ok = rows == 4
+                && (0..4).all(|r| {
+                    let y = y0 + r;
+                    let f = grid.get(x, y);
+                    f & (SIG | VISITED) == 0 && {
+                        let (hc, vc, dc) = grid.counts(x, y);
+                        zc_context(kind, hc, vc, dc) == 0
+                    }
+                });
+            if run_ok {
+                let first_sig =
+                    (0..4).find(|&r| (mags[(y0 + r) * w + x] >> plane) & 1 == 1);
+                match first_sig {
+                    None => {
+                        enc.encode(ctxs, CTX_RL, 0);
+                        continue;
+                    }
+                    Some(r) => {
+                        enc.encode(ctxs, CTX_RL, 1);
+                        enc.encode(ctxs, CTX_UNI, ((r >> 1) & 1) as u8);
+                        enc.encode(ctxs, CTX_UNI, (r & 1) as u8);
+                        let y = y0 + r;
+                        code_sign_enc(enc, ctxs, grid, x, y);
+                        grid.set(x, y, SIG);
+                        *dist += d_sig(plane);
+                        start_row = r + 1;
+                    }
+                }
+            }
+            for r in start_row..rows {
+                let y = y0 + r;
+                let f = grid.get(x, y);
+                if f & (SIG | VISITED) != 0 {
+                    continue;
+                }
+                let (hc, vc, dc) = grid.counts(x, y);
+                let cx = zc_context(kind, hc, vc, dc);
+                let bit = ((mags[y * w + x] >> plane) & 1) as u8;
+                enc.encode(ctxs, cx, bit);
+                if bit == 1 {
+                    code_sign_enc(enc, ctxs, grid, x, y);
+                    grid.set(x, y, SIG);
+                    *dist += d_sig(plane);
+                }
+            }
+        }
+        y0 += 4;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoder
+// ---------------------------------------------------------------------------
+
+fn code_sign_dec(
+    dec: &mut MqDecoder<'_>,
+    ctxs: &mut Contexts,
+    grid: &mut Grid,
+    x: usize,
+    y: usize,
+) {
+    let (hc, vc) = grid.sign_contrib(x, y);
+    let (cx, xor) = sc_context(hc, vc);
+    let bit = dec.decode(ctxs, cx) ^ xor;
+    if bit == 1 {
+        grid.set(x, y, NEG);
+    }
+}
+
+/// Decode the first `num_passes` passes of a block coded by
+/// [`encode_block`]. `pass_ends` are the per-pass segment ends (as in
+/// [`EncodedBlock::pass_ends`], possibly truncated); `data` must contain at
+/// least `pass_ends[num_passes - 1]` bytes.
+///
+/// When `midpoint` is set, partially decoded magnitudes are reconstructed
+/// at the midpoint of their uncertainty interval (standard lossy decoder
+/// behavior); exact lossless reconstruction requires all passes and
+/// `midpoint = false` (the adjustment would be zero anyway at plane 0).
+#[allow(clippy::too_many_arguments)]
+pub fn decode_block(
+    data: &[u8],
+    pass_ends: &[usize],
+    num_passes: usize,
+    w: usize,
+    h: usize,
+    kind: BandKind,
+    num_planes: u8,
+    midpoint: bool,
+) -> Vec<i32> {
+    decode_block_opts(data, pass_ends, num_passes, w, h, kind, num_planes, midpoint, false)
+}
+
+/// [`decode_block`] with the selective arithmetic-coding-bypass option;
+/// `bypass` must match the encoder's setting (signalled in COD).
+#[allow(clippy::too_many_arguments)]
+pub fn decode_block_opts(
+    data: &[u8],
+    pass_ends: &[usize],
+    num_passes: usize,
+    w: usize,
+    h: usize,
+    kind: BandKind,
+    num_planes: u8,
+    midpoint: bool,
+    bypass: bool,
+) -> Vec<i32> {
+    let mut mags = vec![0u32; w * h];
+    if num_planes == 0 || num_passes == 0 {
+        return vec![0; w * h];
+    }
+    let mut grid = Grid::new(w, h);
+    let mut ctxs = initial_contexts();
+    let mut pass_idx = 0usize;
+    let mut seg_start = 0usize;
+    let mut last_plane = num_planes - 1;
+
+    'outer: for plane in (0..num_planes).rev() {
+        let first = plane == num_planes - 1;
+        let passes: &[PassType] = if first {
+            &[PassType::Cleanup]
+        } else {
+            &[PassType::SigProp, PassType::MagRef, PassType::Cleanup]
+        };
+        for &pt in passes {
+            if pass_idx >= num_passes {
+                break 'outer;
+            }
+            let seg_end = pass_ends[pass_idx];
+            let seg = &data[seg_start..seg_end];
+            if pass_is_raw(bypass, pt, plane, num_planes) {
+                let mut dec = RawDecoder::new(seg);
+                match pt {
+                    PassType::SigProp => {
+                        sig_prop_dec_raw(&mut dec, &mut grid, &mut mags, plane, kind)
+                    }
+                    PassType::MagRef => mag_ref_dec_raw(&mut dec, &mut grid, &mut mags, plane),
+                    PassType::Cleanup => unreachable!("cleanup is never raw"),
+                }
+            } else {
+                let mut dec = MqDecoder::new(seg);
+                match pt {
+                    PassType::SigProp => {
+                        sig_prop_dec(&mut dec, &mut ctxs, &mut grid, &mut mags, plane, kind)
+                    }
+                    PassType::MagRef => {
+                        mag_ref_dec(&mut dec, &mut ctxs, &mut grid, &mut mags, plane)
+                    }
+                    PassType::Cleanup => {
+                        cleanup_dec(&mut dec, &mut ctxs, &mut grid, &mut mags, plane, kind);
+                        grid.clear_visited();
+                    }
+                }
+            }
+            last_plane = plane;
+            seg_start = seg_end;
+            pass_idx += 1;
+        }
+    }
+
+    let half = if midpoint && last_plane > 0 { 1u32 << (last_plane - 1) } else { 0 };
+    (0..w * h)
+        .map(|i| {
+            let m = mags[i];
+            if m == 0 {
+                0
+            } else {
+                let v = (m + half) as i32;
+                if grid.flags[i] & NEG != 0 {
+                    -v
+                } else {
+                    v
+                }
+            }
+        })
+        .collect()
+}
+
+fn sig_prop_dec(
+    dec: &mut MqDecoder<'_>,
+    ctxs: &mut Contexts,
+    grid: &mut Grid,
+    mags: &mut [u32],
+    plane: u8,
+    kind: BandKind,
+) {
+    let (w, h) = (grid.w, grid.h);
+    let mut y0 = 0;
+    while y0 < h {
+        for x in 0..w {
+            for y in y0..y0 + stripe_rows(h, y0) {
+                let f = grid.get(x, y);
+                if f & SIG != 0 {
+                    continue;
+                }
+                let (hc, vc, dc) = grid.counts(x, y);
+                let cx = zc_context(kind, hc, vc, dc);
+                if cx == 0 {
+                    continue;
+                }
+                let bit = dec.decode(ctxs, cx);
+                grid.set(x, y, VISITED);
+                if bit == 1 {
+                    code_sign_dec(dec, ctxs, grid, x, y);
+                    grid.set(x, y, SIG);
+                    mags[y * w + x] |= 1 << plane;
+                }
+            }
+        }
+        y0 += 4;
+    }
+}
+
+fn mag_ref_dec(
+    dec: &mut MqDecoder<'_>,
+    ctxs: &mut Contexts,
+    grid: &mut Grid,
+    mags: &mut [u32],
+    plane: u8,
+) {
+    let (w, h) = (grid.w, grid.h);
+    let mut y0 = 0;
+    while y0 < h {
+        for x in 0..w {
+            for y in y0..y0 + stripe_rows(h, y0) {
+                let f = grid.get(x, y);
+                if f & SIG == 0 || f & VISITED != 0 {
+                    continue;
+                }
+                let (hc, vc, dc) = grid.counts(x, y);
+                let cx = mr_context(f & REFINED == 0, hc + vc + dc > 0);
+                let bit = dec.decode(ctxs, cx);
+                grid.set(x, y, REFINED);
+                if bit == 1 {
+                    mags[y * w + x] |= 1 << plane;
+                }
+            }
+        }
+        y0 += 4;
+    }
+}
+
+/// Raw (bypass) significance-propagation decode.
+fn sig_prop_dec_raw(
+    dec: &mut RawDecoder<'_>,
+    grid: &mut Grid,
+    mags: &mut [u32],
+    plane: u8,
+    kind: BandKind,
+) {
+    let (w, h) = (grid.w, grid.h);
+    let mut y0 = 0;
+    while y0 < h {
+        for x in 0..w {
+            for y in y0..y0 + stripe_rows(h, y0) {
+                let f = grid.get(x, y);
+                if f & SIG != 0 {
+                    continue;
+                }
+                let (hc, vc, dc) = grid.counts(x, y);
+                if zc_context(kind, hc, vc, dc) == 0 {
+                    continue;
+                }
+                let bit = dec.get();
+                grid.set(x, y, VISITED);
+                if bit == 1 {
+                    if dec.get() == 1 {
+                        grid.set(x, y, NEG);
+                    }
+                    grid.set(x, y, SIG);
+                    mags[y * w + x] |= 1 << plane;
+                }
+            }
+        }
+        y0 += 4;
+    }
+}
+
+/// Raw (bypass) magnitude-refinement decode.
+fn mag_ref_dec_raw(dec: &mut RawDecoder<'_>, grid: &mut Grid, mags: &mut [u32], plane: u8) {
+    let (w, h) = (grid.w, grid.h);
+    let mut y0 = 0;
+    while y0 < h {
+        for x in 0..w {
+            for y in y0..y0 + stripe_rows(h, y0) {
+                let f = grid.get(x, y);
+                if f & SIG == 0 || f & VISITED != 0 {
+                    continue;
+                }
+                if dec.get() == 1 {
+                    mags[y * w + x] |= 1 << plane;
+                }
+                grid.set(x, y, REFINED);
+            }
+        }
+        y0 += 4;
+    }
+}
+
+fn cleanup_dec(
+    dec: &mut MqDecoder<'_>,
+    ctxs: &mut Contexts,
+    grid: &mut Grid,
+    mags: &mut [u32],
+    plane: u8,
+    kind: BandKind,
+) {
+    let (w, h) = (grid.w, grid.h);
+    let mut y0 = 0;
+    while y0 < h {
+        let rows = stripe_rows(h, y0);
+        for x in 0..w {
+            let mut start_row = 0usize;
+            let run_ok = rows == 4
+                && (0..4).all(|r| {
+                    let y = y0 + r;
+                    let f = grid.get(x, y);
+                    f & (SIG | VISITED) == 0 && {
+                        let (hc, vc, dc) = grid.counts(x, y);
+                        zc_context(kind, hc, vc, dc) == 0
+                    }
+                });
+            if run_ok {
+                if dec.decode(ctxs, CTX_RL) == 0 {
+                    continue;
+                }
+                let r = ((dec.decode(ctxs, CTX_UNI) << 1) | dec.decode(ctxs, CTX_UNI)) as usize;
+                let y = y0 + r;
+                mags[y * w + x] |= 1 << plane;
+                code_sign_dec(dec, ctxs, grid, x, y);
+                grid.set(x, y, SIG);
+                start_row = r + 1;
+            }
+            for r in start_row..rows {
+                let y = y0 + r;
+                let f = grid.get(x, y);
+                if f & (SIG | VISITED) != 0 {
+                    continue;
+                }
+                let (hc, vc, dc) = grid.counts(x, y);
+                let cx = zc_context(kind, hc, vc, dc);
+                let bit = dec.decode(ctxs, cx);
+                if bit == 1 {
+                    code_sign_dec(dec, ctxs, grid, x, y);
+                    grid.set(x, y, SIG);
+                    mags[y * w + x] |= 1 << plane;
+                }
+            }
+        }
+        y0 += 4;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[i32], w: usize, h: usize, kind: BandKind) {
+        let blk = encode_block(data, w, h, kind);
+        let got = decode_block(
+            &blk.data,
+            &blk.pass_ends,
+            blk.passes.len(),
+            w,
+            h,
+            kind,
+            blk.num_planes,
+            false,
+        );
+        assert_eq!(got, data, "{w}x{h} {kind:?}");
+    }
+
+    fn pseudo(n: usize, seed: u32, spread: i32) -> Vec<i32> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+                ((x >> 10) as i32 % (2 * spread + 1)) - spread
+            })
+            .collect()
+    }
+
+    #[test]
+    fn zero_block_is_empty() {
+        let blk = encode_block(&[0; 16], 4, 4, BandKind::LlLh);
+        assert_eq!(blk.num_planes, 0);
+        assert!(blk.data.is_empty());
+        assert!(blk.passes.is_empty());
+        let got = decode_block(&[], &[], 0, 4, 4, BandKind::LlLh, 0, false);
+        assert_eq!(got, vec![0; 16]);
+    }
+
+    #[test]
+    fn single_coefficient() {
+        for v in [1i32, -1, 2, -7, 255, -256] {
+            let mut data = vec![0i32; 16];
+            data[5] = v;
+            roundtrip(&data, 4, 4, BandKind::Hh);
+        }
+    }
+
+    #[test]
+    fn roundtrip_various_shapes() {
+        for (w, h) in [(4usize, 4usize), (8, 8), (5, 7), (1, 9), (9, 1), (3, 4), (64, 64)] {
+            for kind in [BandKind::LlLh, BandKind::Hl, BandKind::Hh] {
+                let data = pseudo(w * h, (w * 31 + h) as u32, 100);
+                roundtrip(&data, w, h, kind);
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_sparse_blocks() {
+        // Mostly zeros: exercises run-length coding heavily.
+        let mut data = vec![0i32; 32 * 32];
+        for i in (0..data.len()).step_by(97) {
+            data[i] = ((i as i32 % 13) - 6) * 3;
+        }
+        roundtrip(&data, 32, 32, BandKind::LlLh);
+    }
+
+    #[test]
+    fn roundtrip_dense_large_values() {
+        let data = pseudo(32 * 32, 99, 30_000);
+        roundtrip(&data, 32, 32, BandKind::Hl);
+    }
+
+    #[test]
+    fn pass_structure_is_3n_minus_2() {
+        let data = pseudo(16 * 16, 5, 100);
+        let blk = encode_block(&data, 16, 16, BandKind::LlLh);
+        assert!(blk.num_planes > 0);
+        assert_eq!(blk.passes.len(), 3 * blk.num_planes as usize - 2);
+        assert_eq!(blk.passes[0].pass_type, PassType::Cleanup);
+        if blk.passes.len() > 1 {
+            assert_eq!(blk.passes[1].pass_type, PassType::SigProp);
+            assert_eq!(blk.passes[2].pass_type, PassType::MagRef);
+        }
+        // Rates are cumulative and non-decreasing; ends match data length.
+        for w in blk.passes.windows(2) {
+            assert!(w[1].rate_bytes >= w[0].rate_bytes);
+        }
+        assert_eq!(*blk.pass_ends.last().unwrap(), blk.data.len());
+    }
+
+    #[test]
+    fn truncated_decode_is_exact_prefix() {
+        // Dropping trailing passes must reproduce exactly the coefficients
+        // implied by the included planes (no corruption of earlier planes).
+        let data = pseudo(16 * 16, 1234, 500);
+        let blk = encode_block(&data, 16, 16, BandKind::LlLh);
+        let total = blk.passes.len();
+        for keep in [1usize, 2, total / 2, total - 1, total] {
+            let keep = keep.clamp(1, total);
+            let bytes = blk.bytes_for_passes(keep);
+            let got = decode_block(
+                &blk.data[..bytes],
+                &blk.pass_ends[..keep],
+                keep,
+                16,
+                16,
+                BandKind::LlLh,
+                blk.num_planes,
+                false,
+            );
+            // Every decoded magnitude must be a prefix (high planes) of the
+            // true magnitude, and the full decode must be exact.
+            for (g, &t) in got.iter().zip(&data) {
+                let (gm, tm) = (g.unsigned_abs(), t.unsigned_abs());
+                assert!(gm <= tm, "keep={keep}: {gm} > {tm}");
+                if keep == total {
+                    assert_eq!(*g, t);
+                }
+                if gm > 0 {
+                    assert_eq!(g.signum(), t.signum());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn midpoint_reconstruction_reduces_error() {
+        let data = pseudo(16 * 16, 777, 1000);
+        let blk = encode_block(&data, 16, 16, BandKind::Hh);
+        let keep = blk.passes.len() / 2;
+        let bytes = blk.bytes_for_passes(keep);
+        let err = |v: &[i32]| -> f64 {
+            v.iter().zip(&data).map(|(g, t)| ((g - t) as f64).powi(2)).sum()
+        };
+        let plain = decode_block(
+            &blk.data[..bytes], &blk.pass_ends[..keep], keep, 16, 16,
+            BandKind::Hh, blk.num_planes, false,
+        );
+        let mid = decode_block(
+            &blk.data[..bytes], &blk.pass_ends[..keep], keep, 16, 16,
+            BandKind::Hh, blk.num_planes, true,
+        );
+        assert!(err(&mid) <= err(&plain), "midpoint {} plain {}", err(&mid), err(&plain));
+    }
+
+    #[test]
+    fn distortion_estimates_decrease_with_plane() {
+        let data = pseudo(32 * 32, 4242, 2000);
+        let blk = encode_block(&data, 32, 32, BandKind::LlLh);
+        // Cleanup of the top plane must claim more distortion reduction
+        // than the cleanup of the bottom plane.
+        let first = &blk.passes[0];
+        let last = blk.passes.iter().rev().find(|p| p.pass_type == PassType::Cleanup).unwrap();
+        assert!(first.dist_reduction > last.dist_reduction);
+        assert!(blk.total_symbols() > 0);
+    }
+
+    #[test]
+    fn compresses_structured_data() {
+        // A smooth gradient block should code well below 16 bits/sample.
+        let mut data = vec![0i32; 64 * 64];
+        for y in 0..64 {
+            for x in 0..64 {
+                data[y * 64 + x] = (x as i32 - 32) * 2;
+            }
+        }
+        let blk = encode_block(&data, 64, 64, BandKind::LlLh);
+        assert!(blk.data.len() < 64 * 64 * 2 / 4, "{} bytes", blk.data.len());
+    }
+
+    #[test]
+    fn bypass_roundtrip_various() {
+        for (w, h, spread) in [(16usize, 16usize, 30_000i32), (8, 8, 500), (33, 17, 4_000)] {
+            for kind in [BandKind::LlLh, BandKind::Hl, BandKind::Hh] {
+                let data = pseudo(w * h, (w + h) as u32 * 7 + 1, spread);
+                let blk = encode_block_opts(&data, w, h, kind, true);
+                let got = decode_block_opts(
+                    &blk.data, &blk.pass_ends, blk.passes.len(), w, h, kind,
+                    blk.num_planes, false, true,
+                );
+                assert_eq!(got, data, "{w}x{h} {kind:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn bypass_reduces_mq_symbols() {
+        // Bypass converts deep-plane SPP/MRP decisions to raw bits, which
+        // are cheaper; total MQ decisions must drop (raw bits counted as
+        // symbols too, but the point is the segments stay decodable and
+        // the stream only grows slightly).
+        let data = pseudo(32 * 32, 321, 20_000);
+        let mq = encode_block_opts(&data, 32, 32, BandKind::LlLh, false);
+        let raw = encode_block_opts(&data, 32, 32, BandKind::LlLh, true);
+        assert_eq!(mq.passes.len(), raw.passes.len());
+        // The raw stream costs at most ~15% more bytes.
+        assert!(
+            (raw.data.len() as f64) < mq.data.len() as f64 * 1.15,
+            "raw {} vs mq {}",
+            raw.data.len(),
+            mq.data.len()
+        );
+    }
+
+    #[test]
+    fn bypass_rule_matches_standard() {
+        // First four coded planes always use the MQ coder; deeper SPP/MRP
+        // go raw; cleanup never does.
+        assert!(!pass_is_raw(true, PassType::SigProp, 8, 12));
+        assert!(!pass_is_raw(true, PassType::SigProp, 9, 12));
+        assert!(pass_is_raw(true, PassType::SigProp, 7, 12));
+        assert!(pass_is_raw(true, PassType::MagRef, 0, 12));
+        assert!(!pass_is_raw(true, PassType::Cleanup, 0, 12));
+        assert!(!pass_is_raw(false, PassType::SigProp, 0, 12));
+    }
+
+    #[test]
+    fn bypass_truncation_still_exact_prefix() {
+        let data = pseudo(16 * 16, 99, 9_000);
+        let blk = encode_block_opts(&data, 16, 16, BandKind::Hh, true);
+        let keep = blk.passes.len() / 2;
+        let bytes = blk.bytes_for_passes(keep);
+        let got = decode_block_opts(
+            &blk.data[..bytes], &blk.pass_ends[..keep], keep, 16, 16,
+            BandKind::Hh, blk.num_planes, false, true,
+        );
+        for (g, t) in got.iter().zip(&data) {
+            assert!(g.unsigned_abs() <= t.unsigned_abs());
+        }
+    }
+
+    #[test]
+    fn all_negative_block() {
+        let data = vec![-5i32; 8 * 8];
+        roundtrip(&data, 8, 8, BandKind::Hl);
+    }
+
+    #[test]
+    fn alternating_signs() {
+        let data: Vec<i32> =
+            (0..64).map(|i| if i % 2 == 0 { 9 } else { -9 }).collect();
+        roundtrip(&data, 8, 8, BandKind::LlLh);
+    }
+}

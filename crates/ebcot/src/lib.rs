@@ -1,0 +1,36 @@
+//! EBCOT — Embedded Block Coding with Optimized Truncation
+//! (JPEG2000 Part 1, Annexes B/C/D; Taubman, IEEE TIP 2000).
+//!
+//! * **Tier-1** ([`block`]): code blocks of quantized coefficients are coded
+//!   bit-plane by bit-plane in three passes (significance propagation,
+//!   magnitude refinement, cleanup) through the MQ coder with the 19
+//!   standard contexts ([`context`]). Every block is independent — this is
+//!   the parallelism the paper's work queue exploits — and the coder
+//!   reports per-pass rate, distortion reduction, and MQ decision counts
+//!   (the work items for the `cellsim` cost model).
+//! * **Tier-2** ([`tagtree`], [`header`]): tag trees and packet headers
+//!   encode which blocks contribute which passes to each quality layer.
+//! * **Rate control** ([`rate`]): PCRD-style convex-hull truncation finds,
+//!   for a byte budget, the per-block pass counts minimizing distortion —
+//!   the sequential stage that flattens the paper's lossy scaling curve.
+
+pub mod block;
+pub mod context;
+pub mod header;
+pub mod rate;
+pub mod tagtree;
+
+pub use block::{decode_block, encode_block, BandKind, EncodedBlock, PassInfo, PassType};
+pub use rate::{allocate, BlockSummary};
+
+/// Standard maximum code block size (64x64), the paper's choice; Muta et
+/// al. use 32x32.
+pub const MAX_CB_SIZE: usize = 64;
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn constants() {
+        assert_eq!(super::MAX_CB_SIZE, 64);
+    }
+}

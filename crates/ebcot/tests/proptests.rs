@@ -1,0 +1,136 @@
+//! Property tests for Tier-1, tag trees, and rate allocation.
+
+use ebcot::block::{decode_block, encode_block, BandKind};
+use ebcot::rate::{allocate, BlockSummary};
+use ebcot::tagtree::TagTree;
+use mqcoder::{RawDecoder, RawEncoder};
+use proptest::prelude::*;
+
+fn band_strategy() -> impl Strategy<Value = BandKind> {
+    prop_oneof![Just(BandKind::LlLh), Just(BandKind::Hl), Just(BandKind::Hh)]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn tier1_roundtrip(
+        w in 1usize..33,
+        h in 1usize..33,
+        kind in band_strategy(),
+        seed in any::<u32>(),
+        spread in 1i32..20_000,
+    ) {
+        let mut x = seed | 1;
+        let data: Vec<i32> = (0..w * h)
+            .map(|_| {
+                x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+                ((x >> 8) as i32 % (2 * spread + 1)) - spread
+            })
+            .collect();
+        let blk = encode_block(&data, w, h, kind);
+        let got = decode_block(
+            &blk.data, &blk.pass_ends, blk.passes.len(), w, h, kind,
+            blk.num_planes, false,
+        );
+        prop_assert_eq!(got, data);
+    }
+
+    #[test]
+    fn tier1_truncation_never_overshoots(
+        seed in any::<u32>(),
+        keep_frac in 0.0f64..1.0,
+    ) {
+        let mut x = seed | 1;
+        let data: Vec<i32> = (0..12 * 12)
+            .map(|_| {
+                x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+                ((x >> 9) as i32 % 513) - 256
+            })
+            .collect();
+        let blk = encode_block(&data, 12, 12, BandKind::LlLh);
+        if blk.passes.is_empty() {
+            return Ok(());
+        }
+        let keep = ((blk.passes.len() as f64 * keep_frac) as usize).clamp(1, blk.passes.len());
+        let bytes = blk.bytes_for_passes(keep);
+        let got = decode_block(
+            &blk.data[..bytes], &blk.pass_ends[..keep], keep, 12, 12,
+            BandKind::LlLh, blk.num_planes, false,
+        );
+        for (g, t) in got.iter().zip(&data) {
+            prop_assert!(g.unsigned_abs() <= t.unsigned_abs());
+            if *g != 0 {
+                prop_assert_eq!(g.signum(), t.signum());
+            }
+        }
+    }
+
+    #[test]
+    fn tagtree_arbitrary_values_roundtrip(
+        w in 1usize..9,
+        h in 1usize..9,
+        vals in prop::collection::vec(0u32..12, 64),
+    ) {
+        let mut enc = TagTree::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                enc.set_value(x, y, vals[y * 8 + x]);
+            }
+        }
+        let mut out = RawEncoder::new();
+        for y in 0..h {
+            for x in 0..w {
+                enc.encode_value(x, y, &mut out);
+            }
+        }
+        let bytes = out.finish();
+        let mut dec = TagTree::new(w, h);
+        let mut inp = RawDecoder::new(&bytes);
+        for y in 0..h {
+            for x in 0..w {
+                prop_assert_eq!(dec.decode_value(x, y, &mut inp), vals[y * 8 + x]);
+            }
+        }
+    }
+
+    #[test]
+    fn allocation_always_within_budget(
+        nblocks in 1usize..30,
+        seed in any::<u32>(),
+        budget in 0usize..50_000,
+    ) {
+        let mut x = seed | 1;
+        let mut r = move || {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            (x >> 8) as usize
+        };
+        let blocks: Vec<BlockSummary> = (0..nblocks)
+            .map(|_| {
+                let n = r() % 10 + 1;
+                let mut rate = 0usize;
+                let mut dist = 0.0f64;
+                let mut rates = Vec::new();
+                let mut dists = Vec::new();
+                for _ in 0..n {
+                    rate += r() % 500;
+                    dist += (r() % 1000) as f64;
+                    rates.push(rate);
+                    dists.push(dist);
+                }
+                BlockSummary { rates, dists }
+            })
+            .collect();
+        let a = allocate(&blocks, budget);
+        prop_assert!(a.total_bytes <= budget || budget == 0 && a.total_bytes == 0);
+        // passes chosen are within range and bytes accounted correctly.
+        let mut total = 0usize;
+        for (n, b) in a.passes.iter().zip(&blocks) {
+            prop_assert!(*n <= b.rates.len());
+            if *n > 0 {
+                total += b.rates[*n - 1];
+            }
+        }
+        prop_assert_eq!(total, a.total_bytes);
+    }
+}

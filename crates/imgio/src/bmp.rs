@@ -1,0 +1,202 @@
+//! Uncompressed 24-bit BMP read/write (the paper's input format).
+//!
+//! Supports the classic `BITMAPINFOHEADER` layout: bottom-up rows, BGR
+//! sample order, rows padded to 4-byte multiples.
+
+use crate::{Image, ImgError};
+use std::io::{Read, Write};
+use std::path::Path;
+
+fn u16le(b: &[u8]) -> u16 {
+    u16::from_le_bytes([b[0], b[1]])
+}
+
+fn u32le(b: &[u8]) -> u32 {
+    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+}
+
+fn i32le(b: &[u8]) -> i32 {
+    i32::from_le_bytes([b[0], b[1], b[2], b[3]])
+}
+
+/// Decode a 24-bit uncompressed BMP from bytes.
+pub fn decode(data: &[u8]) -> Result<Image, ImgError> {
+    if data.len() < 54 {
+        return Err(ImgError::Format("truncated BMP header".into()));
+    }
+    if &data[0..2] != b"BM" {
+        return Err(ImgError::Format("missing BM signature".into()));
+    }
+    let pixel_offset = u32le(&data[10..14]) as usize;
+    let header_size = u32le(&data[14..18]);
+    if header_size < 40 {
+        return Err(ImgError::Format(format!("unsupported DIB header size {header_size}")));
+    }
+    let width = i32le(&data[18..22]);
+    let height_raw = i32le(&data[22..26]);
+    let planes = u16le(&data[26..28]);
+    let bpp = u16le(&data[28..30]);
+    let compression = u32le(&data[30..34]);
+    if planes != 1 || bpp != 24 || compression != 0 {
+        return Err(ImgError::Format(format!(
+            "only 24-bit uncompressed BMP supported (planes={planes} bpp={bpp} comp={compression})"
+        )));
+    }
+    if width <= 0 || height_raw == 0 {
+        return Err(ImgError::Format("non-positive dimensions".into()));
+    }
+    let top_down = height_raw < 0;
+    let width = width as usize;
+    let height = height_raw.unsigned_abs() as usize;
+    let row_bytes = (width * 3 + 3) & !3;
+    let need = pixel_offset + row_bytes * height;
+    if data.len() < need {
+        return Err(ImgError::Format(format!(
+            "pixel data truncated: need {need} bytes, have {}",
+            data.len()
+        )));
+    }
+    let mut im = Image::new(width, height, 3, 8)?;
+    for row in 0..height {
+        let y = if top_down { row } else { height - 1 - row };
+        let src = &data[pixel_offset + row * row_bytes..];
+        for x in 0..width {
+            let b = src[x * 3];
+            let g = src[x * 3 + 1];
+            let r = src[x * 3 + 2];
+            im.planes[0][y * width + x] = r as u16;
+            im.planes[1][y * width + x] = g as u16;
+            im.planes[2][y * width + x] = b as u16;
+        }
+    }
+    Ok(im)
+}
+
+/// Encode an 8-bit image (1 or 3 components) as a 24-bit BMP.
+pub fn encode(im: &Image) -> Result<Vec<u8>, ImgError> {
+    if im.bit_depth != 8 || (im.comps() != 1 && im.comps() != 3) {
+        return Err(ImgError::Invalid(
+            "BMP writer needs an 8-bit image with 1 or 3 components".into(),
+        ));
+    }
+    im.validate()?;
+    let (w, h) = (im.width, im.height);
+    let row_bytes = (w * 3 + 3) & !3;
+    let pixel_bytes = row_bytes * h;
+    let mut out = Vec::with_capacity(54 + pixel_bytes);
+    out.extend_from_slice(b"BM");
+    out.extend_from_slice(&(54 + pixel_bytes as u32).to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes());
+    out.extend_from_slice(&54u32.to_le_bytes());
+    out.extend_from_slice(&40u32.to_le_bytes());
+    out.extend_from_slice(&(w as i32).to_le_bytes());
+    out.extend_from_slice(&(h as i32).to_le_bytes());
+    out.extend_from_slice(&1u16.to_le_bytes());
+    out.extend_from_slice(&24u16.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes()); // BI_RGB
+    out.extend_from_slice(&(pixel_bytes as u32).to_le_bytes());
+    out.extend_from_slice(&2835u32.to_le_bytes()); // 72 dpi
+    out.extend_from_slice(&2835u32.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes());
+    let gray = im.comps() == 1;
+    for row in 0..h {
+        let y = h - 1 - row;
+        for x in 0..w {
+            let (r, g, b) = if gray {
+                let v = im.planes[0][y * w + x] as u8;
+                (v, v, v)
+            } else {
+                (
+                    im.planes[0][y * w + x] as u8,
+                    im.planes[1][y * w + x] as u8,
+                    im.planes[2][y * w + x] as u8,
+                )
+            };
+            out.push(b);
+            out.push(g);
+            out.push(r);
+        }
+        out.resize(out.len() + (row_bytes - w * 3), 0);
+    }
+    Ok(out)
+}
+
+/// Read a BMP file.
+pub fn read(path: impl AsRef<Path>) -> Result<Image, ImgError> {
+    let mut buf = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut buf)?;
+    decode(&buf)
+}
+
+/// Write a BMP file.
+pub fn write(path: impl AsRef<Path>, im: &Image) -> Result<(), ImgError> {
+    let bytes = encode(im)?;
+    std::fs::File::create(path)?.write_all(&bytes)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_image() -> Image {
+        let mut im = Image::new(5, 3, 3, 8).unwrap();
+        for y in 0..3 {
+            for x in 0..5 {
+                im.set(0, x, y, (x * 50) as u16);
+                im.set(1, x, y, (y * 80) as u16);
+                im.set(2, x, y, ((x + y) * 30) as u16);
+            }
+        }
+        im
+    }
+
+    #[test]
+    fn roundtrip_rgb() {
+        let im = test_image();
+        let bytes = encode(&im).unwrap();
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back, im);
+    }
+
+    #[test]
+    fn roundtrip_gray_promotes_to_rgb() {
+        let mut im = Image::new(3, 2, 1, 8).unwrap();
+        im.set(0, 1, 1, 99);
+        let back = decode(&encode(&im).unwrap()).unwrap();
+        assert_eq!(back.comps(), 3);
+        assert_eq!(back.get(0, 1, 1), 99);
+        assert_eq!(back.get(1, 1, 1), 99);
+    }
+
+    #[test]
+    fn row_padding_is_correct() {
+        // Width 5 -> 15 bytes of pixels padded to 16 per row.
+        let bytes = encode(&test_image()).unwrap();
+        assert_eq!(bytes.len(), 54 + 16 * 3);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(decode(b"not a bmp at all............................................").is_err());
+        assert!(decode(&[]).is_err());
+    }
+
+    #[test]
+    fn rejects_truncated_pixels() {
+        let mut bytes = encode(&test_image()).unwrap();
+        bytes.truncate(60);
+        assert!(decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let im = test_image();
+        let dir = std::env::temp_dir().join("imgio_bmp_test.bmp");
+        write(&dir, &im).unwrap();
+        let back = read(&dir).unwrap();
+        assert_eq!(back, im);
+        let _ = std::fs::remove_file(dir);
+    }
+}

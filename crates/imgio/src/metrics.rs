@@ -1,0 +1,74 @@
+//! Image quality metrics.
+
+use crate::Image;
+
+/// Mean squared error across all components; `None` if geometries differ.
+pub fn mse(a: &Image, b: &Image) -> Option<f64> {
+    if a.width != b.width || a.height != b.height || a.comps() != b.comps() {
+        return None;
+    }
+    let mut acc = 0f64;
+    let mut n = 0usize;
+    for (pa, pb) in a.planes.iter().zip(&b.planes) {
+        for (&va, &vb) in pa.iter().zip(pb) {
+            let d = va as f64 - vb as f64;
+            acc += d * d;
+            n += 1;
+        }
+    }
+    Some(acc / n as f64)
+}
+
+/// Peak signal-to-noise ratio in dB (peak from `a`'s bit depth).
+/// Returns `f64::INFINITY` for identical images.
+pub fn psnr(a: &Image, b: &Image) -> Option<f64> {
+    let m = mse(a, b)?;
+    if m == 0.0 {
+        return Some(f64::INFINITY);
+    }
+    let peak = a.max_value() as f64;
+    Some(10.0 * (peak * peak / m).log10())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth;
+
+    #[test]
+    fn identical_images_have_infinite_psnr() {
+        let im = synth::natural(16, 16, 1);
+        assert_eq!(mse(&im, &im), Some(0.0));
+        assert_eq!(psnr(&im, &im), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn known_mse() {
+        let a = synth::flat(4, 4, 100);
+        let b = synth::flat(4, 4, 110);
+        assert_eq!(mse(&a, &b), Some(100.0));
+        let p = psnr(&a, &b).unwrap();
+        assert!((p - 10.0 * (255.0f64 * 255.0 / 100.0).log10()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geometry_mismatch_is_none() {
+        let a = synth::flat(4, 4, 0);
+        let b = synth::flat(4, 5, 0);
+        assert_eq!(mse(&a, &b), None);
+        let c = synth::natural_rgb(4, 4, 0);
+        assert_eq!(psnr(&a, &c), None);
+    }
+
+    #[test]
+    fn psnr_orders_by_error() {
+        let a = synth::natural(32, 32, 5);
+        let mut b = a.clone();
+        let mut c = a.clone();
+        for i in 0..b.planes[0].len() {
+            b.planes[0][i] = (b.planes[0][i] as i32 + 2).clamp(0, 255) as u16;
+            c.planes[0][i] = (c.planes[0][i] as i32 + 8).clamp(0, 255) as u16;
+        }
+        assert!(psnr(&a, &b).unwrap() > psnr(&a, &c).unwrap());
+    }
+}

@@ -1,0 +1,173 @@
+//! Binary PGM (P5) / PPM (P6) read and write.
+
+use crate::{Image, ImgError};
+use std::io::{Read, Write};
+use std::path::Path;
+
+struct Tokenizer<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Tokenizer<'a> {
+    fn new(data: &'a [u8]) -> Self {
+        Tokenizer { data, pos: 0 }
+    }
+
+    /// Next whitespace-delimited token, skipping `#` comments.
+    fn token(&mut self) -> Result<&'a [u8], ImgError> {
+        loop {
+            while self.pos < self.data.len() && self.data[self.pos].is_ascii_whitespace() {
+                self.pos += 1;
+            }
+            if self.pos < self.data.len() && self.data[self.pos] == b'#' {
+                while self.pos < self.data.len() && self.data[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+                continue;
+            }
+            break;
+        }
+        let start = self.pos;
+        while self.pos < self.data.len() && !self.data[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(ImgError::Format("unexpected end of PNM header".into()));
+        }
+        Ok(&self.data[start..self.pos])
+    }
+
+    fn number(&mut self) -> Result<usize, ImgError> {
+        let t = self.token()?;
+        std::str::from_utf8(t)
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| ImgError::Format("bad number in PNM header".into()))
+    }
+}
+
+/// Decode a binary PGM/PPM.
+pub fn decode(data: &[u8]) -> Result<Image, ImgError> {
+    let mut tk = Tokenizer::new(data);
+    let magic = tk.token()?;
+    let comps = match magic {
+        b"P5" => 1,
+        b"P6" => 3,
+        _ => return Err(ImgError::Format("not a binary PGM/PPM".into())),
+    };
+    let width = tk.number()?;
+    let height = tk.number()?;
+    let maxval = tk.number()?;
+    if maxval == 0 || maxval > 65535 {
+        return Err(ImgError::Format(format!("maxval {maxval} out of range")));
+    }
+    let depth: u8 = if maxval < 256 { 8 } else { 16 };
+    // Exactly one whitespace byte separates header and raster.
+    let raster = &data[tk.pos + 1..];
+    let bytes_per = if maxval < 256 { 1 } else { 2 };
+    let need = width * height * comps * bytes_per;
+    if raster.len() < need {
+        return Err(ImgError::Format(format!(
+            "raster truncated: need {need}, have {}",
+            raster.len()
+        )));
+    }
+    let mut im = Image::new(width, height, comps, depth)?;
+    for y in 0..height {
+        for x in 0..width {
+            for c in 0..comps {
+                let i = ((y * width + x) * comps + c) * bytes_per;
+                let v = if bytes_per == 1 {
+                    raster[i] as u16
+                } else {
+                    u16::from_be_bytes([raster[i], raster[i + 1]])
+                };
+                im.planes[c][y * width + x] = v;
+            }
+        }
+    }
+    Ok(im)
+}
+
+/// Encode as binary PGM (1 component) or PPM (3 components).
+pub fn encode(im: &Image) -> Result<Vec<u8>, ImgError> {
+    im.validate()?;
+    let magic = match im.comps() {
+        1 => "P5",
+        3 => "P6",
+        n => return Err(ImgError::Invalid(format!("PNM needs 1 or 3 components, got {n}"))),
+    };
+    let maxval = im.max_value();
+    let mut out = format!("{magic}\n{} {}\n{}\n", im.width, im.height, maxval).into_bytes();
+    let two = maxval > 255;
+    for y in 0..im.height {
+        for x in 0..im.width {
+            for c in 0..im.comps() {
+                let v = im.planes[c][y * im.width + x];
+                if two {
+                    out.extend_from_slice(&v.to_be_bytes());
+                } else {
+                    out.push(v as u8);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Read a PNM file.
+pub fn read(path: impl AsRef<Path>) -> Result<Image, ImgError> {
+    let mut buf = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut buf)?;
+    decode(&buf)
+}
+
+/// Write a PNM file (`.pgm` for 1 component, `.ppm` for 3).
+pub fn write(path: impl AsRef<Path>, im: &Image) -> Result<(), ImgError> {
+    let bytes = encode(im)?;
+    std::fs::File::create(path)?.write_all(&bytes)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_pgm_8bit() {
+        let mut im = Image::new(7, 4, 1, 8).unwrap();
+        for (i, v) in im.planes[0].iter_mut().enumerate() {
+            *v = (i * 9 % 256) as u16;
+        }
+        assert_eq!(decode(&encode(&im).unwrap()).unwrap(), im);
+    }
+
+    #[test]
+    fn roundtrip_ppm_16bit() {
+        let mut im = Image::new(3, 3, 3, 12).unwrap();
+        for c in 0..3 {
+            for (i, v) in im.planes[c].iter_mut().enumerate() {
+                *v = ((i * 413 + c * 777) % 4096) as u16;
+            }
+        }
+        let back = decode(&encode(&im).unwrap()).unwrap();
+        // Depth reads back as 16 (maxval 4095 >= 256), planes identical.
+        assert_eq!(back.planes, im.planes);
+        assert_eq!(back.bit_depth, 16);
+    }
+
+    #[test]
+    fn header_comments_skipped() {
+        let data = b"P5\n# a comment\n2 2\n255\n\x01\x02\x03\x04";
+        let im = decode(data).unwrap();
+        assert_eq!(im.planes[0], vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn rejects_ascii_variants_and_garbage() {
+        assert!(decode(b"P2\n2 2\n255\n1 2 3 4").is_err());
+        assert!(decode(b"hello").is_err());
+        assert!(decode(b"P5\n2 2\n255\n\x01").is_err()); // truncated raster
+    }
+}

@@ -1,0 +1,230 @@
+//! MQ encoder (JPEG2000 Annex C.2, software-conventions form).
+
+use crate::table::QE_TABLE;
+use crate::Contexts;
+
+/// The MQ arithmetic encoder.
+///
+/// Register conventions follow the standard's software implementation:
+/// `c` is the 28-bit code register (carry appears at bit 27), `a` the 16-bit
+/// interval register renormalized to keep `a >= 0x8000`, `ct` the downcounter
+/// to the next byte emission.
+///
+/// The output buffer keeps a sentinel byte at index 0 standing in for the
+/// "B-1" position of the standard's pointer arithmetic; [`MqEncoder::finish`]
+/// strips it.
+#[derive(Debug, Clone)]
+pub struct MqEncoder {
+    c: u32,
+    a: u32,
+    ct: i32,
+    /// Output bytes; `out[0]` is the sentinel, `bp` indexes the byte the
+    /// standard calls `B`.
+    out: Vec<u8>,
+    bp: usize,
+    /// Total decisions encoded (used by cost models and rate estimation).
+    symbols: u64,
+}
+
+impl Default for MqEncoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MqEncoder {
+    /// INITENC.
+    pub fn new() -> Self {
+        MqEncoder { c: 0, a: 0x8000, ct: 12, out: vec![0u8], bp: 0, symbols: 0 }
+    }
+
+    /// Number of decisions encoded so far.
+    #[inline]
+    pub fn symbols(&self) -> u64 {
+        self.symbols
+    }
+
+    /// Bytes that would be emitted if the coder were flushed right now,
+    /// *excluding* the sentinel. This is the standard's `B - start` count
+    /// used for per-pass rate accounting (an upper bound before flush).
+    #[inline]
+    pub fn bytes_so_far(&self) -> usize {
+        self.bp
+    }
+
+    /// ENCODE one `decision` in context `cx` of `ctxs`.
+    #[inline]
+    pub fn encode(&mut self, ctxs: &mut Contexts, cx: usize, decision: u8) {
+        self.symbols += 1;
+        let st = ctxs.get_mut(cx);
+        let qe = QE_TABLE[st.index as usize].qe as u32;
+        if decision == st.mps {
+            // CODEMPS
+            self.a -= qe;
+            if self.a & 0x8000 == 0 {
+                if self.a < qe {
+                    self.a = qe;
+                } else {
+                    self.c += qe;
+                }
+                st.index = QE_TABLE[st.index as usize].nmps;
+                self.renorm();
+            } else {
+                self.c += qe;
+            }
+        } else {
+            // CODELPS
+            self.a -= qe;
+            if self.a < qe {
+                self.c += qe;
+            } else {
+                self.a = qe;
+            }
+            let row = QE_TABLE[st.index as usize];
+            if row.switch_mps == 1 {
+                st.mps ^= 1;
+            }
+            st.index = row.nlps;
+            self.renorm();
+        }
+    }
+
+    /// RENORME.
+    fn renorm(&mut self) {
+        loop {
+            self.a <<= 1;
+            self.c <<= 1;
+            self.ct -= 1;
+            if self.ct == 0 {
+                self.byte_out();
+            }
+            if self.a & 0x8000 != 0 {
+                break;
+            }
+        }
+    }
+
+    /// BYTEOUT with 0xFF bit-stuffing.
+    fn byte_out(&mut self) {
+        if self.out[self.bp] == 0xFF {
+            self.bp += 1;
+            self.push(((self.c >> 20) & 0xFF) as u8);
+            self.c &= 0xF_FFFF;
+            self.ct = 7;
+        } else if self.c & 0x800_0000 == 0 {
+            self.bp += 1;
+            self.push(((self.c >> 19) & 0xFF) as u8);
+            self.c &= 0x7_FFFF;
+            self.ct = 8;
+        } else {
+            // Propagate carry into B.
+            self.out[self.bp] = self.out[self.bp].wrapping_add(1);
+            if self.out[self.bp] == 0xFF {
+                self.c &= 0x7FF_FFFF;
+                self.bp += 1;
+                self.push(((self.c >> 20) & 0xFF) as u8);
+                self.c &= 0xF_FFFF;
+                self.ct = 7;
+            } else {
+                self.bp += 1;
+                self.push(((self.c >> 19) & 0xFF) as u8);
+                self.c &= 0x7_FFFF;
+                self.ct = 8;
+            }
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, b: u8) {
+        debug_assert_eq!(self.bp, self.out.len());
+        self.out.push(b);
+    }
+
+    /// FLUSH: SETBITS, emit the remaining register contents, and return the
+    /// finished byte stream (sentinel stripped, trailing 0xFF dropped per the
+    /// standard's "if B == 0xFF, discard" rule).
+    pub fn finish(mut self) -> Vec<u8> {
+        // SETBITS
+        let tempc = self.c + self.a;
+        self.c |= 0xFFFF;
+        if self.c >= tempc {
+            self.c -= 0x8000;
+        }
+        self.c <<= self.ct;
+        self.byte_out();
+        self.c <<= self.ct;
+        self.byte_out();
+        // Strip sentinel; drop a trailing 0xFF (it carries no information and
+        // may not legally end a segment).
+        let mut v = self.out;
+        v.remove(0);
+        // bp counted bytes written after the sentinel; truncate spare slots.
+        if let Some(&0xFF) = v.last() {
+            v.pop();
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Contexts;
+
+    #[test]
+    fn empty_flush_is_small() {
+        let enc = MqEncoder::new();
+        let bytes = enc.finish();
+        // Flushing an empty coder produces at most a few bytes.
+        assert!(bytes.len() <= 3, "{bytes:?}");
+    }
+
+    #[test]
+    fn all_mps_compresses_hard() {
+        let mut ctxs = Contexts::new(1);
+        let mut enc = MqEncoder::new();
+        for _ in 0..10_000 {
+            enc.encode(&mut ctxs, 0, 0);
+        }
+        assert_eq!(enc.symbols(), 10_000);
+        let bytes = enc.finish();
+        // 10k highly-predictable symbols should land well under 100 bytes.
+        assert!(bytes.len() < 100, "got {} bytes", bytes.len());
+    }
+
+    #[test]
+    fn alternating_bits_cost_about_one_bit_each() {
+        let mut ctxs = Contexts::new(1);
+        let mut enc = MqEncoder::new();
+        let n = 8_192usize;
+        for i in 0..n {
+            enc.encode(&mut ctxs, 0, (i & 1) as u8);
+        }
+        let bytes = enc.finish();
+        let bits_per_symbol = (bytes.len() * 8) as f64 / n as f64;
+        assert!(
+            (0.9..1.2).contains(&bits_per_symbol),
+            "bits/symbol = {bits_per_symbol}"
+        );
+    }
+
+    #[test]
+    fn no_marker_bytes_in_output_interior() {
+        // After any 0xFF the next byte must be < 0x90 (bit stuffing).
+        let mut ctxs = Contexts::new(4);
+        let mut enc = MqEncoder::new();
+        let mut x: u32 = 123456789;
+        for _ in 0..50_000 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            let cx = (x >> 7) as usize % 4;
+            let d = ((x >> 13) & 1) as u8;
+            enc.encode(&mut ctxs, cx, d);
+        }
+        let bytes = enc.finish();
+        for w in bytes.windows(2) {
+            if w[0] == 0xFF {
+                assert!(w[1] < 0x90, "marker {:02X}{:02X} in MQ output", w[0], w[1]);
+            }
+        }
+    }
+}

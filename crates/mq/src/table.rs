@@ -1,0 +1,95 @@
+//! The 47-state probability estimation table (JPEG2000 Table C.2).
+
+/// One row of the Qe table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QeRow {
+    /// LPS probability estimate, 16-bit fixed point.
+    pub qe: u16,
+    /// Next state after an MPS renormalization.
+    pub nmps: u8,
+    /// Next state after an LPS renormalization.
+    pub nlps: u8,
+    /// 1 if the MPS sense flips on an LPS in this state.
+    pub switch_mps: u8,
+}
+
+const fn row(qe: u16, nmps: u8, nlps: u8, switch_mps: u8) -> QeRow {
+    QeRow { qe, nmps, nlps, switch_mps }
+}
+
+/// JPEG2000 Part 1 Table C.2 (identical to ITU-T T.88 Table E.1).
+pub const QE_TABLE: [QeRow; 47] = [
+    row(0x5601, 1, 1, 1),
+    row(0x3401, 2, 6, 0),
+    row(0x1801, 3, 9, 0),
+    row(0x0AC1, 4, 12, 0),
+    row(0x0521, 5, 29, 0),
+    row(0x0221, 38, 33, 0),
+    row(0x5601, 7, 6, 1),
+    row(0x5401, 8, 14, 0),
+    row(0x4801, 9, 14, 0),
+    row(0x3801, 10, 14, 0),
+    row(0x3001, 11, 17, 0),
+    row(0x2401, 12, 18, 0),
+    row(0x1C01, 13, 20, 0),
+    row(0x1601, 29, 21, 0),
+    row(0x5601, 15, 14, 1),
+    row(0x5401, 16, 14, 0),
+    row(0x5101, 17, 15, 0),
+    row(0x4801, 18, 16, 0),
+    row(0x3801, 19, 17, 0),
+    row(0x3401, 20, 18, 0),
+    row(0x3001, 21, 19, 0),
+    row(0x2801, 22, 19, 0),
+    row(0x2401, 23, 20, 0),
+    row(0x2201, 24, 21, 0),
+    row(0x1C01, 25, 22, 0),
+    row(0x1801, 26, 23, 0),
+    row(0x1601, 27, 24, 0),
+    row(0x1401, 28, 25, 0),
+    row(0x1201, 29, 26, 0),
+    row(0x1101, 30, 27, 0),
+    row(0x0AC1, 31, 28, 0),
+    row(0x09C1, 32, 29, 0),
+    row(0x08A1, 33, 30, 0),
+    row(0x0521, 34, 31, 0),
+    row(0x0441, 35, 32, 0),
+    row(0x02A1, 36, 33, 0),
+    row(0x0221, 37, 34, 0),
+    row(0x0141, 38, 35, 0),
+    row(0x0111, 39, 36, 0),
+    row(0x0085, 40, 37, 0),
+    row(0x0049, 41, 38, 0),
+    row(0x0025, 42, 39, 0),
+    row(0x0015, 43, 40, 0),
+    row(0x0009, 44, 41, 0),
+    row(0x0005, 45, 42, 0),
+    row(0x0001, 45, 43, 0),
+    row(0x5601, 46, 46, 0),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_states_make_progress_towards_smaller_qe() {
+        // Along the steady-state MPS chain (14..=45), Qe is non-increasing.
+        for i in 14..45usize {
+            let next = QE_TABLE[i].nmps as usize;
+            assert!(
+                QE_TABLE[next].qe <= QE_TABLE[i].qe,
+                "state {i} -> {next} increases Qe"
+            );
+        }
+    }
+
+    #[test]
+    fn switch_only_on_equiprobable_states() {
+        for (i, r) in QE_TABLE.iter().enumerate() {
+            if r.switch_mps == 1 {
+                assert_eq!(r.qe, 0x5601, "switch state {i} must be near-equiprobable");
+            }
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Property tests: the MQ and raw coders are lossless over arbitrary
+//! (context, decision) sequences.
+
+use mqcoder::{Contexts, CtxState, MqDecoder, MqEncoder, RawDecoder, RawEncoder};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn mq_roundtrip_arbitrary_sequences(
+        seq in prop::collection::vec((0usize..19, 0u8..2), 0..4000),
+    ) {
+        let mut ectx = Contexts::new(19);
+        let mut enc = MqEncoder::new();
+        for &(cx, d) in &seq {
+            enc.encode(&mut ectx, cx, d);
+        }
+        let bytes = enc.finish();
+        let mut dctx = Contexts::new(19);
+        let mut dec = MqDecoder::new(&bytes);
+        for &(cx, d) in &seq {
+            prop_assert_eq!(dec.decode(&mut dctx, cx), d);
+        }
+    }
+
+    #[test]
+    fn mq_roundtrip_with_ebcot_initial_states(
+        seq in prop::collection::vec((0usize..19, 0u8..2), 1..2000),
+    ) {
+        // EBCOT's initial states (ctx 0 -> 4, run-length 17 -> 3, uniform
+        // 18 -> 46) must round-trip as long as both sides agree.
+        let init = |ctxs: &mut Contexts| {
+            ctxs.set(0, CtxState::at(4));
+            ctxs.set(17, CtxState::at(3));
+            ctxs.set(18, CtxState::at(46));
+        };
+        let mut ectx = Contexts::new(19);
+        init(&mut ectx);
+        let mut enc = MqEncoder::new();
+        for &(cx, d) in &seq {
+            enc.encode(&mut ectx, cx, d);
+        }
+        let bytes = enc.finish();
+        let mut dctx = Contexts::new(19);
+        init(&mut dctx);
+        let mut dec = MqDecoder::new(&bytes);
+        for &(cx, d) in &seq {
+            prop_assert_eq!(dec.decode(&mut dctx, cx), d);
+        }
+    }
+
+    #[test]
+    fn mq_output_never_contains_a_marker(
+        seq in prop::collection::vec((0usize..19, 0u8..2), 0..4000),
+    ) {
+        let mut ectx = Contexts::new(19);
+        let mut enc = MqEncoder::new();
+        for &(cx, d) in &seq {
+            enc.encode(&mut ectx, cx, d);
+        }
+        let bytes = enc.finish();
+        for w in bytes.windows(2) {
+            prop_assert!(!(w[0] == 0xFF && w[1] >= 0x90),
+                "marker FF{:02X} inside MQ segment", w[1]);
+        }
+    }
+
+    #[test]
+    fn raw_roundtrip_arbitrary_bits(bits in prop::collection::vec(0u8..2, 0..4000)) {
+        let mut enc = RawEncoder::new();
+        for &b in &bits {
+            enc.put(b);
+        }
+        let bytes = enc.finish();
+        let mut dec = RawDecoder::new(&bytes);
+        for &b in &bits {
+            prop_assert_eq!(dec.get(), b);
+        }
+    }
+
+    #[test]
+    fn mq_compresses_biased_sources(bias in 4u32..32) {
+        // A source with P(1) = 1/bias (entropy <= 0.82 bits) must compress
+        // below 1 bit/symbol even with adaptation overhead.
+        let n = 20_000u32;
+        let mut x: u32 = 0x1234_5678;
+        let mut ectx = Contexts::new(1);
+        let mut enc = MqEncoder::new();
+        for _ in 0..n {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            let d = u8::from((x >> 16) % bias == 0);
+            enc.encode(&mut ectx, 0, d);
+        }
+        let bytes = enc.finish();
+        let bps = bytes.len() as f64 * 8.0 / n as f64;
+        prop_assert!(bps < 1.0, "bias {bias}: {bps} bits/symbol");
+    }
+}

@@ -1,0 +1,216 @@
+//! Jasper-style Q13 fixed-point 9/7 transform.
+//!
+//! Jasper represents irreversible-path real numbers in 32-bit fixed point
+//! with 13 fractional bits to "enhance the performance and the portability"
+//! on processors where integer multiply beats floating point. Section 4 of
+//! the paper shows this assumption *inverts* on the Cell SPE: the SPU ISA
+//! has no 32-bit integer multiply (it is emulated with two 16-bit `mpyh`/
+//! `mpyu` multiplies plus adds, Table 1), while single-precision FMA is
+//! fully pipelined. We keep the fixed-point path as the ablation baseline.
+//!
+//! Values are Q13: `value = raw / 2^13`.
+
+use crate::{high_len, low_len};
+
+/// Fractional bits.
+pub const FRAC_BITS: u32 = 13;
+/// 1.0 in Q13.
+pub const ONE: i32 = 1 << FRAC_BITS;
+
+/// Convert an integer sample to Q13.
+#[inline]
+pub fn to_fixed(v: i32) -> i32 {
+    v << FRAC_BITS
+}
+
+/// Convert Q13 back to the nearest integer sample.
+#[inline]
+pub fn from_fixed(v: i32) -> i32 {
+    // Round-half-away-from-zero, like Jasper's JAS_FIX_ROUND.
+    if v >= 0 {
+        (v + (ONE >> 1)) >> FRAC_BITS
+    } else {
+        -((-v + (ONE >> 1)) >> FRAC_BITS)
+    }
+}
+
+/// Q13 multiply with 64-bit intermediate (Jasper's JAS_FIX_MUL).
+#[inline]
+pub fn fix_mul(a: i32, b: i32) -> i32 {
+    ((a as i64 * b as i64) >> FRAC_BITS) as i32
+}
+
+const fn q13(x: f64) -> i32 {
+    // Round-to-nearest at compile time.
+    (x * (1u32 << FRAC_BITS) as f64 + if x >= 0.0 { 0.5 } else { -0.5 }) as i32
+}
+
+/// 9/7 lifting constants in Q13 (signs as in the float path).
+pub const ALPHA_Q13: i32 = q13(-1.586134342059924);
+/// First update.
+pub const BETA_Q13: i32 = q13(-0.052980118572961);
+/// Second predict.
+pub const GAMMA_Q13: i32 = q13(0.882911075530934);
+/// Second update.
+pub const DELTA_Q13: i32 = q13(0.443506852043971);
+/// Low-pass scale 1/K.
+pub const INV_K_Q13: i32 = q13(1.0 / 1.230174104914001);
+/// High-pass scale K.
+pub const K_Q13: i32 = q13(1.230174104914001);
+
+#[inline]
+fn mirror(i: isize, n: usize) -> usize {
+    let n = n as isize;
+    let mut i = i;
+    if i < 0 {
+        i = -i;
+    }
+    if i >= n {
+        i = 2 * (n - 1) - i;
+    }
+    i as usize
+}
+
+fn lift_pass_fixed(x: &mut [i32], phase: usize, c: i32) {
+    let n = x.len();
+    let mut k = phase;
+    while k < n {
+        let a = x[mirror(k as isize - 1, n)];
+        let b = x[mirror(k as isize + 1, n)];
+        x[k] += fix_mul(c, a.wrapping_add(b));
+        k += 2;
+    }
+}
+
+fn deinterleave(x: &mut [i32], scratch: &mut Vec<i32>) {
+    let n = x.len();
+    scratch.clear();
+    scratch.extend_from_slice(x);
+    let nl = low_len(n);
+    for i in 0..nl {
+        x[i] = scratch[2 * i];
+    }
+    for i in 0..high_len(n) {
+        x[nl + i] = scratch[2 * i + 1];
+    }
+}
+
+fn interleave(x: &mut [i32], scratch: &mut Vec<i32>) {
+    let n = x.len();
+    scratch.clear();
+    scratch.extend_from_slice(x);
+    let nl = low_len(n);
+    for i in 0..nl {
+        x[2 * i] = scratch[i];
+    }
+    for i in 0..high_len(n) {
+        x[2 * i + 1] = scratch[nl + i];
+    }
+}
+
+/// Forward 9/7 on a Q13 line, deinterleaving low/high in place.
+pub fn fwd_97_fixed(x: &mut [i32], scratch: &mut Vec<i32>) {
+    let n = x.len();
+    if n <= 1 {
+        return;
+    }
+    lift_pass_fixed(x, 1, ALPHA_Q13);
+    lift_pass_fixed(x, 0, BETA_Q13);
+    lift_pass_fixed(x, 1, GAMMA_Q13);
+    lift_pass_fixed(x, 0, DELTA_Q13);
+    let mut k = 0;
+    while k < n {
+        x[k] = fix_mul(x[k], INV_K_Q13);
+        k += 2;
+    }
+    let mut k = 1;
+    while k < n {
+        x[k] = fix_mul(x[k], K_Q13);
+        k += 2;
+    }
+    deinterleave(x, scratch);
+}
+
+/// Inverse 9/7 on a Q13 line (low/high halves in, natural order out).
+pub fn inv_97_fixed(x: &mut [i32], scratch: &mut Vec<i32>) {
+    let n = x.len();
+    if n <= 1 {
+        return;
+    }
+    interleave(x, scratch);
+    let mut k = 0;
+    while k < n {
+        x[k] = fix_mul(x[k], K_Q13);
+        k += 2;
+    }
+    let mut k = 1;
+    while k < n {
+        x[k] = fix_mul(x[k], INV_K_Q13);
+        k += 2;
+    }
+    lift_pass_fixed(x, 0, -DELTA_Q13);
+    lift_pass_fixed(x, 1, -GAMMA_Q13);
+    lift_pass_fixed(x, 0, -BETA_Q13);
+    lift_pass_fixed(x, 1, -ALPHA_Q13);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn q13_constants_are_sane() {
+        assert_eq!(to_fixed(1), ONE);
+        assert_eq!(from_fixed(ONE), 1);
+        assert_eq!(from_fixed(ONE + (ONE >> 1)), 2); // 1.5 rounds away
+        assert_eq!(from_fixed(-(ONE + (ONE >> 1))), -2);
+        assert!((ALPHA_Q13 as f64 / ONE as f64 + 1.586134342).abs() < 1e-3);
+        assert!((K_Q13 as f64 / ONE as f64 - 1.230174105).abs() < 1e-3);
+    }
+
+    #[test]
+    fn fix_mul_matches_float() {
+        let a = to_fixed(3);
+        let r = fix_mul(a, GAMMA_Q13);
+        let expect = 3.0 * 0.882911075530934;
+        assert!((r as f64 / ONE as f64 - expect).abs() < 1e-3);
+    }
+
+    #[test]
+    fn fixed_roundtrip_close() {
+        let mut s = Vec::new();
+        for n in [2usize, 5, 16, 33, 128] {
+            let orig: Vec<i32> =
+                (0..n).map(|i| ((i * 2654435761) % 511) as i32 - 255).collect();
+            let mut x: Vec<i32> = orig.iter().map(|&v| to_fixed(v)).collect();
+            fwd_97_fixed(&mut x, &mut s);
+            inv_97_fixed(&mut x, &mut s);
+            for (i, (&got, &want)) in x.iter().zip(&orig).enumerate() {
+                let got = from_fixed(got);
+                assert!((got - want).abs() <= 1, "n={n} i={i}: {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_matches_float_forward() {
+        // The Q13 approximation must track the float transform to within the
+        // quantization noise floor of the representation.
+        let n = 64;
+        let orig: Vec<i32> = (0..n).map(|i| ((i * 97) % 251) as i32 - 125).collect();
+        let mut xf: Vec<f32> = orig.iter().map(|&v| v as f32).collect();
+        let mut xi: Vec<i32> = orig.iter().map(|&v| to_fixed(v)).collect();
+        let mut sf = Vec::new();
+        let mut si = Vec::new();
+        crate::line::fwd_97(&mut xf, &mut sf);
+        fwd_97_fixed(&mut xi, &mut si);
+        for i in 0..n {
+            let fx = xi[i] as f64 / ONE as f64;
+            assert!(
+                (fx - xf[i] as f64).abs() < 0.25,
+                "i={i}: fixed {fx} float {}",
+                xf[i]
+            );
+        }
+    }
+}

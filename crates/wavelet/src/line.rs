@@ -1,0 +1,286 @@
+//! 1-D lifting transforms on contiguous signals.
+//!
+//! These are the reference semantics for everything else in the crate: the
+//! vertical variants and the convolution baseline are tested against them.
+//!
+//! Convention: input is the interleaved signal `x[0..n]` (even indices are
+//! the low-pass phase); output is *deinterleaved in place* — low band in
+//! `x[0..low_len(n)]`, high band in `x[low_len(n)..n]`. Boundary handling is
+//! whole-sample symmetric extension (`x[-1] = x[1]`, `x[n] = x[n-2]`).
+
+use crate::consts::{ALPHA, BETA, DELTA, GAMMA, INV_K, K};
+use crate::{high_len, low_len};
+
+/// Symmetric extension of index `i` (as isize) into `0..n`.
+#[inline]
+fn mirror(i: isize, n: usize) -> usize {
+    let n = n as isize;
+    debug_assert!(n >= 1);
+    let mut i = i;
+    // One reflection suffices for the lifting stencils used here (|i| < 2n).
+    if i < 0 {
+        i = -i;
+    }
+    if i >= n {
+        i = 2 * (n - 1) - i;
+    }
+    debug_assert!((0..n).contains(&i));
+    i as usize
+}
+
+/// Deinterleave `x` (even samples first) using `scratch`.
+fn deinterleave<T: Copy>(x: &mut [T], scratch: &mut Vec<T>) {
+    let n = x.len();
+    scratch.clear();
+    scratch.extend_from_slice(x);
+    let nl = low_len(n);
+    for i in 0..nl {
+        x[i] = scratch[2 * i];
+    }
+    for i in 0..high_len(n) {
+        x[nl + i] = scratch[2 * i + 1];
+    }
+}
+
+/// Interleave `x` (low band first) back to natural order using `scratch`.
+fn interleave<T: Copy>(x: &mut [T], scratch: &mut Vec<T>) {
+    let n = x.len();
+    scratch.clear();
+    scratch.extend_from_slice(x);
+    let nl = low_len(n);
+    for i in 0..nl {
+        x[2 * i] = scratch[i];
+    }
+    for i in 0..high_len(n) {
+        x[2 * i + 1] = scratch[nl + i];
+    }
+}
+
+/// Forward reversible 5/3 transform of one line.
+pub fn fwd_53(x: &mut [i32], scratch: &mut Vec<i32>) {
+    let n = x.len();
+    if n <= 1 {
+        return;
+    }
+    // Predict (high): x[k] -= floor((x[k-1] + x[k+1]) / 2) for odd k.
+    let mut k = 1;
+    while k < n {
+        let a = x[mirror(k as isize - 1, n)];
+        let b = x[mirror(k as isize + 1, n)];
+        x[k] -= (a + b) >> 1;
+        k += 2;
+    }
+    // Update (low): x[k] += floor((x[k-1] + x[k+1] + 2) / 4) for even k.
+    let mut k = 0;
+    while k < n {
+        let a = x[mirror(k as isize - 1, n)];
+        let b = x[mirror(k as isize + 1, n)];
+        x[k] += (a + b + 2) >> 2;
+        k += 2;
+    }
+    deinterleave(x, scratch);
+}
+
+/// Inverse reversible 5/3 transform of one line.
+pub fn inv_53(x: &mut [i32], scratch: &mut Vec<i32>) {
+    let n = x.len();
+    if n <= 1 {
+        return;
+    }
+    interleave(x, scratch);
+    // Undo update.
+    let mut k = 0;
+    while k < n {
+        let a = x[mirror(k as isize - 1, n)];
+        let b = x[mirror(k as isize + 1, n)];
+        x[k] -= (a + b + 2) >> 2;
+        k += 2;
+    }
+    // Undo predict.
+    let mut k = 1;
+    while k < n {
+        let a = x[mirror(k as isize - 1, n)];
+        let b = x[mirror(k as isize + 1, n)];
+        x[k] += (a + b) >> 1;
+        k += 2;
+    }
+}
+
+#[inline]
+fn lift_pass(x: &mut [f32], phase: usize, c: f32) {
+    let n = x.len();
+    let mut k = phase;
+    while k < n {
+        let a = x[mirror(k as isize - 1, n)];
+        let b = x[mirror(k as isize + 1, n)];
+        x[k] += c * (a + b);
+        k += 2;
+    }
+}
+
+/// Forward irreversible 9/7 transform of one line (single precision, the
+/// representation the paper adopts for the SPE).
+pub fn fwd_97(x: &mut [f32], scratch: &mut Vec<f32>) {
+    let n = x.len();
+    if n <= 1 {
+        return;
+    }
+    lift_pass(x, 1, ALPHA);
+    lift_pass(x, 0, BETA);
+    lift_pass(x, 1, GAMMA);
+    lift_pass(x, 0, DELTA);
+    let mut k = 0;
+    while k < n {
+        x[k] *= INV_K;
+        k += 2;
+    }
+    let mut k = 1;
+    while k < n {
+        x[k] *= K;
+        k += 2;
+    }
+    deinterleave(x, scratch);
+}
+
+/// Inverse irreversible 9/7 transform of one line.
+pub fn inv_97(x: &mut [f32], scratch: &mut Vec<f32>) {
+    let n = x.len();
+    if n <= 1 {
+        return;
+    }
+    interleave(x, scratch);
+    let mut k = 0;
+    while k < n {
+        x[k] *= K;
+        k += 2;
+    }
+    let mut k = 1;
+    while k < n {
+        x[k] *= INV_K;
+        k += 2;
+    }
+    lift_pass(x, 0, -DELTA);
+    lift_pass(x, 1, -GAMMA);
+    lift_pass(x, 0, -BETA);
+    lift_pass(x, 1, -ALPHA);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirror_rules() {
+        assert_eq!(mirror(-1, 8), 1);
+        assert_eq!(mirror(8, 8), 6);
+        assert_eq!(mirror(3, 8), 3);
+        assert_eq!(mirror(0, 1), 0);
+        assert_eq!(mirror(-1, 2), 1);
+        assert_eq!(mirror(2, 2), 0);
+    }
+
+    #[test]
+    fn fwd53_known_answer_constant_signal() {
+        // A constant signal has zero high band and unchanged low band.
+        let mut x = vec![7i32; 10];
+        let mut s = Vec::new();
+        fwd_53(&mut x, &mut s);
+        assert_eq!(&x[..5], &[7; 5]);
+        assert_eq!(&x[5..], &[0; 5]);
+    }
+
+    #[test]
+    fn fwd53_known_answer_ramp() {
+        // Ramp 0..8: predict makes every high sample 0 except the mirrored
+        // tail; update adds the small correction to the lows.
+        let mut x: Vec<i32> = (0..8).collect();
+        let mut s = Vec::new();
+        fwd_53(&mut x, &mut s);
+        // highs: x1-((x0+x2)/2)=0, 0, 0, x7-((x6+x6mirror)/2)=7-6=1
+        assert_eq!(&x[4..], &[0, 0, 0, 1]);
+        // lows: x0+(h0*2+2)/4 = 0+0=0; x2,x4 unchanged (+0); x6 += (0+1+2)/4=0
+        assert_eq!(&x[..4], &[0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn roundtrip_53_various_lengths() {
+        let mut s = Vec::new();
+        for n in [1usize, 2, 3, 4, 5, 7, 8, 16, 17, 64, 101] {
+            let orig: Vec<i32> =
+                (0..n).map(|i| ((i * 2654435761) % 511) as i32 - 255).collect();
+            let mut x = orig.clone();
+            fwd_53(&mut x, &mut s);
+            inv_53(&mut x, &mut s);
+            assert_eq!(x, orig, "n={n}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_97_various_lengths() {
+        let mut s = Vec::new();
+        for n in [1usize, 2, 3, 4, 5, 8, 16, 33, 100] {
+            let orig: Vec<f32> =
+                (0..n).map(|i| (((i * 2654435761) % 511) as f32) - 255.0).collect();
+            let mut x = orig.clone();
+            fwd_97(&mut x, &mut s);
+            inv_97(&mut x, &mut s);
+            for (a, b) in x.iter().zip(&orig) {
+                assert!((a - b).abs() < 1e-2, "n={n}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn fwd97_dc_gain_is_one() {
+        let mut x = vec![100.0f32; 64];
+        let mut s = Vec::new();
+        fwd_97(&mut x, &mut s);
+        for &v in &x[..32] {
+            assert!((v - 100.0).abs() < 0.05, "low {v}");
+        }
+        for &v in &x[32..] {
+            assert!(v.abs() < 0.05, "high {v}");
+        }
+    }
+
+    #[test]
+    fn white_noise_energy_gain_matches_filter_norms() {
+        // The JPEG2000 normalization (low DC gain 1, high Nyquist gain 2) is
+        // NOT orthonormal — per-band L2 gains are compensated later by the
+        // quantizer. On white noise the energy gain equals
+        // (|h_lo|^2 + |h_hi|^2) / 2, which for these filters is ~1.7.
+        let hash = |i: u32| {
+            let mut v = i.wrapping_mul(0x9E37_79B1);
+            v ^= v >> 16;
+            v = v.wrapping_mul(0x85EB_CA6B);
+            v ^= v >> 13;
+            v
+        };
+        let mut x: Vec<f32> =
+            (0..4096u32).map(|i| hash(i) as f32 / u32::MAX as f32 - 0.5).collect();
+        let e0: f32 = x.iter().map(|v| v * v).sum();
+        let mut s = Vec::new();
+        fwd_97(&mut x, &mut s);
+        let e1: f32 = x.iter().map(|v| v * v).sum();
+        let expected = (crate::conv::ANALYSIS_LO.iter().map(|c| c * c).sum::<f32>()
+            + crate::conv::ANALYSIS_HI.iter().map(|c| c * c).sum::<f32>())
+            / 2.0;
+        assert!(
+            (e1 / e0 - expected).abs() < 0.1 * expected,
+            "energy ratio {} expected {expected}",
+            e1 / e0
+        );
+    }
+
+    #[test]
+    fn deinterleave_interleave_inverse() {
+        let mut s = Vec::new();
+        for n in [2usize, 3, 9, 10] {
+            let orig: Vec<i32> = (0..n as i32).collect();
+            let mut x = orig.clone();
+            deinterleave(&mut x, &mut s);
+            interleave(&mut x, &mut s);
+            assert_eq!(x, orig);
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! Chunk partitioning ([`ChunkPlan`]) — Figure 1 of the paper.
+//!
+//! The padded array is split into column chunks. Every chunk except the last
+//! has a width that is a multiple of the cache line; those constant-width
+//! chunks are dealt out to the SPEs round-robin. The remainder chunk (if the
+//! logical width is not itself a line multiple) goes to the PPE, "to enhance
+//! the overall chip utilization".
+
+use crate::{ls_row_footprint, XpartError, CACHE_LINE};
+
+/// Which processing element owns a chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Owner {
+    /// One of the synergistic processing elements, by index.
+    Spe(usize),
+    /// The PowerPC element (handles the arbitrary-width remainder chunk).
+    Ppe,
+}
+
+/// One column chunk of the decomposition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkDesc {
+    /// Dense chunk index, in left-to-right order.
+    pub id: usize,
+    /// Owning processing element.
+    pub owner: Owner,
+    /// First column (element index) covered by this chunk.
+    pub x0: usize,
+    /// Width in elements. For every chunk but possibly the last this is
+    /// `width_bytes / elem_size` with `width_bytes` a cache-line multiple.
+    pub width: usize,
+    /// Height in rows (always the full array height).
+    pub height: usize,
+    /// True for the final, arbitrary-width remainder chunk.
+    pub is_remainder: bool,
+}
+
+impl ChunkDesc {
+    /// Number of elements covered.
+    #[inline]
+    pub fn elems(&self) -> usize {
+        self.width * self.height
+    }
+}
+
+/// Configuration for building a [`ChunkPlan`].
+#[derive(Debug, Clone, Copy)]
+pub struct PlanConfig {
+    /// Number of SPEs that will receive constant-width chunks.
+    pub num_spes: usize,
+    /// Element size in bytes (4 for `i32`/`f32` samples).
+    pub elem_size: usize,
+    /// Desired constant chunk width in *bytes*; must be a positive multiple
+    /// of [`CACHE_LINE`]. The paper tunes this (column-grouping width) so one
+    /// row of a chunk plus buffering fits the Local Store.
+    pub chunk_width_bytes: usize,
+    /// Multi-buffering level used to size the Local Store check (1 = single).
+    pub buffering: usize,
+    /// Local Store budget in bytes available for row buffers (the full Local
+    /// Store is 256 KiB minus code and stack; callers pass the data budget).
+    pub ls_budget: usize,
+}
+
+impl Default for PlanConfig {
+    fn default() -> Self {
+        Self {
+            num_spes: 8,
+            elem_size: 4,
+            chunk_width_bytes: 4 * CACHE_LINE,
+            buffering: 2,
+            ls_budget: 192 * 1024,
+        }
+    }
+}
+
+/// A complete decomposition of a `width x height` array.
+#[derive(Debug, Clone)]
+pub struct ChunkPlan {
+    width: usize,
+    height: usize,
+    elem_size: usize,
+    chunks: Vec<ChunkDesc>,
+}
+
+impl ChunkPlan {
+    /// Partition an array of `width x height` elements according to `cfg`.
+    ///
+    /// When `cfg.num_spes == 0` the whole array becomes a single PPE chunk
+    /// (the "1 PPE only" configuration of Figures 4/5).
+    pub fn build(width: usize, height: usize, cfg: &PlanConfig) -> Result<Self, XpartError> {
+        if width == 0 {
+            return Err(XpartError::EmptyExtent { what: "width" });
+        }
+        if height == 0 {
+            return Err(XpartError::EmptyExtent { what: "height" });
+        }
+        if cfg.elem_size == 0 || !CACHE_LINE.is_multiple_of(cfg.elem_size) {
+            return Err(XpartError::ElemSizeIncompatible { elem_size: cfg.elem_size });
+        }
+        if cfg.chunk_width_bytes == 0 || !cfg.chunk_width_bytes.is_multiple_of(CACHE_LINE) {
+            return Err(XpartError::ChunkWidthNotLineMultiple { bytes: cfg.chunk_width_bytes });
+        }
+        let needed = ls_row_footprint(cfg.chunk_width_bytes, cfg.buffering);
+        if needed > cfg.ls_budget {
+            return Err(XpartError::LocalStoreOverflow { needed, budget: cfg.ls_budget });
+        }
+
+        let chunk_w = cfg.chunk_width_bytes / cfg.elem_size;
+        let mut chunks = Vec::new();
+        if cfg.num_spes == 0 {
+            chunks.push(ChunkDesc {
+                id: 0,
+                owner: Owner::Ppe,
+                x0: 0,
+                width,
+                height,
+                is_remainder: true,
+            });
+            return Ok(Self { width, height, elem_size: cfg.elem_size, chunks });
+        }
+
+        let full = width / chunk_w;
+        let rem = width - full * chunk_w;
+        for i in 0..full {
+            chunks.push(ChunkDesc {
+                id: i,
+                owner: Owner::Spe(i % cfg.num_spes),
+                x0: i * chunk_w,
+                width: chunk_w,
+                height,
+                is_remainder: false,
+            });
+        }
+        if rem > 0 {
+            chunks.push(ChunkDesc {
+                id: full,
+                owner: Owner::Ppe,
+                x0: full * chunk_w,
+                width: rem,
+                height,
+                is_remainder: true,
+            });
+        }
+        // Degenerate case: the array is narrower than one chunk — everything
+        // is remainder and lands on the PPE, matching the paper's rule.
+        Ok(Self { width, height, elem_size: cfg.elem_size, chunks })
+    }
+
+    /// Logical array width in elements.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Array height in rows.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// All chunks, left to right.
+    #[inline]
+    pub fn chunks(&self) -> &[ChunkDesc] {
+        &self.chunks
+    }
+
+    /// Chunks owned by a given processing element.
+    pub fn chunks_for(&self, owner: Owner) -> impl Iterator<Item = &ChunkDesc> {
+        self.chunks.iter().filter(move |c| c.owner == owner)
+    }
+
+    /// The remainder chunk, if any.
+    pub fn remainder(&self) -> Option<&ChunkDesc> {
+        self.chunks.last().filter(|c| c.is_remainder)
+    }
+
+    /// Total elements covered by all chunks (must equal `width * height`).
+    pub fn covered_elems(&self) -> usize {
+        self.chunks.iter().map(ChunkDesc::elems).sum()
+    }
+
+    /// Check the scheme's invariants; used by tests and by `cellsim` before
+    /// admitting a plan.
+    ///
+    /// Invariants (paper, Section 2):
+    /// * chunks tile `[0, width)` exactly, in order, without overlap;
+    /// * every non-remainder chunk starts at a cache-line-aligned byte
+    ///   offset and has a byte width that is a cache-line multiple;
+    /// * at most one remainder chunk exists, it is last, and it is owned by
+    ///   the PPE;
+    /// * every chunk spans the full height.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut x = 0usize;
+        for (i, c) in self.chunks.iter().enumerate() {
+            if c.id != i {
+                return Err(format!("chunk {i} has id {}", c.id));
+            }
+            if c.x0 != x {
+                return Err(format!("chunk {i} starts at {} expected {x}", c.x0));
+            }
+            if c.height != self.height {
+                return Err(format!("chunk {i} height {} != {}", c.height, self.height));
+            }
+            if c.width == 0 {
+                return Err(format!("chunk {i} empty"));
+            }
+            if !c.is_remainder {
+                if !(c.x0 * self.elem_size).is_multiple_of(CACHE_LINE) {
+                    return Err(format!("chunk {i} start not line aligned"));
+                }
+                if !(c.width * self.elem_size).is_multiple_of(CACHE_LINE) {
+                    return Err(format!("chunk {i} width not a line multiple"));
+                }
+            } else {
+                if i != self.chunks.len() - 1 {
+                    return Err(format!("remainder chunk {i} not last"));
+                }
+                if c.owner != Owner::Ppe {
+                    return Err("remainder chunk not owned by PPE".into());
+                }
+            }
+            x += c.width;
+        }
+        if x != self.width {
+            return Err(format!("chunks cover {x} of {} columns", self.width));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(spes: usize, lines: usize) -> PlanConfig {
+        PlanConfig {
+            num_spes: spes,
+            elem_size: 4,
+            chunk_width_bytes: lines * CACHE_LINE,
+            buffering: 2,
+            ls_budget: 192 * 1024,
+        }
+    }
+
+    #[test]
+    fn exact_tiling_no_remainder() {
+        // 256 i32 columns = 1024 bytes = 8 lines; chunk width 2 lines = 64 elems.
+        let p = ChunkPlan::build(256, 10, &cfg(4, 2)).unwrap();
+        p.validate().unwrap();
+        assert_eq!(p.chunks().len(), 4);
+        assert!(p.remainder().is_none());
+        assert_eq!(p.covered_elems(), 256 * 10);
+    }
+
+    #[test]
+    fn remainder_goes_to_ppe() {
+        let p = ChunkPlan::build(300, 10, &cfg(4, 2)).unwrap();
+        p.validate().unwrap();
+        let r = p.remainder().expect("remainder");
+        assert_eq!(r.owner, Owner::Ppe);
+        assert_eq!(r.width, 300 - 4 * 64);
+        assert_eq!(p.covered_elems(), 300 * 10);
+    }
+
+    #[test]
+    fn round_robin_spe_assignment() {
+        let p = ChunkPlan::build(64 * 5, 4, &cfg(2, 2)).unwrap();
+        let owners: Vec<_> = p.chunks().iter().map(|c| c.owner).collect();
+        assert_eq!(
+            owners,
+            vec![
+                Owner::Spe(0),
+                Owner::Spe(1),
+                Owner::Spe(0),
+                Owner::Spe(1),
+                Owner::Spe(0)
+            ]
+        );
+    }
+
+    #[test]
+    fn zero_spes_single_ppe_chunk() {
+        let p = ChunkPlan::build(300, 10, &cfg(0, 2)).unwrap();
+        p.validate().unwrap();
+        assert_eq!(p.chunks().len(), 1);
+        assert_eq!(p.chunks()[0].owner, Owner::Ppe);
+    }
+
+    #[test]
+    fn narrow_array_all_remainder() {
+        let p = ChunkPlan::build(10, 10, &cfg(4, 2)).unwrap();
+        p.validate().unwrap();
+        assert_eq!(p.chunks().len(), 1);
+        assert!(p.chunks()[0].is_remainder);
+    }
+
+    #[test]
+    fn rejects_non_line_chunk_width() {
+        let mut c = cfg(4, 2);
+        c.chunk_width_bytes = 100;
+        assert!(matches!(
+            ChunkPlan::build(256, 10, &c),
+            Err(XpartError::ChunkWidthNotLineMultiple { bytes: 100 })
+        ));
+    }
+
+    #[test]
+    fn rejects_ls_overflow() {
+        let mut c = cfg(4, 512); // 64 KiB per row buffer
+        c.buffering = 4;
+        c.ls_budget = 128 * 1024;
+        assert!(matches!(
+            ChunkPlan::build(1 << 20, 10, &c),
+            Err(XpartError::LocalStoreOverflow { .. })
+        ));
+    }
+
+    #[test]
+    fn chunks_for_filters_by_owner() {
+        let p = ChunkPlan::build(64 * 4 + 3, 2, &cfg(2, 2)).unwrap();
+        assert_eq!(p.chunks_for(Owner::Spe(0)).count(), 2);
+        assert_eq!(p.chunks_for(Owner::Spe(1)).count(), 2);
+        assert_eq!(p.chunks_for(Owner::Ppe).count(), 1);
+    }
+}

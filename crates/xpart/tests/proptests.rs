@@ -1,0 +1,127 @@
+//! Property tests for the data decomposition scheme's invariants
+//! (paper Section 2): exact tiling, alignment, Local Store bounds.
+
+use proptest::prelude::*;
+use xpart::{
+    dma::{chunk_row_transfer, DmaClass, DmaDir},
+    round_up, AlignedPlane, ChunkPlan, Owner, PlanConfig, CACHE_LINE,
+};
+
+fn config_strategy() -> impl Strategy<Value = PlanConfig> {
+    (0usize..17, 1usize..65, 1usize..4).prop_map(|(spes, lines, buffering)| PlanConfig {
+        num_spes: spes,
+        elem_size: 4,
+        chunk_width_bytes: lines * CACHE_LINE,
+        buffering,
+        ls_budget: 192 * 1024,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn chunks_tile_exactly_and_validate(
+        w in 1usize..10_000,
+        h in 1usize..64,
+        cfg in config_strategy(),
+    ) {
+        prop_assume!(xpart::ls_row_footprint(cfg.chunk_width_bytes, cfg.buffering) <= cfg.ls_budget);
+        let plan = ChunkPlan::build(w, h, &cfg).unwrap();
+        plan.validate().unwrap();
+        prop_assert_eq!(plan.covered_elems(), w * h);
+        // At most one remainder, owned by the PPE.
+        let rem: Vec<_> = plan.chunks().iter().filter(|c| c.is_remainder).collect();
+        prop_assert!(rem.len() <= 1);
+        for r in rem {
+            prop_assert_eq!(r.owner, Owner::Ppe);
+        }
+        // Non-remainder chunks all have the configured width.
+        for c in plan.chunks().iter().filter(|c| !c.is_remainder) {
+            prop_assert_eq!(c.width * cfg.elem_size, cfg.chunk_width_bytes);
+        }
+    }
+
+    #[test]
+    fn spe_round_robin_is_balanced(
+        w in 256usize..20_000,
+        spes in 1usize..17,
+    ) {
+        let cfg = PlanConfig { num_spes: spes, ..PlanConfig::default() };
+        let plan = ChunkPlan::build(w, 8, &cfg).unwrap();
+        let mut counts = vec![0usize; spes];
+        for c in plan.chunks() {
+            if let Owner::Spe(i) = c.owner {
+                counts[i] += 1;
+            }
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        prop_assert!(max - min <= 1, "{counts:?}");
+    }
+
+    #[test]
+    fn spe_chunk_row_dma_is_always_line_optimal(
+        w in 64usize..5_000,
+        h in 1usize..32,
+        y_frac in 0.0f64..1.0,
+        cfg in config_strategy(),
+    ) {
+        prop_assume!(xpart::ls_row_footprint(cfg.chunk_width_bytes, cfg.buffering) <= cfg.ls_budget);
+        prop_assume!(cfg.num_spes > 0);
+        let plan = ChunkPlan::build(w, h, &cfg).unwrap();
+        let stride = round_up(w * 4, CACHE_LINE);
+        let y = ((h as f64 * y_frac) as usize).min(h - 1);
+        for c in plan.chunks().iter().filter(|c| !c.is_remainder) {
+            let t = chunk_row_transfer(c, y, stride, 4, DmaDir::Get);
+            prop_assert_eq!(t.class(), DmaClass::LineOptimal, "chunk {}", c.id);
+            // Every transfer is an even multiple of the line size.
+            prop_assert_eq!(t.bytes % CACHE_LINE, 0);
+        }
+    }
+
+    #[test]
+    fn no_cache_line_shared_between_owners(
+        w in 64usize..3_000,
+        cfg in config_strategy(),
+    ) {
+        prop_assume!(xpart::ls_row_footprint(cfg.chunk_width_bytes, cfg.buffering) <= cfg.ls_budget);
+        // Within one row, the byte ranges of different chunks must not
+        // touch the same cache line (the paper's "no cache conflict"
+        // property). Row padding covers the remainder chunk's tail.
+        let plan = ChunkPlan::build(w, 4, &cfg).unwrap();
+        let stride = round_up(w * 4, CACHE_LINE);
+        let mut line_owner: std::collections::HashMap<usize, usize> = Default::default();
+        for c in plan.chunks() {
+            let t = chunk_row_transfer(c, 0, stride, 4, DmaDir::Get);
+            let first = t.main_offset / CACHE_LINE;
+            let last = (t.main_offset + t.bytes - 1) / CACHE_LINE;
+            for line in first..=last {
+                if let Some(&prev) = line_owner.get(&line) {
+                    prop_assert_eq!(prev, c.id, "line {} shared", line);
+                }
+                line_owner.insert(line, c.id);
+            }
+        }
+    }
+
+    #[test]
+    fn plane_roundtrip_arbitrary(
+        w in 1usize..300,
+        h in 1usize..40,
+        seed in any::<u32>(),
+    ) {
+        let mut x = seed | 1;
+        let dense: Vec<i32> = (0..w * h)
+            .map(|_| {
+                x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+                x as i32
+            })
+            .collect();
+        let p = AlignedPlane::from_dense(w, h, &dense).unwrap();
+        prop_assert_eq!(p.to_dense(), dense);
+        prop_assert_eq!(p.stride_bytes() % CACHE_LINE, 0);
+        for y in 0..h {
+            prop_assert_eq!(p.byte_offset(0, y) % CACHE_LINE, 0);
+        }
+    }
+}

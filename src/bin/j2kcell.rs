@@ -1,0 +1,270 @@
+//! `j2kcell` — command-line JPEG2000 encoder/decoder and Cell/B.E.
+//! what-if simulator.
+//!
+//! ```text
+//! j2kcell encode  input.{bmp,pgm,ppm} output.{j2c,jp2} [--lossy RATE] [--levels N]
+//!                 [--cb N] [--variant separate|interleaved|merged]
+//!                 [--fixed] [--bypass] [--layers N] [--threads N]
+//! j2kcell decode  input.j2c output.{bmp,pgm,ppm} [--resolution N] [--max-layers N]
+//! j2kcell simulate input.{bmp,pgm,ppm} [--lossy RATE] [--spes N] [--ppes N]
+//! j2kcell info    input.j2c
+//! ```
+
+use jpeg2000_cell::codec::cell::{simulate, SimOptions};
+use jpeg2000_cell::codec::codestream;
+use jpeg2000_cell::codec::{
+    decode, decode_layers, decode_resolution, encode_with_profile, EncoderParams, Mode,
+};
+use jpeg2000_cell::images::{bmp, pnm, Image};
+use jpeg2000_cell::machine::MachineConfig;
+use std::path::Path;
+use std::process::exit;
+
+fn die(msg: &str) -> ! {
+    eprintln!("j2kcell: {msg}");
+    exit(2);
+}
+
+fn read_image(path: &str) -> Image {
+    let ext = Path::new(path).extension().and_then(|e| e.to_str()).unwrap_or("");
+    let r = match ext.to_ascii_lowercase().as_str() {
+        "bmp" => bmp::read(path),
+        "pgm" | "ppm" | "pnm" => pnm::read(path),
+        other => die(&format!("unsupported input extension .{other} (bmp/pgm/ppm)")),
+    };
+    r.unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")))
+}
+
+fn write_image(path: &str, im: &Image) {
+    let ext = Path::new(path).extension().and_then(|e| e.to_str()).unwrap_or("");
+    let r = match ext.to_ascii_lowercase().as_str() {
+        "bmp" => bmp::write(path, im),
+        "pgm" | "ppm" | "pnm" => pnm::write(path, im),
+        other => die(&format!("unsupported output extension .{other} (bmp/pgm/ppm)")),
+    };
+    r.unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+}
+
+struct Opt {
+    positional: Vec<String>,
+    lossy: Option<f64>,
+    levels: usize,
+    cb: usize,
+    layers: usize,
+    fixed: bool,
+    variant: wavelet::VerticalVariant,
+    threads: usize,
+    spes: usize,
+    ppes: usize,
+    resolution: usize,
+    max_layers: usize,
+    bypass: bool,
+}
+
+fn parse(args: &[String]) -> Opt {
+    let mut o = Opt {
+        positional: Vec::new(),
+        lossy: None,
+        levels: 5,
+        cb: 64,
+        layers: 1,
+        fixed: false,
+        variant: wavelet::VerticalVariant::Merged,
+        threads: 1,
+        spes: 8,
+        ppes: 1,
+        resolution: 0,
+        max_layers: usize::MAX,
+        bypass: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let need = |i: usize| -> &String {
+            args.get(i + 1).unwrap_or_else(|| die(&format!("missing value after {}", args[i])))
+        };
+        match args[i].as_str() {
+            "--lossy" => {
+                o.lossy = Some(need(i).parse().unwrap_or_else(|_| die("--lossy RATE")));
+                i += 2;
+            }
+            "--levels" => {
+                o.levels = need(i).parse().unwrap_or_else(|_| die("--levels N"));
+                i += 2;
+            }
+            "--cb" => {
+                o.cb = need(i).parse().unwrap_or_else(|_| die("--cb N"));
+                i += 2;
+            }
+            "--layers" => {
+                o.layers = need(i).parse().unwrap_or_else(|_| die("--layers N"));
+                i += 2;
+            }
+            "--threads" => {
+                o.threads = need(i).parse().unwrap_or_else(|_| die("--threads N"));
+                i += 2;
+            }
+            "--spes" => {
+                o.spes = need(i).parse().unwrap_or_else(|_| die("--spes N"));
+                i += 2;
+            }
+            "--ppes" => {
+                o.ppes = need(i).parse().unwrap_or_else(|_| die("--ppes N"));
+                i += 2;
+            }
+            "--resolution" => {
+                o.resolution = need(i).parse().unwrap_or_else(|_| die("--resolution N"));
+                i += 2;
+            }
+            "--max-layers" => {
+                o.max_layers = need(i).parse().unwrap_or_else(|_| die("--max-layers N"));
+                i += 2;
+            }
+            "--fixed" => {
+                o.fixed = true;
+                i += 1;
+            }
+            "--bypass" => {
+                o.bypass = true;
+                i += 1;
+            }
+            "--variant" => {
+                o.variant = match need(i).as_str() {
+                    "separate" => wavelet::VerticalVariant::Separate,
+                    "interleaved" => wavelet::VerticalVariant::Interleaved,
+                    "merged" => wavelet::VerticalVariant::Merged,
+                    v => die(&format!("unknown variant {v}")),
+                };
+                i += 2;
+            }
+            flag if flag.starts_with("--") => die(&format!("unknown flag {flag}")),
+            _ => {
+                o.positional.push(args[i].clone());
+                i += 1;
+            }
+        }
+    }
+    o
+}
+
+fn params_of(o: &Opt) -> EncoderParams {
+    EncoderParams {
+        mode: match o.lossy {
+            Some(rate) => Mode::Lossy { rate },
+            None => Mode::Lossless,
+        },
+        levels: o.levels,
+        cb_size: o.cb,
+        layers: o.layers,
+        bypass: o.bypass,
+        variant: o.variant,
+        arithmetic: if o.fixed {
+            jpeg2000_cell::codec::Arithmetic::FixedQ13
+        } else {
+            jpeg2000_cell::codec::Arithmetic::Float32
+        },
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        die("usage: j2kcell <encode|decode|simulate|info> ...");
+    };
+    let o = parse(rest);
+    match cmd.as_str() {
+        "encode" => {
+            let [input, output] = o.positional.as_slice() else {
+                die("encode needs INPUT and OUTPUT paths");
+            };
+            let im = read_image(input);
+            let params = params_of(&o);
+            let t0 = std::time::Instant::now();
+            let bytes = if o.threads > 1 {
+                jpeg2000_cell::codec::parallel::encode_parallel(&im, &params, o.threads)
+                    .unwrap_or_else(|e| die(&e.to_string()))
+            } else {
+                jpeg2000_cell::codec::encode(&im, &params).unwrap_or_else(|e| die(&e.to_string()))
+            };
+            let bytes = if output.ends_with(".jp2") {
+                jpeg2000_cell::codec::jp2::wrap(&bytes).unwrap_or_else(|e| die(&e.to_string()))
+            } else {
+                bytes
+            };
+            std::fs::write(output, &bytes).unwrap_or_else(|e| die(&e.to_string()));
+            println!(
+                "{} -> {}: {} -> {} bytes ({:.2}:1) in {:.1} ms",
+                input,
+                output,
+                im.raw_bytes(),
+                bytes.len(),
+                im.raw_bytes() as f64 / bytes.len() as f64,
+                t0.elapsed().as_secs_f64() * 1e3
+            );
+        }
+        "decode" => {
+            let [input, output] = o.positional.as_slice() else {
+                die("decode needs INPUT and OUTPUT paths");
+            };
+            let bytes = std::fs::read(input).unwrap_or_else(|e| die(&e.to_string()));
+            let cs: &[u8] = if jpeg2000_cell::codec::jp2::is_jp2(&bytes) {
+                jpeg2000_cell::codec::jp2::unwrap(&bytes).unwrap_or_else(|e| die(&e.to_string()))
+            } else {
+                &bytes
+            };
+            let im = if o.resolution > 0 {
+                decode_resolution(cs, o.resolution)
+            } else if o.max_layers != usize::MAX {
+                decode_layers(cs, o.max_layers)
+            } else {
+                decode(cs)
+            }
+            .unwrap_or_else(|e| die(&e.to_string()));
+            write_image(output, &im);
+            println!("{} -> {}: {}x{} x{} components", input, output, im.width, im.height, im.comps());
+        }
+        "simulate" => {
+            let [input] = o.positional.as_slice() else {
+                die("simulate needs an INPUT image path");
+            };
+            let im = read_image(input);
+            let (_, prof) = encode_with_profile(&im, &params_of(&o))
+                .unwrap_or_else(|e| die(&e.to_string()));
+            let base = if o.spes > 8 { MachineConfig::qs20_blade() } else { MachineConfig::qs20_single() };
+            let cfg = base.with_spes(o.spes).with_ppes(o.ppes);
+            let tl = simulate(&prof, &cfg, &SimOptions { ppe_tier1: o.ppes > 1, ..Default::default() });
+            println!(
+                "simulated encode on {} SPE + {} PPE Cell/B.E. @ {:.1} GHz:",
+                cfg.num_spes,
+                cfg.num_ppes,
+                cfg.clock_hz / 1e9
+            );
+            print!("{}", tl.render());
+        }
+        "info" => {
+            let [input] = o.positional.as_slice() else {
+                die("info needs an INPUT .j2c path");
+            };
+            let bytes = std::fs::read(input).unwrap_or_else(|e| die(&e.to_string()));
+            let cs: &[u8] = if jpeg2000_cell::codec::jp2::is_jp2(&bytes) {
+                println!("JP2 container ({} bytes)", bytes.len());
+                jpeg2000_cell::codec::jp2::unwrap(&bytes).unwrap_or_else(|e| die(&e.to_string()))
+            } else {
+                &bytes
+            };
+            let parsed = codestream::parse(cs).unwrap_or_else(|e| die(&e.to_string()));
+            let h = &parsed.header;
+            println!("{}x{} x{} @ {} bit", h.width, h.height, h.comps, h.depth);
+            println!(
+                "{} levels, {} layers, {}x{} code blocks, {}, MCT {}",
+                h.levels,
+                h.layers,
+                h.cb_size,
+                h.cb_size,
+                if h.lossless { "reversible 5/3" } else { "irreversible 9/7" },
+                h.mct
+            );
+            println!("{} coded blocks, {} codestream bytes", parsed.blocks.len(), cs.len());
+        }
+        other => die(&format!("unknown command {other}")),
+    }
+}

@@ -1,0 +1,119 @@
+//! End-to-end tests of the `j2kcell` command-line tool (spawned as a real
+//! subprocess, exercising file I/O and argument parsing).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_j2kcell")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("j2kcell-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn write_test_ppm(path: &PathBuf, w: usize, h: usize) {
+    let im = imgio::synth::natural_rgb(w, h, 77);
+    imgio::pnm::write(path, &im).unwrap();
+}
+
+#[test]
+fn encode_decode_roundtrip_via_cli() {
+    let src = tmp("in.ppm");
+    let j2c = tmp("out.j2c");
+    let back = tmp("back.ppm");
+    write_test_ppm(&src, 96, 64);
+    let st = Command::new(bin()).args(["encode"]).arg(&src).arg(&j2c).status().unwrap();
+    assert!(st.success());
+    let st = Command::new(bin()).args(["decode"]).arg(&j2c).arg(&back).status().unwrap();
+    assert!(st.success());
+    assert_eq!(std::fs::read(&src).unwrap(), std::fs::read(&back).unwrap());
+}
+
+#[test]
+fn lossy_flag_shrinks_output() {
+    let src = tmp("in2.ppm");
+    let lossless = tmp("a.j2c");
+    let lossy = tmp("b.j2c");
+    write_test_ppm(&src, 128, 128);
+    assert!(Command::new(bin())
+        .args(["encode"])
+        .arg(&src)
+        .arg(&lossless)
+        .status()
+        .unwrap()
+        .success());
+    assert!(Command::new(bin())
+        .args(["encode"])
+        .arg(&src)
+        .arg(&lossy)
+        .args(["--lossy", "0.1"])
+        .status()
+        .unwrap()
+        .success());
+    let a = std::fs::metadata(&lossless).unwrap().len();
+    let b = std::fs::metadata(&lossy).unwrap().len();
+    assert!(b < a, "lossy {b} >= lossless {a}");
+    assert!(b as f64 <= 0.1 * (128.0 * 128.0 * 3.0) + 64.0);
+}
+
+#[test]
+fn info_reports_geometry() {
+    let src = tmp("in3.ppm");
+    let j2c = tmp("c.j2c");
+    write_test_ppm(&src, 40, 30);
+    Command::new(bin()).args(["encode"]).arg(&src).arg(&j2c).status().unwrap();
+    let out = Command::new(bin()).args(["info"]).arg(&j2c).output().unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("40x30 x3 @ 8 bit"), "{text}");
+    assert!(text.contains("reversible 5/3"), "{text}");
+}
+
+#[test]
+fn reduced_resolution_decode() {
+    let src = tmp("in4.ppm");
+    let j2c = tmp("d.j2c");
+    let half = tmp("half.ppm");
+    write_test_ppm(&src, 64, 64);
+    Command::new(bin()).args(["encode"]).arg(&src).arg(&j2c).status().unwrap();
+    assert!(Command::new(bin())
+        .args(["decode"])
+        .arg(&j2c)
+        .arg(&half)
+        .args(["--resolution", "1"])
+        .status()
+        .unwrap()
+        .success());
+    let im = imgio::pnm::read(&half).unwrap();
+    assert_eq!((im.width, im.height), (32, 32));
+}
+
+#[test]
+fn simulate_prints_timeline() {
+    let src = tmp("in5.ppm");
+    write_test_ppm(&src, 64, 64);
+    let out = Command::new(bin())
+        .args(["simulate"])
+        .arg(&src)
+        .args(["--spes", "4"])
+        .output()
+        .unwrap();
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("tier1"), "{text}");
+    assert!(text.contains("4 SPE"), "{text}");
+    assert!(text.contains("TOTAL"), "{text}");
+}
+
+#[test]
+fn bad_arguments_exit_nonzero() {
+    assert!(!Command::new(bin()).status().unwrap().success());
+    assert!(!Command::new(bin()).args(["encode", "only-one-arg"]).status().unwrap().success());
+    assert!(!Command::new(bin())
+        .args(["decode", "/nonexistent.j2c", "/tmp/x.ppm"])
+        .status()
+        .unwrap()
+        .success());
+    assert!(!Command::new(bin()).args(["frobnicate"]).status().unwrap().success());
+}

@@ -1,0 +1,104 @@
+//! System-level property tests of the codec: lossless exactness over
+//! arbitrary content, decoder robustness against corruption, and
+//! equivalence of the encoder drivers.
+
+use jpeg2000_cell::codec::parallel::encode_parallel;
+use jpeg2000_cell::codec::{decode, encode, EncoderParams};
+use jpeg2000_cell::images::Image;
+use proptest::prelude::*;
+
+fn image_strategy() -> impl Strategy<Value = Image> {
+    (1usize..80, 1usize..80, prop_oneof![Just(1usize), Just(3)], any::<u32>(), 0u8..4)
+        .prop_map(|(w, h, comps, seed, kind)| {
+            let mut im = Image::new(w, h, comps, 8).unwrap();
+            let mut x = seed | 1;
+            for c in 0..comps {
+                for i in 0..w * h {
+                    x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+                    im.planes[c][i] = match kind {
+                        0 => (x >> 9) as u16 % 256,               // noise
+                        1 => ((i % w) * 255 / w.max(1)) as u16,   // ramp
+                        2 => u16::from((x >> 13) % 7 == 0) * 255, // sparse spikes
+                        _ => (128 + ((i / w) % 3) * 9) as u16,    // bands
+                    };
+                }
+            }
+            im
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn lossless_roundtrip_arbitrary_images(
+        im in image_strategy(),
+        levels in 1usize..5,
+        cb_exp in 2u32..7,
+    ) {
+        let params = EncoderParams {
+            levels,
+            cb_size: 1 << cb_exp,
+            ..EncoderParams::lossless()
+        };
+        let bytes = encode(&im, &params).unwrap();
+        prop_assert_eq!(decode(&bytes).unwrap(), im);
+    }
+
+    #[test]
+    fn lossy_never_errors_and_respects_rate(
+        im in image_strategy(),
+        rate in 0.05f64..0.9,
+    ) {
+        let params = EncoderParams { levels: 3, ..EncoderParams::lossy(rate) };
+        let bytes = encode(&im, &params).unwrap();
+        // The fixed markers + one empty packet header per (band, comp,
+        // layer) are a floor no encoder can truncate below; beyond that
+        // the budget must hold.
+        let floor = 128.0 + (10 * im.comps()) as f64;
+        prop_assert!(
+            bytes.len() as f64 <= rate * im.raw_bytes() as f64 + floor,
+            "{} bytes for budget {}",
+            bytes.len(),
+            rate * im.raw_bytes() as f64
+        );
+        let back = decode(&bytes).unwrap();
+        prop_assert_eq!(back.width, im.width);
+        prop_assert_eq!(back.comps(), im.comps());
+    }
+
+    #[test]
+    fn parallel_driver_always_matches(
+        im in image_strategy(),
+        workers in 1usize..6,
+    ) {
+        let params = EncoderParams { levels: 2, ..EncoderParams::lossless() };
+        let seq = encode(&im, &params).unwrap();
+        let par = encode_parallel(&im, &params, workers).unwrap();
+        prop_assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_truncation(
+        im in image_strategy(),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let bytes = encode(&im, &EncoderParams { levels: 2, ..Default::default() }).unwrap();
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        // Truncated streams must return Err or a valid image — never panic.
+        let _ = decode(&bytes[..cut]);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_bitflips(
+        im in image_strategy(),
+        pos_frac in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let mut bytes =
+            encode(&im, &EncoderParams { levels: 2, ..Default::default() }).unwrap();
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= 1 << bit;
+        let _ = decode(&bytes);
+    }
+}
