@@ -105,18 +105,12 @@ pub fn simulate_muta(profile: &WorkloadProfile, mode: MutaMode) -> Timeline {
                 class: DmaClass::QuadAligned,
             });
         }
-        let out = run_stage(
-            &cfg,
-            &spes[..1],
-            &Assignment::Static(vec![tile_tasks]),
-            2,
-        );
+        let out = run_stage(&cfg, &spes[..1], &Assignment::Static(vec![tile_tasks]), 2);
         tl.push(out.report(&format!("dwt-tiled-l{}", li + 1), &cfg));
     }
 
     // EBCOT: SPE Tier-1 queue overlapped with PPE Tier-2 + distribution.
-    let per_block_items =
-        (PER_BLOCK_OVERHEAD_CYCLES as f64 / 64.0) as u64; // in symbol-equivalents
+    let per_block_items = (PER_BLOCK_OVERHEAD_CYCLES as f64 / 64.0) as u64; // in symbol-equivalents
     let tasks: Vec<TaskSpec> = profile
         .blocks
         .iter()
@@ -134,8 +128,7 @@ pub fn simulate_muta(profile: &WorkloadProfile, mode: MutaMode) -> Timeline {
     let distribution = nblocks * QUEUE_INTERACTION_CYCLES;
     // Overlapped: the EBCOT stage ends when both sides are done.
     let mut ebcot = t1.report("ebcot", &cfg);
-    ebcot.makespan_cycles =
-        ebcot.makespan_cycles.max(ppe_side.makespan + distribution);
+    ebcot.makespan_cycles = ebcot.makespan_cycles.max(ppe_side.makespan + distribution);
     ebcot.seconds = ebcot.makespan_cycles as f64 / cfg.clock_hz;
     tl.push(ebcot);
 
@@ -160,8 +153,13 @@ mod tests {
 
     fn profiles() -> (WorkloadProfile, WorkloadProfile) {
         let im = imgio::synth::natural_rgb(208, 144, 5);
-        let ours = j2k_core::encode_with_profile(&im, &EncoderParams::lossless()).unwrap().1;
-        let muta_params = EncoderParams { cb_size: 32, ..EncoderParams::lossless() };
+        let ours = j2k_core::encode_with_profile(&im, &EncoderParams::lossless())
+            .unwrap()
+            .1;
+        let muta_params = EncoderParams {
+            cb_size: 32,
+            ..EncoderParams::lossless()
+        };
         let muta = j2k_core::encode_with_profile(&im, &muta_params).unwrap().1;
         (ours, muta)
     }
@@ -190,8 +188,7 @@ mod tests {
         let our_tl = cell::simulate(&ours, &cfg, &cell::SimOptions::default());
         let m = simulate_muta(&muta, MutaMode::Muta1);
         let ours_dwt = our_tl.cycles_matching("dwt") as f64 / cfg.clock_hz;
-        let muta_dwt =
-            m.cycles_matching("dwt") as f64 / muta_machine(MutaMode::Muta1).clock_hz;
+        let muta_dwt = m.cycles_matching("dwt") as f64 / muta_machine(MutaMode::Muta1).clock_hz;
         assert!(muta_dwt > ours_dwt, "muta {muta_dwt} vs ours {ours_dwt}");
     }
 

@@ -37,8 +37,18 @@ pub fn simulate_p4(profile: &WorkloadProfile) -> Timeline {
         tl.push(out.report(name, &cfg));
     };
 
-    run(&mut tl, "read-convert", Kernel::TypeConvert, profile.samples);
-    run(&mut tl, "levelshift-ict", Kernel::LevelShiftIct, profile.samples);
+    run(
+        &mut tl,
+        "read-convert",
+        Kernel::TypeConvert,
+        profile.samples,
+    );
+    run(
+        &mut tl,
+        "levelshift-ict",
+        Kernel::LevelShiftIct,
+        profile.samples,
+    );
 
     // DWT: Jasper is lifting based. The lossy kernel follows the
     // profile's arithmetic — stock Jasper uses Q13 fixed point on x86
@@ -50,11 +60,26 @@ pub fn simulate_p4(profile: &WorkloadProfile) -> Timeline {
     };
     for (li, lv) in profile.levels.iter().enumerate() {
         let samples = lv.w * lv.h * comps;
-        run(&mut tl, &format!("dwt-vertical-l{}", li + 1), kernel, samples * passes);
-        run(&mut tl, &format!("dwt-horizontal-l{}", li + 1), kernel, samples * passes);
+        run(
+            &mut tl,
+            &format!("dwt-vertical-l{}", li + 1),
+            kernel,
+            samples * passes,
+        );
+        run(
+            &mut tl,
+            &format!("dwt-horizontal-l{}", li + 1),
+            kernel,
+            samples * passes,
+        );
         // The split/deinterleave pass (poor cache behavior on the P4 is
         // part of why column-major traversal hurts; folded into DwtSplit).
-        run(&mut tl, &format!("dwt-split-l{}", li + 1), Kernel::DwtSplit, samples);
+        run(
+            &mut tl,
+            &format!("dwt-split-l{}", li + 1),
+            Kernel::DwtSplit,
+            samples,
+        );
     }
 
     if matches!(profile.params.mode, Mode::Lossy { .. }) {
@@ -62,7 +87,12 @@ pub fn simulate_p4(profile: &WorkloadProfile) -> Timeline {
     }
     run(&mut tl, "tier1", Kernel::Tier1, profile.tier1_symbols());
     if profile.rate_control_items > 0 {
-        run(&mut tl, "rate-control", Kernel::RateControl, profile.rate_control_items);
+        run(
+            &mut tl,
+            "rate-control",
+            Kernel::RateControl,
+            profile.rate_control_items,
+        );
     }
     run(&mut tl, "tier2", Kernel::Tier2, profile.blocks.len() as u64);
     run(&mut tl, "stream-io", Kernel::StreamIo, profile.output_bytes);

@@ -27,13 +27,17 @@ fn bench_dwt_variants(c: &mut Criterion) {
         VerticalVariant::Interleaved,
         VerticalVariant::Merged,
     ] {
-        g.bench_with_input(BenchmarkId::from_parameter(format!("{variant:?}")), &variant, |b, &v| {
-            b.iter(|| {
-                let mut p = p0.clone();
-                wavelet::forward_2d_53(&mut p, 5, v);
-                p
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{variant:?}")),
+            &variant,
+            |b, &v| {
+                b.iter(|| {
+                    let mut p = p0.clone();
+                    wavelet::forward_2d_53(&mut p, 5, v);
+                    p
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -27,13 +27,20 @@ fn main() {
     );
     let cfg = MachineConfig::qs20_single();
     for bypass in [false, true] {
-        let params = EncoderParams { bypass, ..lossless_params(args.levels) };
+        let params = EncoderParams {
+            bypass,
+            ..lossless_params(args.levels)
+        };
         let (bytes, prof) = j2k_core::encode_with_profile(&im, &params).unwrap();
         let tl = simulate(&prof, &cfg, &SimOptions::default());
         row(
             args.csv,
             &[
-                if bypass { "bypass (lazy)".into() } else { "full MQ".into() },
+                if bypass {
+                    "bypass (lazy)".into()
+                } else {
+                    "full MQ".into()
+                },
                 format!("{}", bytes.len()),
                 format!("{}", prof.tier1_symbols()),
                 ms(tl.total_seconds()),

@@ -9,22 +9,45 @@ use j2k_core::EncoderParams;
 fn main() {
     let args = parse_args();
     let im = workload_rgb(&args);
-    println!("Code-block-size ablation, {}x{} RGB lossless", args.size, args.size);
-    row(args.csv, &["cb".into(), "spes".into(), "blocks".into(), "tier1_ms".into(), "tier2_ms".into(), "total_ms".into()]);
+    println!(
+        "Code-block-size ablation, {}x{} RGB lossless",
+        args.size, args.size
+    );
+    row(
+        args.csv,
+        &[
+            "cb".into(),
+            "spes".into(),
+            "blocks".into(),
+            "tier1_ms".into(),
+            "tier2_ms".into(),
+            "total_ms".into(),
+        ],
+    );
     for cb in [32usize, 64] {
-        let params = EncoderParams { cb_size: cb, ..lossless_params(args.levels) };
+        let params = EncoderParams {
+            cb_size: cb,
+            ..lossless_params(args.levels)
+        };
         let prof = profile(&im, &params);
         for &n in &args.spes {
-            let cfg = if n > 8 { MachineConfig::qs20_blade().with_spes(n) } else { MachineConfig::qs20_single().with_spes(n) };
+            let cfg = if n > 8 {
+                MachineConfig::qs20_blade().with_spes(n)
+            } else {
+                MachineConfig::qs20_single().with_spes(n)
+            };
             let tl = simulate(&prof, &cfg, &SimOptions::default());
-            row(args.csv, &[
-                format!("{cb}x{cb}"),
-                format!("{n}"),
-                format!("{}", prof.blocks.len()),
-                ms(tl.cycles_matching("tier1") as f64 / cfg.clock_hz),
-                ms(tl.cycles_matching("tier2") as f64 / cfg.clock_hz),
-                ms(tl.total_seconds()),
-            ]);
+            row(
+                args.csv,
+                &[
+                    format!("{cb}x{cb}"),
+                    format!("{n}"),
+                    format!("{}", prof.blocks.len()),
+                    ms(tl.cycles_matching("tier1") as f64 / cfg.clock_hz),
+                    ms(tl.cycles_matching("tier2") as f64 / cfg.clock_hz),
+                    ms(tl.total_seconds()),
+                ],
+            );
         }
     }
 }

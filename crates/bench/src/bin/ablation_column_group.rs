@@ -11,10 +11,24 @@ fn main() {
     let im = workload_rgb(&args);
     let prof = profile(&im, &lossless_params(args.levels));
     let cfg = MachineConfig::qs20_single();
-    println!("Column-group ablation, {}x{} RGB lossless (8 SPEs)", args.size, args.size);
-    row(args.csv, &["group_bytes".into(), "alignment".into(), "dwtv_ms".into(), "dma_requests".into()]);
+    println!(
+        "Column-group ablation, {}x{} RGB lossless (8 SPEs)",
+        args.size, args.size
+    );
+    row(
+        args.csv,
+        &[
+            "group_bytes".into(),
+            "alignment".into(),
+            "dwtv_ms".into(),
+            "dma_requests".into(),
+        ],
+    );
     for bytes in [128usize, 512, 2048, 8192] {
-        for (label, class) in [("line-aligned", DmaClass::LineOptimal), ("unaligned", DmaClass::QuadAligned)] {
+        for (label, class) in [
+            ("line-aligned", DmaClass::LineOptimal),
+            ("unaligned", DmaClass::QuadAligned),
+        ] {
             let opts = SimOptions {
                 chunk_width_bytes: Some(bytes),
                 dma_class: class,
@@ -27,12 +41,15 @@ fn main() {
                 .filter(|s| s.name.starts_with("dwt-vertical"))
                 .map(|s| s.dma_requests)
                 .sum();
-            row(args.csv, &[
-                format!("{bytes}"),
-                label.into(),
-                ms(tl.cycles_matching("dwt-vertical") as f64 / cfg.clock_hz),
-                format!("{reqs}"),
-            ]);
+            row(
+                args.csv,
+                &[
+                    format!("{bytes}"),
+                    label.into(),
+                    ms(tl.cycles_matching("dwt-vertical") as f64 / cfg.clock_hz),
+                    format!("{reqs}"),
+                ],
+            );
         }
     }
 }

@@ -13,11 +13,25 @@ use xpart::AlignedPlane;
 fn main() {
     let args = parse_args();
     let im = workload_rgb(&args);
-    println!("Fixed vs float 9/7 ablation, {}x{} RGB lossy rate 0.1", args.size, args.size);
-    row(args.csv, &["arithmetic".into(), "cell_dwt_ms".into(), "p4_dwt_ms".into(), "host_fwd2d_ms".into()]);
+    println!(
+        "Fixed vs float 9/7 ablation, {}x{} RGB lossy rate 0.1",
+        args.size, args.size
+    );
+    row(
+        args.csv,
+        &[
+            "arithmetic".into(),
+            "cell_dwt_ms".into(),
+            "p4_dwt_ms".into(),
+            "host_fwd2d_ms".into(),
+        ],
+    );
     let cfg = MachineConfig::qs20_single();
     for arith in [Arithmetic::Float32, Arithmetic::FixedQ13] {
-        let params = EncoderParams { arithmetic: arith, ..lossy_params(args.levels) };
+        let params = EncoderParams {
+            arithmetic: arith,
+            ..lossy_params(args.levels)
+        };
         let prof = profile(&im, &params);
         let cell = simulate(&prof, &cfg, &SimOptions::default());
         let p4 = simulate_p4(&prof);
@@ -33,16 +47,22 @@ fn main() {
                 Arithmetic::FixedQ13 => {
                     let mut p = plane.map(wavelet::fixed::to_fixed);
                     wavelet::transform2d::forward_2d_97_fixed(
-                        &mut p, args.levels, VerticalVariant::Merged);
+                        &mut p,
+                        args.levels,
+                        VerticalVariant::Merged,
+                    );
                 }
             }
             t0.elapsed().as_secs_f64()
         };
-        row(args.csv, &[
-            format!("{arith:?}"),
-            ms(cell.cycles_matching("dwt") as f64 / cfg.clock_hz),
-            ms(p4.cycles_matching("dwt") as f64 / p4_machine().clock_hz),
-            ms(host),
-        ]);
+        row(
+            args.csv,
+            &[
+                format!("{arith:?}"),
+                ms(cell.cycles_matching("dwt") as f64 / cfg.clock_hz),
+                ms(p4.cycles_matching("dwt") as f64 / p4_machine().clock_hz),
+                ms(host),
+            ],
+        );
     }
 }

@@ -17,10 +17,25 @@ fn main() {
         "Lifting-schedule ablation, {}x{} RGB lossless (Algorithm 1 = Separate, Algorithm 2 = Interleaved)",
         args.size, args.size
     );
-    row(args.csv, &["variant".into(), "traffic_elems/sample".into(), "sim_dwtv_ms".into(), "host_fwd2d_ms".into()]);
+    row(
+        args.csv,
+        &[
+            "variant".into(),
+            "traffic_elems/sample".into(),
+            "sim_dwtv_ms".into(),
+            "host_fwd2d_ms".into(),
+        ],
+    );
     let cfg = MachineConfig::qs20_single();
-    for variant in [VerticalVariant::Separate, VerticalVariant::Interleaved, VerticalVariant::Merged] {
-        let params = EncoderParams { variant, ..lossless_params(args.levels) };
+    for variant in [
+        VerticalVariant::Separate,
+        VerticalVariant::Interleaved,
+        VerticalVariant::Merged,
+    ] {
+        let params = EncoderParams {
+            variant,
+            ..lossless_params(args.levels)
+        };
         let prof = profile(&im, &params);
         let tl = simulate(&prof, &cfg, &SimOptions::default());
         let t = wavelet::vertical_traffic(variant, Filter::Rev53, 1000, 1000);
@@ -31,11 +46,14 @@ fn main() {
         let mut p = plane.clone();
         wavelet::forward_2d_53(&mut p, args.levels, variant);
         let host = t0.elapsed().as_secs_f64();
-        row(args.csv, &[
-            format!("{variant:?}"),
-            format!("{:.2}", t.total() as f64 / 1e6),
-            ms(tl.cycles_matching("dwt-vertical") as f64 / cfg.clock_hz),
-            ms(host),
-        ]);
+        row(
+            args.csv,
+            &[
+                format!("{variant:?}"),
+                format!("{:.2}", t.total() as f64 / 1e6),
+                ms(tl.cycles_matching("dwt-vertical") as f64 / cfg.clock_hz),
+                ms(host),
+            ],
+        );
     }
 }

@@ -1,7 +1,7 @@
 //! Figure 2: work partitioning among the PPE and the SPEs.
 
 use cellsim::MachineConfig;
-use j2k_bench::{parse_args, profile, lossless_params, workload_rgb};
+use j2k_bench::{lossless_params, parse_args, profile, workload_rgb};
 use j2k_core::cell::{simulate, SimOptions};
 
 fn main() {
@@ -14,7 +14,10 @@ fn main() {
         "Figure 2 — work partitioning for a {}x{} RGB lossless encode on 8 SPE + 1 PPE",
         args.size, args.size
     );
-    println!("{:<24} {:<34} {:>10}", "stage", "processing elements", "tasks");
+    println!(
+        "{:<24} {:<34} {:>10}",
+        "stage", "processing elements", "tasks"
+    );
     for s in &tl.stages {
         let n_active = s.tasks_run.iter().filter(|&&t| t > 0).count();
         let kind = match s.name.as_str() {
@@ -23,7 +26,12 @@ fn main() {
             "tier1" => format!("work queue, {} PEs", s.busy_cycles.len()),
             _ => format!("chunked: {} of {} PEs", n_active, s.busy_cycles.len()),
         };
-        println!("{:<24} {:<34} {:>10}", s.name, kind, s.tasks_run.iter().sum::<usize>());
+        println!(
+            "{:<24} {:<34} {:>10}",
+            s.name,
+            kind,
+            s.tasks_run.iter().sum::<usize>()
+        );
     }
     println!();
     println!("{}", tl.render());

@@ -6,7 +6,11 @@ use j2k_bench::{lossless_params, ms, paper, parse_args, profile, row, workload_r
 use j2k_core::cell::{simulate, SimOptions};
 
 fn machine_for(spes: usize) -> MachineConfig {
-    if spes > 8 { MachineConfig::qs20_blade().with_spes(spes) } else { MachineConfig::qs20_single().with_spes(spes) }
+    if spes > 8 {
+        MachineConfig::qs20_blade().with_spes(spes)
+    } else {
+        MachineConfig::qs20_single().with_spes(spes)
+    }
 }
 
 fn main() {
@@ -15,19 +19,53 @@ fn main() {
     let prof = profile(&im, &lossless_params(args.levels));
     println!(
         "Figure 4 — lossless encode, {}x{} RGB (paper: {}x at 8 SPE vs 1 SPE; {}x vs PPE-only)",
-        args.size, args.size, paper::LOSSLESS_SPEEDUP_8SPE, paper::LOSSLESS_VS_PPE
+        args.size,
+        args.size,
+        paper::LOSSLESS_SPEEDUP_8SPE,
+        paper::LOSSLESS_VS_PPE
     );
-    row(args.csv, &["config".into(), "time_ms".into(), "speedup_vs_1spe".into(), "vs_ppe_only".into()]);
+    row(
+        args.csv,
+        &[
+            "config".into(),
+            "time_ms".into(),
+            "speedup_vs_1spe".into(),
+            "vs_ppe_only".into(),
+        ],
+    );
     let ppe_only = simulate(&prof, &machine_for(0), &SimOptions::default()).total_seconds();
     let base = simulate(&prof, &machine_for(1), &SimOptions::default()).total_seconds();
-    row(args.csv, &["1 PPE only".into(), ms(ppe_only), format!("{:.2}", base / ppe_only), "1.00".into()]);
+    row(
+        args.csv,
+        &[
+            "1 PPE only".into(),
+            ms(ppe_only),
+            format!("{:.2}", base / ppe_only),
+            "1.00".into(),
+        ],
+    );
     for &n in &args.spes {
         let t = simulate(&prof, &machine_for(n), &SimOptions::default()).total_seconds();
-        row(args.csv, &[format!("{n} SPE"), ms(t), format!("{:.2}", base / t), format!("{:.2}", ppe_only / t)]);
+        row(
+            args.csv,
+            &[
+                format!("{n} SPE"),
+                ms(t),
+                format!("{:.2}", base / t),
+                format!("{:.2}", ppe_only / t),
+            ],
+        );
         for ppes in [1usize, 2] {
             let cfg = machine_for(n).with_ppes(ppes);
-            let t2 = simulate(&prof, &cfg, &SimOptions { ppe_tier1: true, ..Default::default() })
-                .total_seconds();
+            let t2 = simulate(
+                &prof,
+                &cfg,
+                &SimOptions {
+                    ppe_tier1: true,
+                    ..Default::default()
+                },
+            )
+            .total_seconds();
             row(
                 args.csv,
                 &[

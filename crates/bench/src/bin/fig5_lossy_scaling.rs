@@ -6,7 +6,11 @@ use j2k_bench::{lossy_params, ms, paper, parse_args, profile, row, workload_rgb}
 use j2k_core::cell::{simulate, SimOptions};
 
 fn machine_for(spes: usize) -> MachineConfig {
-    if spes > 8 { MachineConfig::qs20_blade().with_spes(spes) } else { MachineConfig::qs20_single().with_spes(spes) }
+    if spes > 8 {
+        MachineConfig::qs20_blade().with_spes(spes)
+    } else {
+        MachineConfig::qs20_single().with_spes(spes)
+    }
 }
 
 fn main() {
@@ -22,21 +26,54 @@ fn main() {
         paper::LOSSY_VS_PPE,
         paper::RC_SHARE_16SPE * 100.0
     );
-    row(args.csv, &["config".into(), "time_ms".into(), "speedup_vs_1spe".into(), "rc_share".into()]);
+    row(
+        args.csv,
+        &[
+            "config".into(),
+            "time_ms".into(),
+            "speedup_vs_1spe".into(),
+            "rc_share".into(),
+        ],
+    );
     let ppe_only = simulate(&prof, &machine_for(0), &SimOptions::default());
     let base = simulate(&prof, &machine_for(1), &SimOptions::default());
-    row(args.csv, &["1 PPE only".into(), ms(ppe_only.total_seconds()),
-        format!("{:.2}", base.total_seconds() / ppe_only.total_seconds()),
-        format!("{:.2}", ppe_only.fraction_matching("rate-control"))]);
+    row(
+        args.csv,
+        &[
+            "1 PPE only".into(),
+            ms(ppe_only.total_seconds()),
+            format!("{:.2}", base.total_seconds() / ppe_only.total_seconds()),
+            format!("{:.2}", ppe_only.fraction_matching("rate-control")),
+        ],
+    );
     for &n in &args.spes {
         let tl = simulate(&prof, &machine_for(n), &SimOptions::default());
-        row(args.csv, &[format!("{n} SPE"), ms(tl.total_seconds()),
-            format!("{:.2}", base.total_seconds() / tl.total_seconds()),
-            format!("{:.2}", tl.fraction_matching("rate-control"))]);
+        row(
+            args.csv,
+            &[
+                format!("{n} SPE"),
+                ms(tl.total_seconds()),
+                format!("{:.2}", base.total_seconds() / tl.total_seconds()),
+                format!("{:.2}", tl.fraction_matching("rate-control")),
+            ],
+        );
     }
     let cfg = machine_for(16).with_ppes(2);
-    let tl = simulate(&prof, &cfg, &SimOptions { ppe_tier1: true, ..Default::default() });
-    row(args.csv, &["16 SPE + 2 PPE".into(), ms(tl.total_seconds()),
-        format!("{:.2}", base.total_seconds() / tl.total_seconds()),
-        format!("{:.2}", tl.fraction_matching("rate-control"))]);
+    let tl = simulate(
+        &prof,
+        &cfg,
+        &SimOptions {
+            ppe_tier1: true,
+            ..Default::default()
+        },
+    );
+    row(
+        args.csv,
+        &[
+            "16 SPE + 2 PPE".into(),
+            ms(tl.total_seconds()),
+            format!("{:.2}", base.total_seconds() / tl.total_seconds()),
+            format!("{:.2}", tl.fraction_matching("rate-control")),
+        ],
+    );
 }

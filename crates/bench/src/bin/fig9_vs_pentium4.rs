@@ -12,16 +12,41 @@ fn main() {
     println!(
         "Figure 9 — Cell (8 SPE + 1 PPE) vs Pentium IV 3.2 GHz, {}x{} RGB \
          (paper: overall {}x lossless / {}x lossy; DWT {}x / {}x)",
-        args.size, args.size,
-        paper::VS_P4_LOSSLESS, paper::VS_P4_LOSSY,
-        paper::VS_P4_DWT_LOSSLESS, paper::VS_P4_DWT_LOSSY
+        args.size,
+        args.size,
+        paper::VS_P4_LOSSLESS,
+        paper::VS_P4_LOSSY,
+        paper::VS_P4_DWT_LOSSLESS,
+        paper::VS_P4_DWT_LOSSY
     );
-    row(args.csv, &["metric".into(), "p4_ms".into(), "cell_ms".into(), "speedup".into(), "paper".into()]);
+    row(
+        args.csv,
+        &[
+            "metric".into(),
+            "p4_ms".into(),
+            "cell_ms".into(),
+            "speedup".into(),
+            "paper".into(),
+        ],
+    );
     let cell_cfg = MachineConfig::qs20_single();
-    let opts = SimOptions { ppe_tier1: true, ..Default::default() };
+    let opts = SimOptions {
+        ppe_tier1: true,
+        ..Default::default()
+    };
     for (name, params, overall_ref, dwt_ref) in [
-        ("lossless", lossless_params(args.levels), paper::VS_P4_LOSSLESS, paper::VS_P4_DWT_LOSSLESS),
-        ("lossy", lossy_params(args.levels), paper::VS_P4_LOSSY, paper::VS_P4_DWT_LOSSY),
+        (
+            "lossless",
+            lossless_params(args.levels),
+            paper::VS_P4_LOSSLESS,
+            paper::VS_P4_DWT_LOSSLESS,
+        ),
+        (
+            "lossy",
+            lossy_params(args.levels),
+            paper::VS_P4_LOSSY,
+            paper::VS_P4_DWT_LOSSY,
+        ),
     ] {
         // The Cell runs the float path (the paper's optimization); the P4
         // runs stock Jasper's fixed-point representation.
@@ -39,11 +64,27 @@ fn main() {
         let cell = simulate(&prof, &cell_cfg, &opts);
         let p4_total = p4.total_seconds();
         let cell_total = cell.total_seconds();
-        row(args.csv, &[format!("{name} overall"), ms(p4_total), ms(cell_total),
-            format!("{:.2}", p4_total / cell_total), format!("{overall_ref:.1}")]);
+        row(
+            args.csv,
+            &[
+                format!("{name} overall"),
+                ms(p4_total),
+                ms(cell_total),
+                format!("{:.2}", p4_total / cell_total),
+                format!("{overall_ref:.1}"),
+            ],
+        );
         let p4_dwt = p4.cycles_matching("dwt") as f64 / p4_machine().clock_hz;
         let cell_dwt = cell.cycles_matching("dwt") as f64 / cell_cfg.clock_hz;
-        row(args.csv, &[format!("{name} DWT"), ms(p4_dwt), ms(cell_dwt),
-            format!("{:.2}", p4_dwt / cell_dwt), format!("{dwt_ref:.1}")]);
+        row(
+            args.csv,
+            &[
+                format!("{name} DWT"),
+                ms(p4_dwt),
+                ms(cell_dwt),
+                format!("{:.2}", p4_dwt / cell_dwt),
+                format!("{dwt_ref:.1}"),
+            ],
+        );
     }
 }

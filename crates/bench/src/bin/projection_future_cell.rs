@@ -25,9 +25,10 @@ fn main() {
         "Future-Cell projection, {}x{} RGB (paper conclusion: scaling should continue past 16 SPEs)",
         args.size, args.size
     );
-    for (name, params) in
-        [("lossless", lossless_params(args.levels)), ("lossy r=0.1", lossy_params(args.levels))]
-    {
+    for (name, params) in [
+        ("lossless", lossless_params(args.levels)),
+        ("lossy r=0.1", lossy_params(args.levels)),
+    ] {
         let prof = profile(&im, &params);
         println!("-- {name} --");
         row(
@@ -40,13 +41,15 @@ fn main() {
                 "seq_share".into(),
             ],
         );
-        let base =
-            simulate(&prof, &machine_for(1), &SimOptions::default()).total_seconds();
+        let base = simulate(&prof, &machine_for(1), &SimOptions::default()).total_seconds();
         for spes in [1usize, 2, 4, 8, 16, 32, 64] {
             let tl = simulate(
                 &prof,
                 &machine_for(spes),
-                &SimOptions { ppe_tier1: true, ..Default::default() },
+                &SimOptions {
+                    ppe_tier1: true,
+                    ..Default::default()
+                },
             );
             let seq = tl.fraction_matching("rate-control")
                 + tl.fraction_matching("tier2")

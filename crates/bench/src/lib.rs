@@ -48,7 +48,13 @@ pub struct Args {
 
 impl Default for Args {
     fn default() -> Self {
-        Args { size: 768, seed: 20080906, spes: vec![1, 2, 4, 8, 16], levels: 5, csv: false }
+        Args {
+            size: 768,
+            seed: 20080906,
+            spes: vec![1, 2, 4, 8, 16],
+            levels: 5,
+            csv: false,
+        }
     }
 }
 
@@ -113,12 +119,18 @@ pub fn profile(image: &Image, params: &EncoderParams) -> WorkloadProfile {
 
 /// Lossless paper parameters at `levels`.
 pub fn lossless_params(levels: usize) -> EncoderParams {
-    EncoderParams { levels, ..EncoderParams::lossless() }
+    EncoderParams {
+        levels,
+        ..EncoderParams::lossless()
+    }
 }
 
 /// Lossy paper parameters (`-O mode=real -O rate=0.1`).
 pub fn lossy_params(levels: usize) -> EncoderParams {
-    EncoderParams { levels, ..EncoderParams::lossy(0.1) }
+    EncoderParams {
+        levels,
+        ..EncoderParams::lossy(0.1)
+    }
 }
 
 /// Print one table/CSV row.
@@ -154,7 +166,10 @@ mod tests {
 
     #[test]
     fn workload_is_rgb_and_deterministic() {
-        let a = Args { size: 32, ..Args::default() };
+        let a = Args {
+            size: 32,
+            ..Args::default()
+        };
         let im = workload_rgb(&a);
         assert_eq!(im.comps(), 3);
         assert_eq!(im.width, 32);

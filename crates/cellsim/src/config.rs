@@ -1,9 +1,7 @@
 //! Machine configurations.
 
-use serde::{Deserialize, Serialize};
-
 /// Parameters of a simulated Cell/B.E. platform.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MachineConfig {
     /// Number of SPEs participating in computation.
     pub num_spes: usize,
@@ -66,12 +64,18 @@ impl MachineConfig {
 
     /// A copy with a different number of SPEs (scaling sweeps).
     pub fn with_spes(&self, n: usize) -> Self {
-        MachineConfig { num_spes: n, ..self.clone() }
+        MachineConfig {
+            num_spes: n,
+            ..self.clone()
+        }
     }
 
     /// A copy with a different number of PPE threads.
     pub fn with_ppes(&self, n: usize) -> Self {
-        MachineConfig { num_ppes: n, ..self.clone() }
+        MachineConfig {
+            num_ppes: n,
+            ..self.clone()
+        }
     }
 
     /// Local Store bytes available for data buffers.

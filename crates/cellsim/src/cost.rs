@@ -16,10 +16,8 @@
 //!   the PPE's but with a better branch predictor and out-of-order window,
 //!   so it is markedly faster on Tier-1.
 
-use serde::{Deserialize, Serialize};
-
 /// Which processor executes a kernel.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ProcKind {
     /// Cell synergistic processing element.
     Spe,
@@ -30,7 +28,7 @@ pub enum ProcKind {
 }
 
 /// Algorithmic kernels of the JPEG2000 pipeline, with their work-item unit.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Kernel {
     /// Jasper intermediate-stream read + type conversion — per sample.
     TypeConvert,
@@ -165,12 +163,9 @@ mod tests {
         // DWT: one SPE beats one PPE by far.
         assert!(cycles_per_item(Spe, DwtLift53) * 4.0 < cycles_per_item(Ppe, DwtLift53));
         // Fixed point loses on the SPE but wins on the P4 (Jasper's premise).
+        assert!(cycles_per_item(Spe, DwtLift97Fixed) > 3.0 * cycles_per_item(Spe, DwtLift97F32));
         assert!(
-            cycles_per_item(Spe, DwtLift97Fixed) > 3.0 * cycles_per_item(Spe, DwtLift97F32)
-        );
-        assert!(
-            cycles_per_item(PentiumIV, DwtLift97Fixed)
-                <= cycles_per_item(PentiumIV, DwtLift97F32)
+            cycles_per_item(PentiumIV, DwtLift97Fixed) <= cycles_per_item(PentiumIV, DwtLift97F32)
         );
         // Convolution is dearer than lifting everywhere.
         assert!(cycles_per_item(Spe, DwtConv97) > cycles_per_item(Spe, DwtLift97F32));

@@ -9,11 +9,10 @@
 
 use crate::config::MachineConfig;
 use crate::Cycles;
-use serde::{Deserialize, Serialize};
 
 /// Alignment/size class of a transfer (mirror of `xpart::DmaClass`, kept
 /// dependency-free here; `j2k-core` converts between them).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DmaClass {
     /// 128-byte aligned, size a multiple of 128: peak efficiency.
     LineOptimal,

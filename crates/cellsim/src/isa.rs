@@ -13,16 +13,29 @@ pub struct Instr {
 }
 
 /// `mpyh`: two-byte integer multiply high — 7 cycles.
-pub const MPYH: Instr =
-    Instr { name: "mpyh", desc: "two byte integer multiply high", latency: 7 };
+pub const MPYH: Instr = Instr {
+    name: "mpyh",
+    desc: "two byte integer multiply high",
+    latency: 7,
+};
 /// `mpyu`: two-byte integer multiply unsigned — 7 cycles.
-pub const MPYU: Instr =
-    Instr { name: "mpyu", desc: "two byte integer multiply unsigned", latency: 7 };
+pub const MPYU: Instr = Instr {
+    name: "mpyu",
+    desc: "two byte integer multiply unsigned",
+    latency: 7,
+};
 /// `a`: word add — 2 cycles.
-pub const A: Instr = Instr { name: "a", desc: "add word", latency: 2 };
+pub const A: Instr = Instr {
+    name: "a",
+    desc: "add word",
+    latency: 2,
+};
 /// `fm`: single-precision floating-point multiply — 6 cycles.
-pub const FM: Instr =
-    Instr { name: "fm", desc: "single precision floating point multiply", latency: 6 };
+pub const FM: Instr = Instr {
+    name: "fm",
+    desc: "single precision floating point multiply",
+    latency: 6,
+};
 
 /// Table 1, in paper order.
 pub const TABLE1: [Instr; 4] = [MPYH, MPYU, A, FM];
@@ -64,7 +77,7 @@ mod tests {
     fn fixed_point_multiply_is_dearer_than_float() {
         // The whole point of Section 4: emulated integer multiply costs
         // several instructions and a longer dependence chain than fm.
-        assert!(MUL32_EMULATION_INSTRS as u32 > 1);
-        assert!(MUL32_EMULATION_LATENCY > FM.latency);
+        const { assert!(MUL32_EMULATION_INSTRS > 1) };
+        const { assert!(MUL32_EMULATION_LATENCY > FM.latency) };
     }
 }

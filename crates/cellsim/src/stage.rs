@@ -33,7 +33,13 @@ pub struct TaskSpec {
 impl TaskSpec {
     /// A compute-only task.
     pub fn compute_only(kernel: Kernel, items: u64) -> Self {
-        TaskSpec { kernel, items, dma_in: 0, dma_out: 0, class: DmaClass::LineOptimal }
+        TaskSpec {
+            kernel,
+            items,
+            dma_in: 0,
+            dma_out: 0,
+            class: DmaClass::LineOptimal,
+        }
     }
 }
 
@@ -103,32 +109,35 @@ pub fn run_stage(
 
     // Task storage: flattened, with per-PE index lists (static) or a shared
     // cursor (queue).
-    let (tasks, mut static_lists, queue_mode): (Vec<TaskSpec>, Vec<std::collections::VecDeque<usize>>, bool) =
-        match assignment {
-            Assignment::Static(lists) => {
-                assert_eq!(lists.len(), npe, "one task list per PE");
-                let mut flat = Vec::new();
-                let mut idx = Vec::new();
-                for l in lists {
-                    let mut q = std::collections::VecDeque::new();
-                    for t in l {
-                        q.push_back(flat.len());
-                        flat.push(*t);
-                    }
-                    idx.push(q);
-                }
-                (flat, idx, false)
-            }
-            Assignment::Queue(list) => {
+    let (tasks, mut static_lists, queue_mode): (
+        Vec<TaskSpec>,
+        Vec<std::collections::VecDeque<usize>>,
+        bool,
+    ) = match assignment {
+        Assignment::Static(lists) => {
+            assert_eq!(lists.len(), npe, "one task list per PE");
+            let mut flat = Vec::new();
+            let mut idx = Vec::new();
+            for l in lists {
                 let mut q = std::collections::VecDeque::new();
-                for i in 0..list.len() {
-                    q.push_back(i);
+                for t in l {
+                    q.push_back(flat.len());
+                    flat.push(*t);
                 }
-                let mut lists = vec![std::collections::VecDeque::new(); npe];
-                lists[0] = q; // shared queue stored in slot 0
-                (list.clone(), lists, true)
+                idx.push(q);
             }
-        };
+            (flat, idx, false)
+        }
+        Assignment::Queue(list) => {
+            let mut q = std::collections::VecDeque::new();
+            for i in 0..list.len() {
+                q.push_back(i);
+            }
+            let mut lists = vec![std::collections::VecDeque::new(); npe];
+            lists[0] = q; // shared queue stored in slot 0
+            (list.clone(), lists, true)
+        }
+    };
 
     let mut heap: BinaryHeap<Reverse<(Cycles, u64, usize, Ev)>> = BinaryHeap::new();
     let mut seq: u64 = 0; // tie-breaker for determinism
@@ -145,7 +154,11 @@ pub fn run_stage(
     // Pop the next task index for `pe`, honoring queue vs static mode.
     macro_rules! next_task {
         ($pe:expr) => {
-            if queue_mode { static_lists[0].pop_front() } else { static_lists[$pe].pop_front() }
+            if queue_mode {
+                static_lists[0].pop_front()
+            } else {
+                static_lists[$pe].pop_front()
+            }
         };
     }
 
@@ -158,7 +171,12 @@ pub fn run_stage(
                         in_flight[$pe] += 1;
                         let done = bus.request($now, tasks[t].dma_in, tasks[t].class);
                         seq += 1;
-                        heap.push(Reverse((done, seq, $pe, Ev::FetchDone { pe: $pe, task: t })));
+                        heap.push(Reverse((
+                            done,
+                            seq,
+                            $pe,
+                            Ev::FetchDone { pe: $pe, task: t },
+                        )));
                         if queue_mode {
                             // Queue mode pulls one task at a time (no
                             // prefetch of an unknown next assignment).
@@ -187,7 +205,12 @@ pub fn run_stage(
                     computing[pe] = true;
                     busy[pe] += dur;
                     seq += 1;
-                    heap.push(Reverse((start + dur, seq, pe, Ev::ComputeDone { pe, task: t })));
+                    heap.push(Reverse((
+                        start + dur,
+                        seq,
+                        pe,
+                        Ev::ComputeDone { pe, task: t },
+                    )));
                 }
             }
             Ev::ComputeDone { pe, task } => {
@@ -201,7 +224,12 @@ pub fn run_stage(
                     let dur = cost::cycles(pes[pe], tasks[t].kernel, tasks[t].items);
                     busy[pe] += dur;
                     seq += 1;
-                    heap.push(Reverse((start + dur, seq, pe, Ev::ComputeDone { pe, task: t })));
+                    heap.push(Reverse((
+                        start + dur,
+                        seq,
+                        pe,
+                        Ev::ComputeDone { pe, task: t },
+                    )));
                 } else {
                     computing[pe] = false;
                 }
@@ -221,7 +249,12 @@ pub fn run_stage(
 }
 
 /// Convenience: run a purely sequential stage (one PE, compute only).
-pub fn run_sequential(cfg: &MachineConfig, pe: ProcKind, kernel: Kernel, items: u64) -> StageOutcome {
+pub fn run_sequential(
+    cfg: &MachineConfig,
+    pe: ProcKind,
+    kernel: Kernel,
+    items: u64,
+) -> StageOutcome {
     run_stage(
         cfg,
         &[pe],
@@ -327,7 +360,12 @@ mod tests {
         let static_lists = vec![tasks_v[..8].to_vec(), tasks_v[8..].to_vec()];
         let st = run_stage(&cfg(), &pes, &Assignment::Static(static_lists), 1);
         let qu = run_stage(&cfg(), &pes, &Assignment::Queue(tasks_v), 1);
-        assert!(qu.makespan < st.makespan, "queue {} vs static {}", qu.makespan, st.makespan);
+        assert!(
+            qu.makespan < st.makespan,
+            "queue {} vs static {}",
+            qu.makespan,
+            st.makespan
+        );
     }
 
     #[test]

@@ -1,9 +1,7 @@
 //! Per-stage timing reports and whole-encode timelines.
 
-use serde::{Deserialize, Serialize};
-
 /// Timing record of one simulated pipeline stage.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct StageReport {
     /// Stage name (e.g. "dwt-vertical-l1", "tier1").
     pub name: String,
@@ -43,7 +41,7 @@ impl StageReport {
 }
 
 /// Ordered collection of stage reports for one encode.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Timeline {
     /// Stages in execution order.
     pub stages: Vec<StageReport>,

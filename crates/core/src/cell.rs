@@ -58,7 +58,9 @@ fn auto_chunk_bytes(width: usize, cfg: &MachineConfig) -> usize {
 }
 
 fn plan_for(width: usize, cfg: &MachineConfig, opts: &SimOptions) -> ChunkPlan {
-    let chunk = opts.chunk_width_bytes.unwrap_or_else(|| auto_chunk_bytes(width, cfg));
+    let chunk = opts
+        .chunk_width_bytes
+        .unwrap_or_else(|| auto_chunk_bytes(width, cfg));
     ChunkPlan::build(
         width,
         1, // height folded into per-task item counts
@@ -161,12 +163,7 @@ pub fn simulate(profile: &WorkloadProfile, cfg: &MachineConfig, opts: &SimOption
     );
     let out = run_stage(cfg, &pes, &a, opts.buffering);
     tl.push(out.report("read-convert-par", cfg));
-    let out = run_sequential(
-        cfg,
-        ProcKind::Ppe,
-        Kernel::TypeConvert,
-        profile.samples / 2,
-    );
+    let out = run_sequential(cfg, ProcKind::Ppe, Kernel::TypeConvert, profile.samples / 2);
     tl.push(out.report("read-convert-seq", cfg));
 
     // 2. Level shift merged with the inter-component transform.
@@ -278,13 +275,22 @@ pub fn simulate(profile: &WorkloadProfile, cfg: &MachineConfig, opts: &SimOption
     // 6. Rate control (lossy): sequential PPE stage between Tier-1 and
     // Tier-2; this is what flattens the lossy scaling curve.
     if profile.rate_control_items > 0 {
-        let out =
-            run_sequential(cfg, ProcKind::Ppe, Kernel::RateControl, profile.rate_control_items);
+        let out = run_sequential(
+            cfg,
+            ProcKind::Ppe,
+            Kernel::RateControl,
+            profile.rate_control_items,
+        );
         tl.push(out.report("rate-control", cfg));
     }
 
     // 7. Tier-2 (sequential PPE).
-    let out = run_sequential(cfg, ProcKind::Ppe, Kernel::Tier2, profile.blocks.len() as u64);
+    let out = run_sequential(
+        cfg,
+        ProcKind::Ppe,
+        Kernel::Tier2,
+        profile.blocks.len() as u64,
+    );
     tl.push(out.report("tier2", cfg));
 
     // 8. Codestream assembly / stream I/O (sequential PPE portion).
@@ -325,7 +331,10 @@ mod tests {
         assert!(names.contains(&"tier1"));
         assert!(names.contains(&"levelshift-ict"));
         assert!(names.iter().any(|n| n.starts_with("dwt-vertical")));
-        assert!(!names.contains(&"rate-control"), "lossless has no rate control");
+        assert!(
+            !names.contains(&"rate-control"),
+            "lossless has no rate control"
+        );
         assert!(tl.total_cycles() > 0);
     }
 
@@ -339,7 +348,10 @@ mod tests {
 
     #[test]
     fn more_spes_is_faster_lossless() {
-        let params = EncoderParams { cb_size: 32, ..EncoderParams::lossless() };
+        let params = EncoderParams {
+            cb_size: 32,
+            ..EncoderParams::lossless()
+        };
         let p = profile_for(256, 256, &params);
         let base = MachineConfig::qs20_single();
         let t1 = simulate(&p, &base.with_spes(1), &SimOptions::default());
@@ -347,17 +359,28 @@ mod tests {
         let s = t1.total_cycles() as f64 / t8.total_cycles() as f64;
         assert!(s > 3.5, "8-SPE speedup only {s}");
         // Adding PPE threads to the Tier-1 queue helps further.
-        let with_ppe =
-            simulate(&p, &base.with_spes(8), &SimOptions { ppe_tier1: true, ..Default::default() });
+        let with_ppe = simulate(
+            &p,
+            &base.with_spes(8),
+            &SimOptions {
+                ppe_tier1: true,
+                ..Default::default()
+            },
+        );
         assert!(with_ppe.total_cycles() < t8.total_cycles());
     }
 
     #[test]
     fn merged_variant_beats_separate_on_dwt_time() {
         let im = synth::natural(192, 192, 3);
-        let pm = EncoderParams { variant: wavelet::VerticalVariant::Merged, ..Default::default() };
-        let ps =
-            EncoderParams { variant: wavelet::VerticalVariant::Separate, ..Default::default() };
+        let pm = EncoderParams {
+            variant: wavelet::VerticalVariant::Merged,
+            ..Default::default()
+        };
+        let ps = EncoderParams {
+            variant: wavelet::VerticalVariant::Separate,
+            ..Default::default()
+        };
         let (_, prof_m) = crate::encode_with_profile(&im, &pm).unwrap();
         let (_, prof_s) = crate::encode_with_profile(&im, &ps).unwrap();
         let cfg = MachineConfig::qs20_single();
@@ -374,11 +397,18 @@ mod tests {
     #[test]
     fn cell_encode_matches_sequential_bytes() {
         let im = synth::natural_rgb(64, 48, 5);
-        let params = EncoderParams { levels: 3, ..EncoderParams::lossless() };
+        let params = EncoderParams {
+            levels: 3,
+            ..EncoderParams::lossless()
+        };
         let seq = crate::encode(&im, &params).unwrap();
-        let (bytes, tl, prof) =
-            encode_on_cell(&im, &params, &MachineConfig::qs20_single(), &SimOptions::default())
-                .unwrap();
+        let (bytes, tl, prof) = encode_on_cell(
+            &im,
+            &params,
+            &MachineConfig::qs20_single(),
+            &SimOptions::default(),
+        )
+        .unwrap();
         assert_eq!(bytes, seq);
         assert!(tl.total_seconds() > 0.0);
         assert_eq!(prof.output_bytes as usize, bytes.len());

@@ -163,8 +163,8 @@ pub fn write(hdr: &MainHeader, blocks: &[BlockStream]) -> Vec<u8> {
     let cb_exp = hdr.cb_size.trailing_zeros() as u8 - 2;
     out.push(cb_exp); // code block width exponent - 2
     out.push(cb_exp); // height
-    // Code block style: terminate on each pass (TERMALL), plus the
-    // selective-bypass bit when enabled.
+                      // Code block style: terminate on each pass (TERMALL), plus the
+                      // selective-bypass bit when enabled.
     out.push(0x04 | u8::from(hdr.bypass));
     out.push(u8::from(hdr.lossless)); // transform: 1 = 5/3, 0 = 9/7
 
@@ -244,7 +244,11 @@ pub fn write(hdr: &MainHeader, blocks: &[BlockStream]) -> Vec<u8> {
                 let mut contribs = vec![Contribution::default(); gw * gh];
                 let mut body: Vec<u8> = Vec::new();
                 for blk in blocks.iter().filter(|k| k.comp == c && k.band_idx == bi) {
-                    let prev = if layer == 0 { 0 } else { blk.layer_passes[layer - 1] };
+                    let prev = if layer == 0 {
+                        0
+                    } else {
+                        blk.layer_passes[layer - 1]
+                    };
                     let cur = blk.layer_passes[layer];
                     if cur > prev {
                         let i = blk.by * gw + blk.bx;
@@ -415,7 +419,9 @@ pub fn parse(data: &[u8]) -> Result<Parsed, CodecError> {
                 break;
             }
             _ => {
-                return Err(CodecError::Codestream(format!("unknown marker {marker:04X}")));
+                return Err(CodecError::Codestream(format!(
+                    "unknown marker {marker:04X}"
+                )));
             }
         }
     }
@@ -441,13 +447,19 @@ pub fn parse(data: &[u8]) -> Result<Parsed, CodecError> {
     // Bounds that keep a corrupted header from driving shifts or
     // allocations out of range.
     if !(1..=16).contains(&depth) {
-        return Err(CodecError::Codestream(format!("depth {depth} out of 1..=16")));
+        return Err(CodecError::Codestream(format!(
+            "depth {depth} out of 1..=16"
+        )));
     }
     if levels == 0 || levels > 10 {
-        return Err(CodecError::Codestream(format!("levels {levels} out of 1..=10")));
+        return Err(CodecError::Codestream(format!(
+            "levels {levels} out of 1..=10"
+        )));
     }
     if layers == 0 || layers > 1024 {
-        return Err(CodecError::Codestream(format!("layers {layers} out of range")));
+        return Err(CodecError::Codestream(format!(
+            "layers {layers} out of range"
+        )));
     }
     if comps > 256 {
         return Err(CodecError::Codestream(format!("{comps} components")));
@@ -471,7 +483,9 @@ pub fn parse(data: &[u8]) -> Result<Parsed, CodecError> {
         Quant::Scalar(st) => st.iter().any(|x| x.exponent == 0),
     };
     if bad_eps || header.guard == 0 {
-        return Err(CodecError::Codestream("zero quant exponent or guard".into()));
+        return Err(CodecError::Codestream(
+            "zero quant exponent or guard".into(),
+        ));
     }
 
     // Packets.
@@ -513,16 +527,18 @@ pub fn parse(data: &[u8]) -> Result<Parsed, CodecError> {
                         if r.p + body_len > data.len() {
                             return Err(CodecError::Codestream("packet body truncated".into()));
                         }
-                        let blk = blocks.entry((c, bi, by, bx)).or_insert_with(|| BlockStream {
-                            comp: c,
-                            band_idx: bi,
-                            bx,
-                            by,
-                            zero_planes: con.zero_planes,
-                            layer_passes: vec![0; layer],
-                            pass_lens: Vec::new(),
-                            data: Vec::new(),
-                        });
+                        let blk = blocks
+                            .entry((c, bi, by, bx))
+                            .or_insert_with(|| BlockStream {
+                                comp: c,
+                                band_idx: bi,
+                                bx,
+                                by,
+                                zero_planes: con.zero_planes,
+                                layer_passes: vec![0; layer],
+                                pass_lens: Vec::new(),
+                                data: Vec::new(),
+                            });
                         blk.pass_lens.extend_from_slice(&con.pass_lens);
                         blk.data.extend_from_slice(&data[r.p..r.p + body_len]);
                         let total: usize = blk.pass_lens.len();
@@ -566,7 +582,13 @@ mod tests {
                 Quant::Reversible(bands.iter().map(|b| 8 + b.band.gain_log2()).collect())
             } else {
                 Quant::Scalar(
-                    bands.iter().map(|_| StepSize { exponent: 12, mantissa: 300 }).collect(),
+                    bands
+                        .iter()
+                        .map(|_| StepSize {
+                            exponent: 12,
+                            mantissa: 300,
+                        })
+                        .collect(),
                 )
             },
         }
@@ -623,7 +645,13 @@ mod tests {
         assert_eq!(parsed.header, hdr);
         match parsed.header.quant {
             Quant::Scalar(ref s) => {
-                assert_eq!(s[0], StepSize { exponent: 12, mantissa: 300 })
+                assert_eq!(
+                    s[0],
+                    StepSize {
+                        exponent: 12,
+                        mantissa: 300
+                    }
+                )
             }
             _ => panic!("expected scalar quant"),
         }

@@ -99,7 +99,9 @@ pub fn unwrap(data: &[u8]) -> Result<&[u8], CodecError> {
         }
         p += box_len;
     }
-    Err(CodecError::Codestream("no contiguous codestream box".into()))
+    Err(CodecError::Codestream(
+        "no contiguous codestream box".into(),
+    ))
 }
 
 /// True if `data` looks like a JP2 container (vs. a raw codestream, which
@@ -144,10 +146,20 @@ mod tests {
     #[test]
     fn box_structure_is_canonical() {
         let im = synth::natural(16, 16, 1);
-        let cs = crate::encode(&im, &EncoderParams { levels: 2, ..Default::default() }).unwrap();
+        let cs = crate::encode(
+            &im,
+            &EncoderParams {
+                levels: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let jp2 = wrap(&cs).unwrap();
         // Signature box is exactly the fixed 12 bytes.
-        assert_eq!(&jp2[..12], &[0, 0, 0, 12, b'j', b'P', 0x20, 0x20, 0x0D, 0x0A, 0x87, 0x0A]);
+        assert_eq!(
+            &jp2[..12],
+            &[0, 0, 0, 12, b'j', b'P', 0x20, 0x20, 0x0D, 0x0A, 0x87, 0x0A]
+        );
         // ftyp follows with brand jp2.
         assert_eq!(&jp2[16..20], b"ftyp");
         assert_eq!(&jp2[20..24], b"jp2\x20");
@@ -161,7 +173,14 @@ mod tests {
     #[test]
     fn grayscale_gets_grey_colourspace() {
         let im = synth::natural(8, 8, 2);
-        let cs = crate::encode(&im, &EncoderParams { levels: 1, ..Default::default() }).unwrap();
+        let cs = crate::encode(
+            &im,
+            &EncoderParams {
+                levels: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let jp2 = wrap(&cs).unwrap();
         let colr_pos = jp2.windows(4).position(|w| w == b"colr").unwrap();
         let cs_val = u32::from_be_bytes(jp2[colr_pos + 7..colr_pos + 11].try_into().unwrap());
@@ -173,7 +192,14 @@ mod tests {
         assert!(unwrap(b"definitely not a jp2 file").is_err());
         assert!(unwrap(&[]).is_err());
         let im = synth::natural(8, 8, 1);
-        let cs = crate::encode(&im, &EncoderParams { levels: 1, ..Default::default() }).unwrap();
+        let cs = crate::encode(
+            &im,
+            &EncoderParams {
+                levels: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let mut jp2 = wrap(&cs).unwrap();
         jp2.truncate(jp2.len() - 10);
         assert!(unwrap(&jp2).is_err());
@@ -182,7 +208,14 @@ mod tests {
     #[test]
     fn describe_both_formats() {
         let im = synth::natural(24, 24, 5);
-        let cs = crate::encode(&im, &EncoderParams { levels: 2, ..Default::default() }).unwrap();
+        let cs = crate::encode(
+            &im,
+            &EncoderParams {
+                levels: 2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let (h1, l1) = describe(&cs).unwrap();
         let (h2, l2) = describe(&wrap(&cs).unwrap()).unwrap();
         assert_eq!(h1, h2);

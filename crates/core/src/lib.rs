@@ -30,8 +30,14 @@ pub mod profile;
 pub mod quant;
 
 pub use cell::encode_on_cell;
-pub use pipeline::{decode, decode_layers, decode_resolution, encode, encode_with_profile};
-pub use profile::WorkloadProfile;
+pub use parallel::{
+    encode_parallel, encode_parallel_opts, encode_parallel_with_profile,
+    transform_coefficients_parallel, ParallelOptions,
+};
+pub use pipeline::{
+    decode, decode_layers, decode_resolution, encode, encode_with_profile, transform_coefficients,
+};
+pub use profile::{StageTime, WorkloadProfile};
 
 use wavelet::VerticalVariant;
 
@@ -103,7 +109,10 @@ impl EncoderParams {
 
     /// Default lossy configuration at `rate` (e.g. 0.1).
     pub fn lossy(rate: f64) -> Self {
-        EncoderParams { mode: Mode::Lossy { rate }, ..Self::default() }
+        EncoderParams {
+            mode: Mode::Lossy { rate },
+            ..Self::default()
+        }
     }
 
     /// Validate parameter combinations.
@@ -115,10 +124,16 @@ impl EncoderParams {
             )));
         }
         if self.levels == 0 || self.levels > 10 {
-            return Err(CodecError::Params(format!("levels {} out of 1..=10", self.levels)));
+            return Err(CodecError::Params(format!(
+                "levels {} out of 1..=10",
+                self.levels
+            )));
         }
         if self.layers == 0 || self.layers > 16 {
-            return Err(CodecError::Params(format!("layers {} out of 1..=16", self.layers)));
+            return Err(CodecError::Params(format!(
+                "layers {} out of 1..=16",
+                self.layers
+            )));
         }
         if let Mode::Lossy { rate } = self.mode {
             if !(rate > 0.0 && rate <= 1.0) {
@@ -160,10 +175,25 @@ mod tests {
     fn params_validation() {
         assert!(EncoderParams::lossless().validate().is_ok());
         assert!(EncoderParams::lossy(0.1).validate().is_ok());
-        assert!(EncoderParams { cb_size: 48, ..Default::default() }.validate().is_err());
-        assert!(EncoderParams { levels: 0, ..Default::default() }.validate().is_err());
+        assert!(EncoderParams {
+            cb_size: 48,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
+        assert!(EncoderParams {
+            levels: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
         assert!(EncoderParams::lossy(0.0).validate().is_err());
         assert!(EncoderParams::lossy(1.5).validate().is_err());
-        assert!(EncoderParams { layers: 0, ..Default::default() }.validate().is_err());
+        assert!(EncoderParams {
+            layers: 0,
+            ..Default::default()
+        }
+        .validate()
+        .is_err());
     }
 }

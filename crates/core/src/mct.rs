@@ -49,8 +49,9 @@ pub fn inverse_rct_shift(planes: &mut [AlignedPlane<i32>], shift: i32) {
 pub fn forward_ict_shift(planes: &[AlignedPlane<i32>], shift: f32) -> Vec<AlignedPlane<f32>> {
     assert_eq!(planes.len(), 3);
     let (w, h) = (planes[0].width(), planes[0].height());
-    let mut out: Vec<AlignedPlane<f32>> =
-        (0..3).map(|_| AlignedPlane::new(w, h).expect("geometry")).collect();
+    let mut out: Vec<AlignedPlane<f32>> = (0..3)
+        .map(|_| AlignedPlane::new(w, h).expect("geometry"))
+        .collect();
     for y in 0..h {
         for x in 0..w {
             let r = planes[0].get(x, y) as f32 - shift;
@@ -71,8 +72,9 @@ pub fn forward_ict_shift(planes: &[AlignedPlane<i32>], shift: f32) -> Vec<Aligne
 pub fn inverse_ict_shift(planes: &[AlignedPlane<f32>], shift: f32) -> Vec<AlignedPlane<i32>> {
     assert_eq!(planes.len(), 3);
     let (w, h) = (planes[0].width(), planes[0].height());
-    let mut out: Vec<AlignedPlane<i32>> =
-        (0..3).map(|_| AlignedPlane::new(w, h).expect("geometry")).collect();
+    let mut out: Vec<AlignedPlane<i32>> = (0..3)
+        .map(|_| AlignedPlane::new(w, h).expect("geometry"))
+        .collect();
     for y in 0..h {
         for x in 0..w {
             let yy = planes[0].get(x, y);
@@ -172,10 +174,11 @@ mod tests {
 
     #[test]
     fn ict_luma_of_gray_is_value() {
-        let mut p: Vec<AlignedPlane<i32>> =
-            (0..3).map(|_| AlignedPlane::<i32>::new(1, 1).unwrap()).collect();
-        for c in 0..3 {
-            p[c].set(0, 0, 200);
+        let mut p: Vec<AlignedPlane<i32>> = (0..3)
+            .map(|_| AlignedPlane::<i32>::new(1, 1).unwrap())
+            .collect();
+        for plane in p.iter_mut() {
+            plane.set(0, 0, 200);
         }
         let f = forward_ict_shift(&p, 128.0);
         assert!((f[0].get(0, 0) - 72.0).abs() < 0.01);

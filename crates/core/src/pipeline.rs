@@ -5,7 +5,7 @@
 //! Figure 2.
 
 use crate::codestream::{self, BlockStream, MainHeader, Quant};
-use crate::profile::{BlockWork, LevelWork, WorkloadProfile};
+use crate::profile::{BlockWork, LevelWork, StageTime, WorkloadProfile};
 use crate::quant::{band_delta, dequantize, quantize, StepSize, GUARD_BITS};
 use crate::{mct, Arithmetic, CodecError, EncoderParams, Mode};
 use ebcot::block::{decode_block_opts, encode_block_opts, BandKind, EncodedBlock};
@@ -108,8 +108,10 @@ pub(crate) fn transform_samples(
                 wavelet::forward_2d_53(p, params.levels, params.variant);
             }
             let depth_eff = depth + u8::from(use_mct);
-            let exps: Vec<u8> =
-                bands.iter().map(|b| depth_eff + b.band.gain_log2()).collect();
+            let exps: Vec<u8> = bands
+                .iter()
+                .map(|b| depth_eff + b.band.gain_log2())
+                .collect();
             let max_planes: Vec<u8> = exps.iter().map(|&e| GUARD_BITS + e - 1).collect();
             let weights: Vec<f64> = bands
                 .iter()
@@ -164,11 +166,7 @@ pub(crate) fn transform_samples(
                         .map(|p| p.map(|v| (v * 8192.0).round() as i32))
                         .collect();
                     for p in &mut q13 {
-                        wavelet::transform2d::forward_2d_97_fixed(
-                            p,
-                            params.levels,
-                            params.variant,
-                        );
+                        wavelet::transform2d::forward_2d_97_fixed(p, params.levels, params.variant);
                     }
                     q13.iter().map(|p| p.map(|v| v as f32 / 8192.0)).collect()
                 }
@@ -196,8 +194,7 @@ pub(crate) fn transform_samples(
                     }
                 }
             }
-            let max_planes: Vec<u8> =
-                steps.iter().map(|s| GUARD_BITS + s.exponent - 1).collect();
+            let max_planes: Vec<u8> = steps.iter().map(|s| GUARD_BITS + s.exponent - 1).collect();
             Ok(Transformed {
                 indices,
                 quant: Quant::Scalar(steps),
@@ -210,7 +207,10 @@ pub(crate) fn transform_samples(
 }
 
 /// Extract the block grid of one band: `(bx, by, x0, y0, bw, bh)` tuples.
-pub(crate) fn block_grid(b: &Subband, cb: usize) -> Vec<(usize, usize, usize, usize, usize, usize)> {
+pub(crate) fn block_grid(
+    b: &Subband,
+    cb: usize,
+) -> Vec<(usize, usize, usize, usize, usize, usize)> {
     let mut v = Vec::new();
     let gw = b.w.div_ceil(cb);
     let gh = b.h.div_ceil(cb);
@@ -245,7 +245,14 @@ pub(crate) fn tier1_all(t: &Transformed, params: &EncoderParams) -> Vec<BlockRec
                     enc.num_planes,
                     t.max_planes[bi]
                 );
-                out.push(BlockRecord { comp: c, band_idx: bi, bx, by, enc, weight: t.weights[bi] });
+                out.push(BlockRecord {
+                    comp: c,
+                    band_idx: bi,
+                    bx,
+                    by,
+                    enc,
+                    weight: t.weights[bi],
+                });
             }
         }
     }
@@ -288,11 +295,9 @@ pub(crate) fn allocate_layers(
                     }
                 } else {
                     let frac = (l + 1) as f64 / params.layers as f64;
-                    let budget: usize = (records
-                        .iter()
-                        .map(|r| r.enc.data.len() as f64)
-                        .sum::<f64>()
-                        * frac) as usize;
+                    let budget: usize =
+                        (records.iter().map(|r| r.enc.data.len() as f64).sum::<f64>() * frac)
+                            as usize;
                     let a = allocate(&summaries, budget);
                     rc_items += a.passes_examined;
                     for (i, &n) in a.passes.iter().enumerate() {
@@ -304,8 +309,7 @@ pub(crate) fn allocate_layers(
         Mode::Lossy { rate } => {
             // Reserve a sliver for markers and packet headers.
             let header_estimate = 120 + records.len() * 2 + extra_reserve;
-            let budget_total =
-                ((rate * raw_bytes as f64) as usize).saturating_sub(header_estimate);
+            let budget_total = ((rate * raw_bytes as f64) as usize).saturating_sub(header_estimate);
             for l in 0..params.layers {
                 let frac = (l + 1) as f64 / params.layers as f64;
                 let a = allocate(&summaries, (budget_total as f64 * frac) as usize);
@@ -357,9 +361,7 @@ pub(crate) fn assemble(
             continue;
         }
         let lens: Vec<usize> = (0..last)
-            .map(|i| {
-                r.enc.pass_ends[i] - if i == 0 { 0 } else { r.enc.pass_ends[i - 1] }
-            })
+            .map(|i| r.enc.pass_ends[i] - if i == 0 { 0 } else { r.enc.pass_ends[i - 1] })
             .collect();
         streams.push(BlockStream {
             comp: r.comp,
@@ -380,6 +382,23 @@ pub fn encode(image: &Image, params: &EncoderParams) -> Result<Vec<u8>, CodecErr
     encode_with_profile(image, params).map(|(bytes, _)| bytes)
 }
 
+/// Dense quantizer-index planes produced by the sample stages (level
+/// shift, MCT, DWT, quantization), one per component, in the sequential
+/// reference arithmetic. Diagnostic API for the differential tests: the
+/// chunked host-parallel transform must reproduce these coefficient for
+/// coefficient (see `parallel::transform_coefficients_parallel`).
+pub fn transform_coefficients(
+    image: &Image,
+    params: &EncoderParams,
+) -> Result<Vec<Vec<i32>>, CodecError> {
+    params.validate()?;
+    image
+        .validate()
+        .map_err(|e| CodecError::Image(e.to_string()))?;
+    let t = transform_samples(image, params)?;
+    Ok(t.indices.iter().map(|p| p.to_dense()).collect())
+}
+
 /// Encode and also return the measured [`WorkloadProfile`] that drives the
 /// machine models.
 pub fn encode_with_profile(
@@ -387,12 +406,57 @@ pub fn encode_with_profile(
     params: &EncoderParams,
 ) -> Result<(Vec<u8>, WorkloadProfile), CodecError> {
     params.validate()?;
-    image.validate().map_err(|e| CodecError::Image(e.to_string()))?;
+    image
+        .validate()
+        .map_err(|e| CodecError::Image(e.to_string()))?;
+    let t0 = std::time::Instant::now();
     let t = transform_samples(image, params)?;
+    let transform_secs = t0.elapsed().as_secs_f64();
+    let t1 = std::time::Instant::now();
     let records = tier1_all(&t, params);
+    let tier1_secs = t1.elapsed().as_secs_f64();
+    let t2 = std::time::Instant::now();
     let raw = image.raw_bytes() as u64;
-    let (mut kept, mut rc_items) = allocate_layers(&records, params, raw, 0);
-    let mut bytes = assemble(image, params, &t, &records, &kept);
+    let (bytes, rc_items) = rate_control_and_assemble(image, params, &t, &records, raw);
+    let rc_secs = t2.elapsed().as_secs_f64();
+    let stage_times = vec![
+        StageTime {
+            name: "transform",
+            seconds: transform_secs,
+        },
+        StageTime {
+            name: "tier1",
+            seconds: tier1_secs,
+        },
+        StageTime {
+            name: "rate-control",
+            seconds: rc_secs,
+        },
+    ];
+    let profile = build_profile(
+        image,
+        params,
+        &records,
+        rc_items,
+        bytes.len(),
+        stage_times,
+        Vec::new(),
+    );
+    Ok((bytes, profile))
+}
+
+/// PCRD rate allocation plus codestream assembly, including the lossy
+/// budget-shrink retry loop. Shared by the sequential and parallel drivers
+/// so they stay byte-identical by construction.
+pub(crate) fn rate_control_and_assemble(
+    image: &Image,
+    params: &EncoderParams,
+    t: &Transformed,
+    records: &[BlockRecord],
+    raw: u64,
+) -> (Vec<u8>, u64) {
+    let (mut kept, mut rc_items) = allocate_layers(records, params, raw, 0);
+    let mut bytes = assemble(image, params, t, records, &kept);
     if let Mode::Lossy { rate } = params.mode {
         // The packet-header overhead is only known after assembly; shrink
         // the payload budget and retry until the target is met.
@@ -401,23 +465,40 @@ pub fn encode_with_profile(
         let mut tries = 0;
         while bytes.len() > limit && tries < 8 {
             reserve += (bytes.len() - limit) + 32;
-            let (k, rc) = allocate_layers(&records, params, raw, reserve);
+            let (k, rc) = allocate_layers(records, params, raw, reserve);
             kept = k;
             rc_items += rc;
-            bytes = assemble(image, params, &t, &records, &kept);
+            bytes = assemble(image, params, t, records, &kept);
             tries += 1;
         }
     }
-    let profile = WorkloadProfile {
+    (bytes, rc_items)
+}
+
+/// Build the measured [`WorkloadProfile`] from the Tier-1 records and the
+/// driver's stage measurements.
+pub(crate) fn build_profile(
+    image: &Image,
+    params: &EncoderParams,
+    records: &[BlockRecord],
+    rc_items: u64,
+    output_len: usize,
+    stage_times: Vec<StageTime>,
+    worker_jobs: Vec<u64>,
+) -> WorkloadProfile {
+    WorkloadProfile {
         params: *params,
         width: image.width,
         height: image.height,
         comps: image.comps(),
         samples: (image.width * image.height * image.comps()) as u64,
-        raw_bytes: raw,
+        raw_bytes: image.raw_bytes() as u64,
         levels: level_dims(image.width, image.height, params.levels)
             .into_iter()
-            .map(|(w, h)| LevelWork { w: w as u64, h: h as u64 })
+            .map(|(w, h)| LevelWork {
+                w: w as u64,
+                h: h as u64,
+            })
             .collect(),
         blocks: records
             .iter()
@@ -447,9 +528,10 @@ pub fn encode_with_profile(
             })
             .collect(),
         rate_control_items: rc_items,
-        output_bytes: bytes.len() as u64,
-    };
-    Ok((bytes, profile))
+        output_bytes: output_len as u64,
+        stage_times,
+        worker_jobs,
+    }
 }
 
 /// Decode a codestream produced by any of this crate's encoders.
@@ -550,16 +632,15 @@ fn decode_inner(
         }
         (cw, ch)
     };
-    let mut out = Image::new(ow, oh, hdr.comps, depth)
-        .map_err(|e| CodecError::Codestream(e.to_string()))?;
+    let mut out =
+        Image::new(ow, oh, hdr.comps, depth).map_err(|e| CodecError::Codestream(e.to_string()))?;
 
     if hdr.lossless {
         let mut planes = indices;
         for p in &mut planes {
             wavelet::transform2d::inverse_2d_53_partial(p, hdr.levels, discard);
         }
-        let mut planes: Vec<AlignedPlane<i32>> =
-            planes.iter().map(|p| crop(p, ow, oh)).collect();
+        let mut planes: Vec<AlignedPlane<i32>> = planes.iter().map(|p| crop(p, ow, oh)).collect();
         if hdr.mct && hdr.comps == 3 {
             mct::inverse_rct_shift(&mut planes, shift);
         } else {
@@ -581,7 +662,9 @@ fn decode_inner(
     let steps = match &hdr.quant {
         Quant::Scalar(s) => s.clone(),
         Quant::Reversible(_) => {
-            return Err(CodecError::Codestream("lossy stream with reversible quant".into()))
+            return Err(CodecError::Codestream(
+                "lossy stream with reversible quant".into(),
+            ))
         }
     };
     let mut planes: Vec<AlignedPlane<f32>> = (0..hdr.comps)
@@ -678,7 +761,11 @@ mod tests {
     #[test]
     fn lossless_roundtrip_rgb() {
         let im = synth::natural_rgb(64, 48, 3);
-        let params = EncoderParams { levels: 3, cb_size: 32, ..EncoderParams::lossless() };
+        let params = EncoderParams {
+            levels: 3,
+            cb_size: 32,
+            ..EncoderParams::lossless()
+        };
         let bytes = encode(&im, &params).unwrap();
         let back = decode(&bytes).unwrap();
         assert_eq!(back, im);
@@ -702,7 +789,11 @@ mod tests {
         for rate in [0.5, 0.25, 0.1] {
             let bytes = encode(&im, &EncoderParams::lossy(rate)).unwrap();
             let limit = (im.raw_bytes() as f64 * rate) as usize;
-            assert!(bytes.len() <= limit + 64, "rate {rate}: {} > {limit}", bytes.len());
+            assert!(
+                bytes.len() <= limit + 64,
+                "rate {rate}: {} > {limit}",
+                bytes.len()
+            );
             let back = decode(&bytes).unwrap();
             let p = imgio::psnr(&im, &back).unwrap();
             assert!(p > 24.0, "rate {rate}: psnr {p}");
@@ -739,7 +830,10 @@ mod tests {
     fn fixed_and_float_agree_closely() {
         let im = synth::natural(64, 64, 4);
         let pf = EncoderParams::lossy(0.4);
-        let pq = EncoderParams { arithmetic: Arithmetic::FixedQ13, ..pf };
+        let pq = EncoderParams {
+            arithmetic: Arithmetic::FixedQ13,
+            ..pf
+        };
         let f = decode(&encode(&im, &pf).unwrap()).unwrap();
         let q = decode(&encode(&im, &pq).unwrap()).unwrap();
         let p = imgio::psnr(&f, &q).unwrap();
@@ -749,7 +843,10 @@ mod tests {
     #[test]
     fn progressive_layer_decode_improves_quality() {
         let im = synth::natural(96, 96, 44);
-        let params = EncoderParams { layers: 4, ..EncoderParams::lossy(0.4) };
+        let params = EncoderParams {
+            layers: 4,
+            ..EncoderParams::lossy(0.4)
+        };
         let bytes = encode(&im, &params).unwrap();
         let mut prev = 0.0f64;
         for l in 1..=4 {
@@ -766,7 +863,14 @@ mod tests {
     #[test]
     fn resolution_progressive_decode() {
         let im = synth::natural(64, 48, 12);
-        let bytes = encode(&im, &EncoderParams { levels: 3, ..Default::default() }).unwrap();
+        let bytes = encode(
+            &im,
+            &EncoderParams {
+                levels: 3,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         // Full resolution = normal decode.
         assert_eq!(decode_resolution(&bytes, 0).unwrap(), im);
         // Each discarded level halves the dimensions (ceil).
@@ -788,7 +892,14 @@ mod tests {
     #[test]
     fn resolution_progressive_decode_lossy_rgb() {
         let im = synth::natural_rgb(64, 64, 9);
-        let bytes = encode(&im, &EncoderParams { levels: 3, ..EncoderParams::lossy(0.5) }).unwrap();
+        let bytes = encode(
+            &im,
+            &EncoderParams {
+                levels: 3,
+                ..EncoderParams::lossy(0.5)
+            },
+        )
+        .unwrap();
         let half = decode_resolution(&bytes, 1).unwrap();
         assert_eq!((half.width, half.height, half.comps()), (32, 32, 3));
         // Downscale the original by simple 2x2 averaging and compare: the
@@ -823,13 +934,19 @@ mod tests {
     #[test]
     fn bypass_mode_roundtrips_and_is_signalled() {
         let im = synth::natural(96, 96, 61);
-        let params = EncoderParams { bypass: true, ..EncoderParams::lossless() };
+        let params = EncoderParams {
+            bypass: true,
+            ..EncoderParams::lossless()
+        };
         let bytes = encode(&im, &params).unwrap();
         assert_eq!(decode(&bytes).unwrap(), im);
         let parsed = codestream::parse(&bytes).unwrap();
         assert!(parsed.header.bypass);
         // Lossy bypass too.
-        let params = EncoderParams { bypass: true, ..EncoderParams::lossy(0.2) };
+        let params = EncoderParams {
+            bypass: true,
+            ..EncoderParams::lossy(0.2)
+        };
         let bytes = encode(&im, &params).unwrap();
         let back = decode(&bytes).unwrap();
         assert!(imgio::psnr(&im, &back).unwrap() > 25.0);
@@ -838,7 +955,11 @@ mod tests {
     #[test]
     fn multi_layer_lossless_roundtrip() {
         let im = synth::natural(48, 48, 6);
-        let params = EncoderParams { layers: 3, levels: 3, ..EncoderParams::lossless() };
+        let params = EncoderParams {
+            layers: 3,
+            levels: 3,
+            ..EncoderParams::lossless()
+        };
         let bytes = encode(&im, &params).unwrap();
         let back = decode(&bytes).unwrap();
         assert_eq!(back, im);
@@ -848,7 +969,10 @@ mod tests {
     fn all_variants_and_sizes_agree() {
         use wavelet::VerticalVariant;
         let im = synth::natural(33, 41, 8);
-        let base = EncoderParams { levels: 2, ..EncoderParams::lossless() };
+        let base = EncoderParams {
+            levels: 2,
+            ..EncoderParams::lossless()
+        };
         let reference = encode(&im, &base).unwrap();
         for variant in [
             VerticalVariant::Separate,
@@ -865,12 +989,14 @@ mod tests {
         let im = synth::natural(64, 64, 1);
         let (bytes, prof) = encode_with_profile(&im, &EncoderParams::lossless()).unwrap();
         assert_eq!(prof.output_bytes as usize, bytes.len());
-        assert!(prof.tier1_symbols() > prof.samples, "EBCOT codes >1 decision/sample");
+        assert!(
+            prof.tier1_symbols() > prof.samples,
+            "EBCOT codes >1 decision/sample"
+        );
         assert_eq!(prof.samples, 64 * 64);
         assert_eq!(prof.rate_control_items, 0);
         assert!(!prof.blocks.is_empty());
-        let (_, lossy_prof) =
-            encode_with_profile(&im, &EncoderParams::lossy(0.2)).unwrap();
+        let (_, lossy_prof) = encode_with_profile(&im, &EncoderParams::lossy(0.2)).unwrap();
         assert!(lossy_prof.rate_control_items > 0);
     }
 
@@ -883,7 +1009,14 @@ mod tests {
             synth::noise(40, 40, 1),
             synth::gradient(17, 64),
         ] {
-            let bytes = encode(&im, &EncoderParams { levels: 3, ..Default::default() }).unwrap();
+            let bytes = encode(
+                &im,
+                &EncoderParams {
+                    levels: 3,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
             let back = decode(&bytes).unwrap();
             assert_eq!(back, im);
         }
@@ -896,7 +1029,10 @@ mod tests {
             for (i, v) in im.planes[0].iter_mut().enumerate() {
                 *v = ((i * 37) % 256) as u16;
             }
-            let params = EncoderParams { levels: 1, ..EncoderParams::lossless() };
+            let params = EncoderParams {
+                levels: 1,
+                ..EncoderParams::lossless()
+            };
             let back = decode(&encode(&im, &params).unwrap()).unwrap();
             assert_eq!(back, im, "{w}x{h}");
         }

@@ -25,6 +25,16 @@ pub struct BlockWork {
     pub bytes: u64,
 }
 
+/// Wall-clock time of one pipeline stage, as measured by the driver that
+/// produced the profile.
+#[derive(Debug, Clone)]
+pub struct StageTime {
+    /// Stage name (e.g. "mct", "dwt", "quantize", "tier1").
+    pub name: &'static str,
+    /// Elapsed wall time in seconds.
+    pub seconds: f64,
+}
+
 /// One DWT level's geometry (the region the level transforms).
 #[derive(Debug, Clone, Copy)]
 pub struct LevelWork {
@@ -57,6 +67,13 @@ pub struct WorkloadProfile {
     pub rate_control_items: u64,
     /// Output codestream bytes.
     pub output_bytes: u64,
+    /// Measured per-stage wall times, in pipeline order.
+    pub stage_times: Vec<StageTime>,
+    /// Jobs executed per worker by the host-parallel driver: indices
+    /// `0..workers` are the spawned workers, the last entry is the calling
+    /// thread (the PPE role, which keeps the remainder chunk). Empty for
+    /// non-parallel drivers.
+    pub worker_jobs: Vec<u64>,
 }
 
 impl WorkloadProfile {
@@ -91,11 +108,23 @@ mod tests {
             raw_bytes: 64,
             levels: vec![LevelWork { w: 8, h: 8 }],
             blocks: vec![
-                BlockWork { samples: 32, symbols: 100, passes: 4, bytes: 10 },
-                BlockWork { samples: 32, symbols: 50, passes: 2, bytes: 6 },
+                BlockWork {
+                    samples: 32,
+                    symbols: 100,
+                    passes: 4,
+                    bytes: 10,
+                },
+                BlockWork {
+                    samples: 32,
+                    symbols: 50,
+                    passes: 2,
+                    bytes: 6,
+                },
             ],
             rate_control_items: 0,
             output_bytes: 32,
+            stage_times: Vec::new(),
+            worker_jobs: Vec::new(),
         };
         assert_eq!(p.tier1_symbols(), 150);
         assert_eq!(p.total_passes(), 6);

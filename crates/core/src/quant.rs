@@ -31,13 +31,15 @@ impl StepSize {
         }
         let e = e.clamp(0, 31);
         let m = ((frac * 2048.0).round() as i64).clamp(0, 2047);
-        StepSize { exponent: e as u8, mantissa: m as u16 }
+        StepSize {
+            exponent: e as u8,
+            mantissa: m as u16,
+        }
     }
 
     /// The real step size for dynamic range `r_bits`.
     pub fn delta(&self, r_bits: i32) -> f64 {
-        f64::powi(2.0, r_bits - self.exponent as i32)
-            * (1.0 + self.mantissa as f64 / 2048.0)
+        f64::powi(2.0, r_bits - self.exponent as i32) * (1.0 + self.mantissa as f64 / 2048.0)
     }
 
     /// Pack as the QCD 16-bit field.
@@ -47,7 +49,10 @@ impl StepSize {
 
     /// Unpack from the QCD 16-bit field.
     pub fn unpack(v: u16) -> StepSize {
-        StepSize { exponent: (v >> 11) as u8, mantissa: v & 0x7FF }
+        StepSize {
+            exponent: (v >> 11) as u8,
+            mantissa: v & 0x7FF,
+        }
     }
 }
 
@@ -127,7 +132,10 @@ mod tests {
             let r = dequantize(q, delta);
             if q != 0 {
                 // Mid-point reconstruction error < delta/2.
-                assert!((r - v).abs() <= delta as f32 / 2.0 + 1e-5, "v={v} q={q} r={r}");
+                assert!(
+                    (r - v).abs() <= delta as f32 / 2.0 + 1e-5,
+                    "v={v} q={q} r={r}"
+                );
             } else {
                 assert!(v.abs() < delta as f32);
                 assert_eq!(r, 0.0);

@@ -8,7 +8,14 @@ use j2k_core::{Arithmetic, EncoderParams};
 
 fn valid_stream() -> Vec<u8> {
     let im = imgio::synth::natural(32, 32, 1);
-    j2k_core::encode(&im, &EncoderParams { levels: 2, ..Default::default() }).unwrap()
+    j2k_core::encode(
+        &im,
+        &EncoderParams {
+            levels: 2,
+            ..Default::default()
+        },
+    )
+    .unwrap()
 }
 
 /// Find the byte offset of a marker in the stream.

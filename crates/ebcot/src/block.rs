@@ -12,9 +12,7 @@
 //! distortion reduction (for PCRD), and the MQ decision count (the Tier-1
 //! work items consumed by the `cellsim` cost model).
 
-use crate::context::{
-    initial_contexts, mr_context, sc_context, zc_context, CTX_RL, CTX_UNI,
-};
+use crate::context::{initial_contexts, mr_context, sc_context, zc_context, CTX_RL, CTX_UNI};
 use mqcoder::{Contexts, MqDecoder, MqEncoder, RawDecoder, RawEncoder};
 
 /// Band class for context selection.
@@ -102,7 +100,11 @@ struct Grid {
 
 impl Grid {
     fn new(w: usize, h: usize) -> Self {
-        Grid { w, h, flags: vec![0; w * h] }
+        Grid {
+            w,
+            h,
+            flags: vec![0; w * h],
+        }
     }
 
     #[inline]
@@ -255,7 +257,9 @@ pub fn encode_block_opts(
                         mag_ref_enc(&mut enc, &mut ctxs, &mut grid, &mags, plane, &mut dist)
                     }
                     PassType::Cleanup => {
-                        cleanup_enc(&mut enc, &mut ctxs, &mut grid, &mags, plane, kind, &mut dist);
+                        cleanup_enc(
+                            &mut enc, &mut ctxs, &mut grid, &mags, plane, kind, &mut dist,
+                        );
                         grid.clear_visited();
                     }
                 }
@@ -449,8 +453,7 @@ fn cleanup_enc(
                     }
                 });
             if run_ok {
-                let first_sig =
-                    (0..4).find(|&r| (mags[(y0 + r) * w + x] >> plane) & 1 == 1);
+                let first_sig = (0..4).find(|&r| (mags[(y0 + r) * w + x] >> plane) & 1 == 1);
                 match first_sig {
                     None => {
                         enc.encode(ctxs, CTX_RL, 0);
@@ -528,7 +531,9 @@ pub fn decode_block(
     num_planes: u8,
     midpoint: bool,
 ) -> Vec<i32> {
-    decode_block_opts(data, pass_ends, num_passes, w, h, kind, num_planes, midpoint, false)
+    decode_block_opts(
+        data, pass_ends, num_passes, w, h, kind, num_planes, midpoint, false,
+    )
 }
 
 /// [`decode_block`] with the selective arithmetic-coding-bypass option;
@@ -598,7 +603,11 @@ pub fn decode_block_opts(
         }
     }
 
-    let half = if midpoint && last_plane > 0 { 1u32 << (last_plane - 1) } else { 0 };
+    let half = if midpoint && last_plane > 0 {
+        1u32 << (last_plane - 1)
+    } else {
+        0
+    };
     (0..w * h)
         .map(|i| {
             let m = mags[i];
@@ -841,7 +850,15 @@ mod tests {
 
     #[test]
     fn roundtrip_various_shapes() {
-        for (w, h) in [(4usize, 4usize), (8, 8), (5, 7), (1, 9), (9, 1), (3, 4), (64, 64)] {
+        for (w, h) in [
+            (4usize, 4usize),
+            (8, 8),
+            (5, 7),
+            (1, 9),
+            (9, 1),
+            (3, 4),
+            (64, 64),
+        ] {
             for kind in [BandKind::LlLh, BandKind::Hl, BandKind::Hh] {
                 let data = pseudo(w * h, (w * 31 + h) as u32, 100);
                 roundtrip(&data, w, h, kind);
@@ -925,17 +942,37 @@ mod tests {
         let keep = blk.passes.len() / 2;
         let bytes = blk.bytes_for_passes(keep);
         let err = |v: &[i32]| -> f64 {
-            v.iter().zip(&data).map(|(g, t)| ((g - t) as f64).powi(2)).sum()
+            v.iter()
+                .zip(&data)
+                .map(|(g, t)| ((g - t) as f64).powi(2))
+                .sum()
         };
         let plain = decode_block(
-            &blk.data[..bytes], &blk.pass_ends[..keep], keep, 16, 16,
-            BandKind::Hh, blk.num_planes, false,
+            &blk.data[..bytes],
+            &blk.pass_ends[..keep],
+            keep,
+            16,
+            16,
+            BandKind::Hh,
+            blk.num_planes,
+            false,
         );
         let mid = decode_block(
-            &blk.data[..bytes], &blk.pass_ends[..keep], keep, 16, 16,
-            BandKind::Hh, blk.num_planes, true,
+            &blk.data[..bytes],
+            &blk.pass_ends[..keep],
+            keep,
+            16,
+            16,
+            BandKind::Hh,
+            blk.num_planes,
+            true,
         );
-        assert!(err(&mid) <= err(&plain), "midpoint {} plain {}", err(&mid), err(&plain));
+        assert!(
+            err(&mid) <= err(&plain),
+            "midpoint {} plain {}",
+            err(&mid),
+            err(&plain)
+        );
     }
 
     #[test]
@@ -945,7 +982,12 @@ mod tests {
         // Cleanup of the top plane must claim more distortion reduction
         // than the cleanup of the bottom plane.
         let first = &blk.passes[0];
-        let last = blk.passes.iter().rev().find(|p| p.pass_type == PassType::Cleanup).unwrap();
+        let last = blk
+            .passes
+            .iter()
+            .rev()
+            .find(|p| p.pass_type == PassType::Cleanup)
+            .unwrap();
         assert!(first.dist_reduction > last.dist_reduction);
         assert!(blk.total_symbols() > 0);
     }
@@ -970,8 +1012,15 @@ mod tests {
                 let data = pseudo(w * h, (w + h) as u32 * 7 + 1, spread);
                 let blk = encode_block_opts(&data, w, h, kind, true);
                 let got = decode_block_opts(
-                    &blk.data, &blk.pass_ends, blk.passes.len(), w, h, kind,
-                    blk.num_planes, false, true,
+                    &blk.data,
+                    &blk.pass_ends,
+                    blk.passes.len(),
+                    w,
+                    h,
+                    kind,
+                    blk.num_planes,
+                    false,
+                    true,
                 );
                 assert_eq!(got, data, "{w}x{h} {kind:?}");
             }
@@ -1016,8 +1065,15 @@ mod tests {
         let keep = blk.passes.len() / 2;
         let bytes = blk.bytes_for_passes(keep);
         let got = decode_block_opts(
-            &blk.data[..bytes], &blk.pass_ends[..keep], keep, 16, 16,
-            BandKind::Hh, blk.num_planes, false, true,
+            &blk.data[..bytes],
+            &blk.pass_ends[..keep],
+            keep,
+            16,
+            16,
+            BandKind::Hh,
+            blk.num_planes,
+            false,
+            true,
         );
         for (g, t) in got.iter().zip(&data) {
             assert!(g.unsigned_abs() <= t.unsigned_abs());
@@ -1032,8 +1088,7 @@ mod tests {
 
     #[test]
     fn alternating_signs() {
-        let data: Vec<i32> =
-            (0..64).map(|i| if i % 2 == 0 { 9 } else { -9 }).collect();
+        let data: Vec<i32> = (0..64).map(|i| if i % 2 == 0 { 9 } else { -9 }).collect();
         roundtrip(&data, 8, 8, BandKind::LlLh);
     }
 }

@@ -143,11 +143,7 @@ fn bitlen(v: usize) -> u32 {
 
 /// Encode one packet header. `contribs[i]` describes block `i` (raster
 /// order) for layer `layer`. Returns the header bytes.
-pub fn encode_packet(
-    st: &mut PrecinctState,
-    layer: u32,
-    contribs: &[Contribution],
-) -> Vec<u8> {
+pub fn encode_packet(st: &mut PrecinctState, layer: u32, contribs: &[Contribution]) -> Vec<u8> {
     assert_eq!(contribs.len(), st.cbw * st.cbh);
     let mut out = RawEncoder::new();
     let nonempty = contribs.iter().any(|c| c.num_passes > 0);
@@ -179,7 +175,13 @@ pub fn encode_packet(
             // Length signalling: every pass is a terminated segment, so
             // each length is coded in `lblock` bits after enough unary
             // increments to make the longest fit.
-            let need = c.pass_lens.iter().map(|&l| bitlen(l)).max().unwrap_or(1).max(1);
+            let need = c
+                .pass_lens
+                .iter()
+                .map(|&l| bitlen(l))
+                .max()
+                .unwrap_or(1)
+                .max(1);
             let incr = need.saturating_sub(st.lblock[i]);
             for _ in 0..incr {
                 out.put(1);
@@ -252,7 +254,11 @@ mod tests {
     use super::*;
 
     fn contribution(np: usize, lens: &[usize]) -> Contribution {
-        Contribution { num_passes: np, pass_lens: lens.to_vec(), zero_planes: 0 }
+        Contribution {
+            num_passes: np,
+            pass_lens: lens.to_vec(),
+            zero_planes: 0,
+        }
     }
 
     #[test]
@@ -309,9 +315,21 @@ mod tests {
         // Block 0 included at layer 0, block 1 at layer 2, block 2 never.
         enc.set_encoder_values(&[0, 2, u32::MAX], &[1, 3, 0]);
         let layers: Vec<Vec<Contribution>> = vec![
-            vec![contribution(2, &[9, 30]), Contribution::default(), Contribution::default()],
-            vec![contribution(1, &[2]), Contribution::default(), Contribution::default()],
-            vec![Contribution::default(), contribution(4, &[1, 2, 3, 4]), Contribution::default()],
+            vec![
+                contribution(2, &[9, 30]),
+                Contribution::default(),
+                Contribution::default(),
+            ],
+            vec![
+                contribution(1, &[2]),
+                Contribution::default(),
+                Contribution::default(),
+            ],
+            vec![
+                Contribution::default(),
+                contribution(4, &[1, 2, 3, 4]),
+                Contribution::default(),
+            ],
         ];
         let headers: Vec<Vec<u8>> = layers
             .iter()
@@ -322,8 +340,14 @@ mod tests {
         for (l, hdr) in headers.iter().enumerate() {
             let (got, _) = decode_packet(&mut dec, l as u32, hdr).unwrap();
             for i in 0..3 {
-                assert_eq!(got[i].num_passes, layers[l][i].num_passes, "layer {l} block {i}");
-                assert_eq!(got[i].pass_lens, layers[l][i].pass_lens, "layer {l} block {i}");
+                assert_eq!(
+                    got[i].num_passes, layers[l][i].num_passes,
+                    "layer {l} block {i}"
+                );
+                assert_eq!(
+                    got[i].pass_lens, layers[l][i].pass_lens,
+                    "layer {l} block {i}"
+                );
             }
             if l == 0 {
                 assert_eq!(got[0].zero_planes, 1);
@@ -339,7 +363,7 @@ mod tests {
         let mut enc = PrecinctState::new(1, 1);
         enc.set_encoder_values(&[0], &[0]);
         let big = contribution(1, &[1_000_000]);
-        let hdr = encode_packet(&mut enc, 0, &[big.clone()]);
+        let hdr = encode_packet(&mut enc, 0, std::slice::from_ref(&big));
         let mut dec = PrecinctState::new(1, 1);
         let (got, _) = decode_packet(&mut dec, 0, &hdr).unwrap();
         assert_eq!(got[0].pass_lens, vec![1_000_000]);

@@ -107,9 +107,16 @@ pub fn allocate(blocks: &[BlockSummary], budget_bytes: usize) -> Allocation {
     let mut examined: u64 = blocks.iter().map(|b| b.rates.len() as u64).sum();
 
     let all: Vec<usize> = blocks.iter().map(|b| b.rates.len()).collect();
-    let full_bytes: usize = blocks.iter().map(|b| b.rates.last().copied().unwrap_or(0)).sum();
+    let full_bytes: usize = blocks
+        .iter()
+        .map(|b| b.rates.last().copied().unwrap_or(0))
+        .sum();
     if full_bytes <= budget_bytes {
-        return Allocation { passes: all, total_bytes: full_bytes, passes_examined: examined };
+        return Allocation {
+            passes: all,
+            total_bytes: full_bytes,
+            passes_examined: examined,
+        };
     }
 
     let bytes_at = |lambda: f64, examined: &mut u64| -> (Vec<usize>, usize) {
@@ -139,7 +146,11 @@ pub fn allocate(blocks: &[BlockSummary], budget_bytes: usize) -> Allocation {
             lo = mid;
         }
     }
-    Allocation { passes: best.0, total_bytes: best.1, passes_examined: examined }
+    Allocation {
+        passes: best.0,
+        total_bytes: best.1,
+        passes_examined: examined,
+    }
 }
 
 #[cfg(test)]
@@ -181,8 +192,10 @@ mod tests {
 
     #[test]
     fn allocate_unlimited_keeps_all() {
-        let blocks =
-            vec![block(&[(10, 1.0), (20, 1.5)]), block(&[(5, 2.0), (50, 2.5)])];
+        let blocks = vec![
+            block(&[(10, 1.0), (20, 1.5)]),
+            block(&[(5, 2.0), (50, 2.5)]),
+        ];
         let a = allocate(&blocks, usize::MAX);
         assert_eq!(a.passes, vec![2, 2]);
         assert_eq!(a.total_bytes, 70);
@@ -203,9 +216,17 @@ mod tests {
             .collect();
         for budget in [500usize, 2000, 4000, 7900] {
             let a = allocate(&blocks, budget);
-            assert!(a.total_bytes <= budget, "budget {budget}: used {}", a.total_bytes);
+            assert!(
+                a.total_bytes <= budget,
+                "budget {budget}: used {}",
+                a.total_bytes
+            );
             // Should use a decent share of the budget (not trivially 0).
-            assert!(a.total_bytes * 10 >= budget * 5, "budget {budget}: used {}", a.total_bytes);
+            assert!(
+                a.total_bytes * 10 >= budget * 5,
+                "budget {budget}: used {}",
+                a.total_bytes
+            );
         }
     }
 

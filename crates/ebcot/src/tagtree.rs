@@ -37,7 +37,16 @@ impl TagTree {
         }
         let levels = dims
             .iter()
-            .map(|&(w, h)| vec![Node { value: 0, low: 0, known: false }; w * h])
+            .map(|&(w, h)| {
+                vec![
+                    Node {
+                        value: 0,
+                        low: 0,
+                        known: false
+                    };
+                    w * h
+                ]
+            })
             .collect();
         TagTree { dims, levels }
     }

@@ -30,7 +30,9 @@ pub fn decode(data: &[u8]) -> Result<Image, ImgError> {
     let pixel_offset = u32le(&data[10..14]) as usize;
     let header_size = u32le(&data[14..18]);
     if header_size < 40 {
-        return Err(ImgError::Format(format!("unsupported DIB header size {header_size}")));
+        return Err(ImgError::Format(format!(
+            "unsupported DIB header size {header_size}"
+        )));
     }
     let width = i32le(&data[18..22]);
     let height_raw = i32le(&data[22..26]);

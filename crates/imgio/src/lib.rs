@@ -64,7 +64,9 @@ impl Image {
             return Err(ImgError::Invalid("zero extent or component count".into()));
         }
         if bit_depth == 0 || bit_depth > 16 {
-            return Err(ImgError::Invalid(format!("bit depth {bit_depth} unsupported")));
+            return Err(ImgError::Invalid(format!(
+                "bit depth {bit_depth} unsupported"
+            )));
         }
         Ok(Image {
             width,

@@ -96,7 +96,11 @@ pub fn encode(im: &Image) -> Result<Vec<u8>, ImgError> {
     let magic = match im.comps() {
         1 => "P5",
         3 => "P6",
-        n => return Err(ImgError::Invalid(format!("PNM needs 1 or 3 components, got {n}"))),
+        n => {
+            return Err(ImgError::Invalid(format!(
+                "PNM needs 1 or 3 components, got {n}"
+            )))
+        }
     };
     let maxval = im.max_value();
     let mut out = format!("{magic}\n{} {}\n{}\n", im.width, im.height, maxval).into_bytes();

@@ -38,7 +38,11 @@ pub fn checkerboard(width: usize, height: usize, cell: usize) -> Image {
     let mut im = Image::new(width, height, 1, 8).expect("valid geometry");
     for y in 0..height {
         for x in 0..width {
-            let v = if ((x / cell) + (y / cell)).is_multiple_of(2) { 230 } else { 25 };
+            let v = if ((x / cell) + (y / cell)).is_multiple_of(2) {
+                230
+            } else {
+                25
+            };
             im.planes[0][y * width + x] = v;
         }
     }
@@ -194,7 +198,10 @@ mod tests {
             .map(|w| (w[1] as f64 - w[0] as f64).abs())
             .sum::<f64>()
             / (128.0 * 127.0);
-        assert!(grad * 2.0 < ngrad, "natural grad {grad} vs noise grad {ngrad}");
+        assert!(
+            grad * 2.0 < ngrad,
+            "natural grad {grad} vs noise grad {ngrad}"
+        );
     }
 
     #[test]

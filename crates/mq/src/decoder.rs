@@ -21,7 +21,14 @@ pub struct MqDecoder<'a> {
 impl<'a> MqDecoder<'a> {
     /// INITDEC over a (possibly truncated) MQ segment.
     pub fn new(data: &'a [u8]) -> Self {
-        let mut d = MqDecoder { data, bp: 0, c: 0, a: 0, ct: 0, symbols: 0 };
+        let mut d = MqDecoder {
+            data,
+            bp: 0,
+            c: 0,
+            a: 0,
+            ct: 0,
+            symbols: 0,
+        };
         d.c = (d.byte_at(0) as u32) << 16;
         d.byte_in();
         d.c <<= 7;
@@ -172,7 +179,7 @@ mod tests {
         let seq: Vec<(usize, u8)> = (0..30_000)
             .map(|_| {
                 x = x.wrapping_mul(22695477).wrapping_add(1);
-                (0usize, u8::from((x >> 16) % 16 == 0))
+                (0usize, u8::from((x >> 16).is_multiple_of(16)))
             })
             .collect();
         roundtrip(&seq, 1);

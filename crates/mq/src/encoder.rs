@@ -35,7 +35,14 @@ impl Default for MqEncoder {
 impl MqEncoder {
     /// INITENC.
     pub fn new() -> Self {
-        MqEncoder { c: 0, a: 0x8000, ct: 12, out: vec![0u8], bp: 0, symbols: 0 }
+        MqEncoder {
+            c: 0,
+            a: 0x8000,
+            ct: 12,
+            out: vec![0u8],
+            bp: 0,
+            symbols: 0,
+        }
     }
 
     /// Number of decisions encoded so far.

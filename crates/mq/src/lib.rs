@@ -27,15 +27,13 @@ pub use table::{QeRow, QE_TABLE};
 
 /// One adaptive context: an index into [`QE_TABLE`] plus the current
 /// most-probable-symbol sense.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CtxState {
     /// Probability-estimation state, `0..47`.
     pub index: u8,
     /// Most probable symbol, 0 or 1.
     pub mps: u8,
 }
-
 
 impl CtxState {
     /// A context starting at a specific table state with MPS = 0.
@@ -56,7 +54,9 @@ pub struct Contexts {
 impl Contexts {
     /// `n` contexts, all at table state 0 / MPS 0.
     pub fn new(n: usize) -> Self {
-        Contexts { states: vec![CtxState::default(); n] }
+        Contexts {
+            states: vec![CtxState::default(); n],
+        }
     }
 
     /// Number of contexts in the bank.

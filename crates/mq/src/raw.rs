@@ -19,7 +19,12 @@ pub struct RawEncoder {
 impl RawEncoder {
     /// A fresh raw encoder.
     pub fn new() -> Self {
-        RawEncoder { out: Vec::new(), byte: 0, used: 0, cap: 8 }
+        RawEncoder {
+            out: Vec::new(),
+            byte: 0,
+            used: 0,
+            cap: 8,
+        }
     }
 
     /// Append one bit.
@@ -74,7 +79,13 @@ pub struct RawDecoder<'a> {
 impl<'a> RawDecoder<'a> {
     /// A raw decoder over a (possibly truncated) segment.
     pub fn new(data: &'a [u8]) -> Self {
-        RawDecoder { data, pos: 0, byte: 0, left: 0, prev_ff: false }
+        RawDecoder {
+            data,
+            pos: 0,
+            byte: 0,
+            left: 0,
+            prev_ff: false,
+        }
     }
 
     /// Bytes consumed so far (including the partially read byte). Packet

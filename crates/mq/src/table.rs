@@ -14,7 +14,12 @@ pub struct QeRow {
 }
 
 const fn row(qe: u16, nmps: u8, nlps: u8, switch_mps: u8) -> QeRow {
-    QeRow { qe, nmps, nlps, switch_mps }
+    QeRow {
+        qe,
+        nmps,
+        nlps,
+        switch_mps,
+    }
 }
 
 /// JPEG2000 Part 1 Table C.2 (identical to ITU-T T.88 Table E.1).
@@ -75,10 +80,10 @@ mod tests {
     #[test]
     fn adaptive_states_make_progress_towards_smaller_qe() {
         // Along the steady-state MPS chain (14..=45), Qe is non-increasing.
-        for i in 14..45usize {
-            let next = QE_TABLE[i].nmps as usize;
+        for (i, st) in QE_TABLE.iter().enumerate().take(45).skip(14) {
+            let next = st.nmps as usize;
             assert!(
-                QE_TABLE[next].qe <= QE_TABLE[i].qe,
+                QE_TABLE[next].qe <= st.qe,
                 "state {i} -> {next} increases Qe"
             );
         }

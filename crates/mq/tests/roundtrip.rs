@@ -89,7 +89,7 @@ proptest! {
         let mut enc = MqEncoder::new();
         for _ in 0..n {
             x = x.wrapping_mul(1664525).wrapping_add(1013904223);
-            let d = u8::from((x >> 16) % bias == 0);
+            let d = u8::from((x >> 16).is_multiple_of(bias));
             enc.encode(&mut ectx, 0, d);
         }
         let bytes = enc.finish();

@@ -180,8 +180,9 @@ mod tests {
     fn fixed_roundtrip_close() {
         let mut s = Vec::new();
         for n in [2usize, 5, 16, 33, 128] {
-            let orig: Vec<i32> =
-                (0..n).map(|i| ((i * 2654435761) % 511) as i32 - 255).collect();
+            let orig: Vec<i32> = (0..n)
+                .map(|i| ((i * 2654435761) % 511) as i32 - 255)
+                .collect();
             let mut x: Vec<i32> = orig.iter().map(|&v| to_fixed(v)).collect();
             fwd_97_fixed(&mut x, &mut s);
             inv_97_fixed(&mut x, &mut s);

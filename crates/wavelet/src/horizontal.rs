@@ -11,7 +11,13 @@ use xpart::AlignedPlane;
 
 /// Forward 5/3 on every row of `region`.
 pub fn fwd53_horizontal(plane: &mut AlignedPlane<i32>, region: Region) {
-    let mut rows = Rows::new(plane, region);
+    fwd53_rows(Rows::new(plane, region));
+}
+
+/// Forward 5/3 on every row of a row view (e.g. one row band of a
+/// [`crate::rowops::SharedPlane`]). Rows are independent, so running this
+/// per-band across threads is bit-identical to one full-height call.
+pub fn fwd53_rows(mut rows: Rows<'_, i32>) {
     let mut scratch = Vec::new();
     for y in 0..rows.height() {
         line::fwd_53(rows.row_mut(y), &mut scratch);
@@ -29,7 +35,11 @@ pub fn inv53_horizontal(plane: &mut AlignedPlane<i32>, region: Region) {
 
 /// Forward 9/7 (f32) on every row of `region`.
 pub fn fwd97_horizontal(plane: &mut AlignedPlane<f32>, region: Region) {
-    let mut rows = Rows::new(plane, region);
+    fwd97_rows(Rows::new(plane, region));
+}
+
+/// Forward 9/7 (f32) on every row of a row view; see [`fwd53_rows`].
+pub fn fwd97_rows(mut rows: Rows<'_, f32>) {
     let mut scratch = Vec::new();
     for y in 0..rows.height() {
         line::fwd_97(rows.row_mut(y), &mut scratch);
@@ -47,7 +57,11 @@ pub fn inv97_horizontal(plane: &mut AlignedPlane<f32>, region: Region) {
 
 /// Forward 9/7 (Q13 fixed point) on every row of `region`.
 pub fn fwd97_fixed_horizontal(plane: &mut AlignedPlane<i32>, region: Region) {
-    let mut rows = Rows::new(plane, region);
+    fwd97_fixed_rows(Rows::new(plane, region));
+}
+
+/// Forward 9/7 (Q13) on every row of a row view; see [`fwd53_rows`].
+pub fn fwd97_fixed_rows(mut rows: Rows<'_, i32>) {
     let mut scratch = Vec::new();
     for y in 0..rows.height() {
         fixed::fwd_97_fixed(rows.row_mut(y), &mut scratch);
@@ -86,7 +100,12 @@ mod tests {
         let mut p = AlignedPlane::<i32>::new(16, 4).unwrap();
         p.for_each_mut(|x, y, v| *v = (x * 7 + y) as i32 % 97 - 48);
         let orig = p.clone();
-        let region = Region { x0: 2, y0: 1, w: 11, h: 2 };
+        let region = Region {
+            x0: 2,
+            y0: 1,
+            w: 11,
+            h: 2,
+        };
         fwd53_horizontal(&mut p, region);
         inv53_horizontal(&mut p, region);
         assert_eq!(p.to_dense(), orig.to_dense());

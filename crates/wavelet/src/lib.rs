@@ -34,8 +34,10 @@ pub mod rowops;
 pub mod transform2d;
 pub mod vertical;
 
+pub use rowops::{Region, Rows, SharedPlane};
 pub use transform2d::{
-    forward_2d_53, forward_2d_97, inverse_2d_53, inverse_2d_97, subbands, Band, Subband,
+    forward_2d_53, forward_2d_97, inverse_2d_53, inverse_2d_97, level_regions, subbands, Band,
+    Subband,
 };
 pub use vertical::VerticalVariant;
 
@@ -95,7 +97,10 @@ impl Traffic {
 
     /// Element-wise sum.
     pub fn add(&self, o: &Traffic) -> Traffic {
-        Traffic { loads: self.loads + o.loads, stores: self.stores + o.stores }
+        Traffic {
+            loads: self.loads + o.loads,
+            stores: self.stores + o.stores,
+        }
     }
 }
 
@@ -114,7 +119,10 @@ pub fn vertical_traffic(variant: VerticalVariant, filter: Filter, w: u64, h: u64
         (VerticalVariant::Interleaved, _) => 2,          // split + fused lifting
         (VerticalVariant::Merged, _) => 1,               // fused single loop
     };
-    let mut t = Traffic { loads: passes * full, stores: passes * full };
+    let mut t = Traffic {
+        loads: passes * full,
+        stores: passes * full,
+    };
     if variant == VerticalVariant::Merged {
         // High half staged through the auxiliary buffer and copied back.
         t.loads += half;
@@ -127,7 +135,10 @@ pub fn vertical_traffic(variant: VerticalVariant, filter: Filter, w: u64, h: u64
 /// in/out stream of the region: each row is transformed independently in the
 /// Local Store).
 pub fn horizontal_traffic(w: u64, h: u64) -> Traffic {
-    Traffic { loads: w * h, stores: w * h }
+    Traffic {
+        loads: w * h,
+        stores: w * h,
+    }
 }
 
 #[cfg(test)]
@@ -161,8 +172,20 @@ mod tests {
 
     #[test]
     fn traffic_add() {
-        let a = Traffic { loads: 1, stores: 2 };
-        let b = Traffic { loads: 10, stores: 20 };
-        assert_eq!(a.add(&b), Traffic { loads: 11, stores: 22 });
+        let a = Traffic {
+            loads: 1,
+            stores: 2,
+        };
+        let b = Traffic {
+            loads: 10,
+            stores: 20,
+        };
+        assert_eq!(
+            a.add(&b),
+            Traffic {
+                loads: 11,
+                stores: 22
+            }
+        );
     }
 }

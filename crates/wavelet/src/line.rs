@@ -206,8 +206,9 @@ mod tests {
     fn roundtrip_53_various_lengths() {
         let mut s = Vec::new();
         for n in [1usize, 2, 3, 4, 5, 7, 8, 16, 17, 64, 101] {
-            let orig: Vec<i32> =
-                (0..n).map(|i| ((i * 2654435761) % 511) as i32 - 255).collect();
+            let orig: Vec<i32> = (0..n)
+                .map(|i| ((i * 2654435761) % 511) as i32 - 255)
+                .collect();
             let mut x = orig.clone();
             fwd_53(&mut x, &mut s);
             inv_53(&mut x, &mut s);
@@ -219,8 +220,9 @@ mod tests {
     fn roundtrip_97_various_lengths() {
         let mut s = Vec::new();
         for n in [1usize, 2, 3, 4, 5, 8, 16, 33, 100] {
-            let orig: Vec<f32> =
-                (0..n).map(|i| (((i * 2654435761) % 511) as f32) - 255.0).collect();
+            let orig: Vec<f32> = (0..n)
+                .map(|i| (((i * 2654435761) % 511) as f32) - 255.0)
+                .collect();
             let mut x = orig.clone();
             fwd_97(&mut x, &mut s);
             inv_97(&mut x, &mut s);
@@ -256,8 +258,9 @@ mod tests {
             v ^= v >> 13;
             v
         };
-        let mut x: Vec<f32> =
-            (0..4096u32).map(|i| hash(i) as f32 / u32::MAX as f32 - 0.5).collect();
+        let mut x: Vec<f32> = (0..4096u32)
+            .map(|i| hash(i) as f32 / u32::MAX as f32 - 0.5)
+            .collect();
         let e0: f32 = x.iter().map(|v| v * v).sum();
         let mut s = Vec::new();
         fwd_97(&mut x, &mut s);

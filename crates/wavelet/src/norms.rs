@@ -27,8 +27,11 @@ fn norms_1d_97() -> &'static [(f64, f64); MAX_LEVELS] {
             for (hi, slot) in [(false, 0usize), (true, 1)] {
                 // Band extents after d levels of 1-D decomposition of n.
                 let band_lo = n >> d;
-                let (start, len) =
-                    if hi { (band_lo, (n >> (d - 1)) - band_lo) } else { (0, band_lo) };
+                let (start, len) = if hi {
+                    (band_lo, (n >> (d - 1)) - band_lo)
+                } else {
+                    (0, band_lo)
+                };
                 let mut x = vec![0.0f32; n];
                 x[start + len / 2] = 1.0;
                 // Invert from the deepest level out, like inverse_2d.
@@ -36,7 +39,11 @@ fn norms_1d_97() -> &'static [(f64, f64); MAX_LEVELS] {
                     let extent = n >> (lev - 1);
                     line::inv_97(&mut x[..extent], &mut scratch);
                 }
-                let norm = x.iter().map(|&v| (v as f64) * (v as f64)).sum::<f64>().sqrt();
+                let norm = x
+                    .iter()
+                    .map(|&v| (v as f64) * (v as f64))
+                    .sum::<f64>()
+                    .sqrt();
                 if slot == 0 {
                     out[d - 1].0 = norm;
                 } else {
@@ -71,8 +78,11 @@ pub fn l2_norm_53(band: crate::Band, level: usize) -> f64 {
         for d in 1..=MAX_LEVELS {
             for (hi, slot) in [(false, 0usize), (true, 1)] {
                 let band_lo = n >> d;
-                let (start, len) =
-                    if hi { (band_lo, (n >> (d - 1)) - band_lo) } else { (0, band_lo) };
+                let (start, len) = if hi {
+                    (band_lo, (n >> (d - 1)) - band_lo)
+                } else {
+                    (0, band_lo)
+                };
                 // Use a large impulse so integer lifting rounding is
                 // negligible relative to the basis shape.
                 let amp = 1 << 16;

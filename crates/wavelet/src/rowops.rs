@@ -23,18 +23,30 @@ pub struct Region {
 impl Region {
     /// Region covering a whole plane.
     pub fn full<T: Copy + Default>(p: &AlignedPlane<T>) -> Self {
-        Region { x0: 0, y0: 0, w: p.width(), h: p.height() }
+        Region {
+            x0: 0,
+            y0: 0,
+            w: p.width(),
+            h: p.height(),
+        }
     }
 }
 
 /// Mutable row-wise view of a plane region; all row indices are
 /// region-relative.
+///
+/// Internally raw-pointer based so that disjoint regions of the *same*
+/// plane can be viewed from different threads through [`SharedPlane`]
+/// without materializing aliasing `&mut AlignedPlane` borrows. All row
+/// accessors bounds-check against the region before forming a slice.
 pub struct Rows<'a, T> {
-    data: &'a mut [T],
+    ptr: *mut T,
+    len: usize,
     stride: usize,
     base: usize,
     w: usize,
     h: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
 }
 
 impl<'a, T: Copy + Default> Rows<'a, T> {
@@ -42,8 +54,30 @@ impl<'a, T: Copy + Default> Rows<'a, T> {
     pub fn new(plane: &'a mut AlignedPlane<T>, r: Region) -> Self {
         assert!(r.x0 + r.w <= plane.width() && r.y0 + r.h <= plane.height());
         let stride = plane.stride();
+        let data = plane.as_mut_slice();
+        // SAFETY: the region lies within the plane (asserted above) and the
+        // `&mut` borrow guarantees exclusive access for 'a.
+        unsafe { Rows::from_raw(data.as_mut_ptr(), data.len(), stride, r) }
+    }
+
+    /// Build a view over raw plane storage.
+    ///
+    /// # Safety
+    /// `ptr..ptr+len` must be valid plane storage of row stride `stride`
+    /// containing the region `r`, and no other live reference may overlap
+    /// the elements of `r` for the lifetime `'a`.
+    pub(crate) unsafe fn from_raw(ptr: *mut T, len: usize, stride: usize, r: Region) -> Self {
         let base = r.y0 * stride + r.x0;
-        Rows { data: plane.as_mut_slice(), stride, base, w: r.w, h: r.h }
+        assert!(r.h == 0 || base + (r.h - 1) * stride + r.w <= len);
+        Rows {
+            ptr,
+            len,
+            stride,
+            base,
+            w: r.w,
+            h: r.h,
+            _marker: std::marker::PhantomData,
+        }
     }
 
     /// Region height in rows.
@@ -58,20 +92,31 @@ impl<'a, T: Copy + Default> Rows<'a, T> {
         self.w
     }
 
+    #[inline]
+    fn offset(&self, y: usize) -> usize {
+        assert!(y < self.h);
+        let s = self.base + y * self.stride;
+        debug_assert!(s + self.w <= self.len);
+        s
+    }
+
     /// Shared row `y`.
     #[inline]
     pub fn row(&self, y: usize) -> &[T] {
-        debug_assert!(y < self.h);
-        let s = self.base + y * self.stride;
-        &self.data[s..s + self.w]
+        let s = self.offset(y);
+        // SAFETY: the offset is within the storage (constructor invariant
+        // plus the bound checks in `offset`), and `&self` prevents any
+        // concurrent `&mut` access through this view.
+        unsafe { std::slice::from_raw_parts(self.ptr.add(s) as *const T, self.w) }
     }
 
     /// Mutable row `y`.
     #[inline]
     pub fn row_mut(&mut self, y: usize) -> &mut [T] {
-        debug_assert!(y < self.h);
-        let s = self.base + y * self.stride;
-        &mut self.data[s..s + self.w]
+        let s = self.offset(y);
+        // SAFETY: as in `row`, plus `&mut self` gives exclusive access to
+        // the region for the returned lifetime.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.add(s), self.w) }
     }
 
     /// One mutable destination row plus two shared source rows.
@@ -80,21 +125,85 @@ impl<'a, T: Copy + Default> Rows<'a, T> {
     /// differ from `yd`; rows never overlap because `stride >= w`.
     pub fn dst_src2(&mut self, yd: usize, ya: usize, yb: usize) -> (&mut [T], &[T], &[T]) {
         assert!(yd != ya && yd != yb, "destination row aliases a source row");
-        assert!(yd < self.h && ya < self.h && yb < self.h);
         let w = self.w;
-        let off = |y: usize| self.base + y * self.stride;
-        let ptr = self.data.as_mut_ptr();
+        let (od, oa, ob) = (self.offset(yd), self.offset(ya), self.offset(yb));
         // SAFETY: the three row ranges are disjoint — each is `w <= stride`
         // elements starting at distinct multiples of `stride` (yd != ya, yd
-        // != yb asserted above), and all lie within `self.data` (bounds
-        // asserted above). `a` and `b` may alias each other, which is fine
-        // for shared references.
+        // != yb asserted above), and all lie within the storage (`offset`
+        // checks). `a` and `b` may alias each other, which is fine for
+        // shared references.
         unsafe {
-            let d = std::slice::from_raw_parts_mut(ptr.add(off(yd)), w);
-            let a = std::slice::from_raw_parts(ptr.add(off(ya)) as *const T, w);
-            let b = std::slice::from_raw_parts(ptr.add(off(yb)) as *const T, w);
+            let d = std::slice::from_raw_parts_mut(self.ptr.add(od), w);
+            let a = std::slice::from_raw_parts(self.ptr.add(oa) as *const T, w);
+            let b = std::slice::from_raw_parts(self.ptr.add(ob) as *const T, w);
             (d, a, b)
         }
+    }
+}
+
+/// A plane handle that can be shared across threads so that *disjoint*
+/// regions can be filtered concurrently — the host-thread analogue of
+/// several SPEs holding DMA windows into the same main-memory array.
+///
+/// Constructed from an exclusive borrow, so no safe alias can observe the
+/// plane while views exist; the unsafe surface is confined to [`rows`],
+/// whose contract is that concurrently live views never overlap.
+///
+/// [`rows`]: SharedPlane::rows
+pub struct SharedPlane<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    stride: usize,
+    width: usize,
+    height: usize,
+    _marker: std::marker::PhantomData<&'a mut AlignedPlane<T>>,
+}
+
+// SAFETY: the handle owns an exclusive borrow of the plane; access to the
+// underlying storage only happens through `rows`, whose safety contract
+// requires concurrently live views to cover disjoint regions.
+unsafe impl<T: Send> Send for SharedPlane<'_, T> {}
+unsafe impl<T: Send> Sync for SharedPlane<'_, T> {}
+
+impl<'a, T: Copy + Default> SharedPlane<'a, T> {
+    /// Wrap an exclusively borrowed plane.
+    pub fn new(plane: &'a mut AlignedPlane<T>) -> Self {
+        let width = plane.width();
+        let height = plane.height();
+        let stride = plane.stride();
+        let data = plane.as_mut_slice();
+        SharedPlane {
+            ptr: data.as_mut_ptr(),
+            len: data.len(),
+            stride,
+            width,
+            height,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Plane width in elements.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Plane height in rows.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// View a region of the plane as [`Rows`].
+    ///
+    /// # Safety
+    /// Regions of views that are live at the same time must be pairwise
+    /// disjoint (no element may be covered by two live views). The caller
+    /// is responsible for that partitioning — e.g. the column chunks of an
+    /// `xpart::ChunkPlan` or non-overlapping row bands.
+    pub unsafe fn rows(&self, r: Region) -> Rows<'a, T> {
+        assert!(r.x0 + r.w <= self.width && r.y0 + r.h <= self.height);
+        Rows::from_raw(self.ptr, self.len, self.stride, r)
     }
 }
 
@@ -193,7 +302,15 @@ mod tests {
     fn rows_view_reads_and_writes_subregion() {
         let mut p = AlignedPlane::<i32>::new(8, 4).unwrap();
         p.for_each_mut(|x, y, v| *v = (10 * y + x) as i32);
-        let mut rows = Rows::new(&mut p, Region { x0: 2, y0: 1, w: 3, h: 2 });
+        let mut rows = Rows::new(
+            &mut p,
+            Region {
+                x0: 2,
+                y0: 1,
+                w: 3,
+                h: 2,
+            },
+        );
         assert_eq!(rows.row(0), &[12, 13, 14]);
         rows.row_mut(1)[0] = -1;
         assert_eq!(p.get(2, 2), -1);

@@ -81,7 +81,14 @@ pub fn subbands(w: usize, h: usize, levels: usize) -> Vec<Subband> {
     let mut out = Vec::new();
     let (llw, llh) = dims[levels];
     if llw > 0 && llh > 0 {
-        out.push(Subband { band: Band::LL, level: levels, x0: 0, y0: 0, w: llw, h: llh });
+        out.push(Subband {
+            band: Band::LL,
+            level: levels,
+            x0: 0,
+            y0: 0,
+            w: llw,
+            h: llh,
+        });
     }
     // From deepest produced level down to level 1.
     for lev in (1..=levels).rev() {
@@ -95,7 +102,14 @@ pub fn subbands(w: usize, h: usize, levels: usize) -> Vec<Subband> {
         ];
         for (band, x0, y0, bw, bh) in bands {
             if bw > 0 && bh > 0 {
-                out.push(Subband { band, level: lev, x0, y0, w: bw, h: bh });
+                out.push(Subband {
+                    band,
+                    level: lev,
+                    x0,
+                    y0,
+                    w: bw,
+                    h: bh,
+                });
             }
         }
     }
@@ -111,7 +125,12 @@ pub fn level_regions(w: usize, h: usize, levels: usize) -> Vec<Region> {
         if cw < 2 && ch < 2 {
             break;
         }
-        v.push(Region { x0: 0, y0: 0, w: cw, h: ch });
+        v.push(Region {
+            x0: 0,
+            y0: 0,
+            w: cw,
+            h: ch,
+        });
         cw = low_len(cw);
         ch = low_len(ch);
     }
@@ -119,11 +138,7 @@ pub fn level_regions(w: usize, h: usize, levels: usize) -> Vec<Region> {
 }
 
 /// Forward multi-level reversible 5/3 transform.
-pub fn forward_2d_53(
-    plane: &mut AlignedPlane<i32>,
-    levels: usize,
-    variant: VerticalVariant,
-) {
+pub fn forward_2d_53(plane: &mut AlignedPlane<i32>, levels: usize, variant: VerticalVariant) {
     for r in level_regions(plane.width(), plane.height(), levels) {
         vertical::fwd53_vertical(plane, r, variant);
         horizontal::fwd53_horizontal(plane, r);
@@ -147,11 +162,7 @@ pub fn inverse_2d_53_partial(plane: &mut AlignedPlane<i32>, levels: usize, skip_
 }
 
 /// Forward multi-level irreversible 9/7 transform (f32).
-pub fn forward_2d_97(
-    plane: &mut AlignedPlane<f32>,
-    levels: usize,
-    variant: VerticalVariant,
-) {
+pub fn forward_2d_97(plane: &mut AlignedPlane<f32>, levels: usize, variant: VerticalVariant) {
     for r in level_regions(plane.width(), plane.height(), levels) {
         vertical::fwd97_vertical::<f32>(plane, r, variant);
         horizontal::fwd97_horizontal(plane, r);
@@ -175,11 +186,7 @@ pub fn inverse_2d_97_partial(plane: &mut AlignedPlane<f32>, levels: usize, skip_
 
 /// Forward multi-level 9/7 in Q13 fixed point (Jasper's representation; the
 /// samples must already be Q13, see [`crate::fixed::to_fixed`]).
-pub fn forward_2d_97_fixed(
-    plane: &mut AlignedPlane<i32>,
-    levels: usize,
-    variant: VerticalVariant,
-) {
+pub fn forward_2d_97_fixed(plane: &mut AlignedPlane<i32>, levels: usize, variant: VerticalVariant) {
     for r in level_regions(plane.width(), plane.height(), levels) {
         vertical::fwd97_vertical::<i32>(plane, r, variant);
         horizontal::fwd97_fixed_horizontal(plane, r);
@@ -188,7 +195,10 @@ pub fn forward_2d_97_fixed(
 
 /// Inverse multi-level 9/7 in Q13 fixed point.
 pub fn inverse_2d_97_fixed(plane: &mut AlignedPlane<i32>, levels: usize) {
-    for r in level_regions(plane.width(), plane.height(), levels).into_iter().rev() {
+    for r in level_regions(plane.width(), plane.height(), levels)
+        .into_iter()
+        .rev()
+    {
         horizontal::inv97_fixed_horizontal(plane, r);
         vertical::inv97_vertical::<i32>(plane, r);
     }
@@ -215,9 +225,15 @@ mod tests {
         assert_eq!(sb[0].band, Band::LL);
         assert_eq!((sb[0].w, sb[0].h), (8, 8));
         // Level 3 bands are 8x8, level 1 bands are 32x32.
-        let hh1 = sb.iter().find(|s| s.band == Band::HH && s.level == 1).unwrap();
+        let hh1 = sb
+            .iter()
+            .find(|s| s.band == Band::HH && s.level == 1)
+            .unwrap();
         assert_eq!((hh1.x0, hh1.y0, hh1.w, hh1.h), (32, 32, 32, 32));
-        let hl3 = sb.iter().find(|s| s.band == Band::HL && s.level == 3).unwrap();
+        let hl3 = sb
+            .iter()
+            .find(|s| s.band == Band::HL && s.level == 3)
+            .unwrap();
         assert_eq!((hl3.x0, hl3.y0, hl3.w, hl3.h), (8, 0, 8, 8));
         // Subband areas tile the plane exactly.
         let total: usize = sb.iter().map(Subband::samples).sum();
@@ -226,7 +242,12 @@ mod tests {
 
     #[test]
     fn subband_geometry_odd_extents_tile_exactly() {
-        for (w, h, l) in [(13usize, 9usize, 2usize), (7, 7, 3), (100, 33, 5), (1, 17, 2)] {
+        for (w, h, l) in [
+            (13usize, 9usize, 2usize),
+            (7, 7, 3),
+            (100, 33, 5),
+            (1, 17, 2),
+        ] {
             let sb = subbands(w, h, l);
             let total: usize = sb.iter().map(Subband::samples).sum();
             assert_eq!(total, w * h, "{w}x{h} levels {l}");
@@ -235,7 +256,12 @@ mod tests {
 
     #[test]
     fn roundtrip_53_multilevel() {
-        for (w, h, l) in [(64usize, 64usize, 5usize), (13, 9, 2), (33, 65, 3), (8, 8, 1)] {
+        for (w, h, l) in [
+            (64usize, 64usize, 5usize),
+            (13, 9, 2),
+            (33, 65, 3),
+            (8, 8, 1),
+        ] {
             let p0 = make(w, h);
             for variant in [
                 VerticalVariant::Separate,
@@ -306,7 +332,11 @@ mod tests {
                 ll += v * v;
             }
         }
-        assert!(ll / total > 0.9, "LL share of transformed energy {}", ll / total);
+        assert!(
+            ll / total > 0.9,
+            "LL share of transformed energy {}",
+            ll / total
+        );
     }
 
     #[test]

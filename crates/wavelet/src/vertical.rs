@@ -59,7 +59,8 @@ pub fn split_rows<T: Copy + Default>(rows: &mut Rows<'_, T>) {
         dst.copy_from_slice(src);
     }
     for i in 0..nh {
-        rows.row_mut(nl + i).copy_from_slice(&aux[i * w..(i + 1) * w]);
+        rows.row_mut(nl + i)
+            .copy_from_slice(&aux[i * w..(i + 1) * w]);
     }
 }
 
@@ -81,7 +82,8 @@ pub fn unsplit_rows<T: Copy + Default>(rows: &mut Rows<'_, T>) {
         dst.copy_from_slice(src);
     }
     for i in 0..nh {
-        rows.row_mut(2 * i + 1).copy_from_slice(&aux[i * w..(i + 1) * w]);
+        rows.row_mut(2 * i + 1)
+            .copy_from_slice(&aux[i * w..(i + 1) * w]);
     }
 }
 
@@ -142,7 +144,12 @@ impl<'a, 'b, T: Copy + Default> MergedIo<'a, 'b, T> {
         let h = rows.height();
         let w = rows.width();
         let nh = high_len(h);
-        MergedIo { nl: low_len(h), aux: vec![T::default(); nh * w], w, rows }
+        MergedIo {
+            nl: low_len(h),
+            aux: vec![T::default(); nh * w],
+            w,
+            rows,
+        }
     }
 }
 
@@ -230,26 +237,33 @@ fn pipeline_53(io: &mut dyn VertIo<i32>, h: usize, w: usize) {
 
 /// Forward 5/3 vertical filtering of `region` under `variant`.
 pub fn fwd53_vertical(plane: &mut AlignedPlane<i32>, region: Region, variant: VerticalVariant) {
-    let mut rows = Rows::new(plane, region);
+    fwd53_rows(Rows::new(plane, region), variant);
+}
+
+/// Forward 5/3 vertical filtering of a row view (e.g. one column chunk of a
+/// [`crate::rowops::SharedPlane`]). Columns are independent, so running this
+/// per-chunk across threads is bit-identical to one full-width call.
+pub fn fwd53_rows(mut rows: Rows<'_, i32>, variant: VerticalVariant) {
+    let rows = &mut rows;
     let h = rows.height();
     if h < 2 {
         return;
     }
     match variant {
         VerticalVariant::Separate => {
-            split_rows(&mut rows);
-            lift53_separate(&mut rows);
+            split_rows(rows);
+            lift53_separate(rows);
         }
         VerticalVariant::Interleaved => {
-            split_rows(&mut rows);
+            split_rows(rows);
             let w = rows.width();
             let nl = low_len(h);
-            let mut io = SplitIo { rows: &mut rows, nl };
+            let mut io = SplitIo { rows, nl };
             pipeline_53(&mut io, h, w);
         }
         VerticalVariant::Merged => {
             let w = rows.width();
-            let mut io = MergedIo::new(&mut rows);
+            let mut io = MergedIo::new(rows);
             pipeline_53(&mut io, h, w);
         }
     }
@@ -476,26 +490,33 @@ pub fn fwd97_vertical<T: Arith97>(
     region: Region,
     variant: VerticalVariant,
 ) {
-    let mut rows = Rows::new(plane, region);
+    fwd97_rows(Rows::new(plane, region), variant);
+}
+
+/// Forward 9/7 vertical filtering of a row view (e.g. one column chunk of a
+/// [`crate::rowops::SharedPlane`]). Columns are independent, so running this
+/// per-chunk across threads is bit-identical to one full-width call.
+pub fn fwd97_rows<T: Arith97>(mut rows: Rows<'_, T>, variant: VerticalVariant) {
+    let rows = &mut rows;
     let h = rows.height();
     if h < 2 {
         return;
     }
     match variant {
         VerticalVariant::Separate => {
-            split_rows(&mut rows);
-            lift97_separate(&mut rows);
+            split_rows(rows);
+            lift97_separate(rows);
         }
         VerticalVariant::Interleaved => {
-            split_rows(&mut rows);
+            split_rows(rows);
             let w = rows.width();
             let nl = low_len(h);
-            let mut io = SplitIo { rows: &mut rows, nl };
+            let mut io = SplitIo { rows, nl };
             pipeline_97(&mut io, h, w);
         }
         VerticalVariant::Merged => {
             let w = rows.width();
-            let mut io = MergedIo::new(&mut rows);
+            let mut io = MergedIo::new(rows);
             pipeline_97(&mut io, h, w);
         }
     }
@@ -559,12 +580,12 @@ mod tests {
         let mut col = vec![0i32; h];
         let mut s = Vec::new();
         for x in 0..w {
-            for y in 0..h {
-                col[y] = p.get(x, y);
+            for (y, v) in col.iter_mut().enumerate() {
+                *v = p.get(x, y);
             }
             line::fwd_53(&mut col, &mut s);
-            for y in 0..h {
-                out.set(x, y, col[y]);
+            for (y, v) in col.iter().enumerate() {
+                out.set(x, y, *v);
             }
         }
         out
@@ -576,12 +597,12 @@ mod tests {
         let mut col = vec![0f32; h];
         let mut s = Vec::new();
         for x in 0..w {
-            for y in 0..h {
-                col[y] = p.get(x, y);
+            for (y, v) in col.iter_mut().enumerate() {
+                *v = p.get(x, y);
             }
             line::fwd_97(&mut col, &mut s);
-            for y in 0..h {
-                out.set(x, y, col[y]);
+            for (y, v) in col.iter().enumerate() {
+                out.set(x, y, *v);
             }
         }
         out
@@ -589,7 +610,15 @@ mod tests {
 
     #[test]
     fn all_53_variants_match_line_reference() {
-        for (w, h) in [(8usize, 8usize), (5, 7), (16, 9), (3, 2), (7, 16), (10, 3), (4, 2)] {
+        for (w, h) in [
+            (8usize, 8usize),
+            (5, 7),
+            (16, 9),
+            (3, 2),
+            (7, 16),
+            (10, 3),
+            (4, 2),
+        ] {
             let p0 = make_plane(w, h, (w * 31 + h) as u32);
             let want = reference_cols_53(&p0);
             for variant in [
@@ -610,8 +639,16 @@ mod tests {
 
     #[test]
     fn all_97_variants_bit_identical_and_match_reference() {
-        for (w, h) in [(8usize, 8usize), (5, 7), (16, 9), (3, 2), (7, 16), (4, 5), (6, 2), (2, 3)]
-        {
+        for (w, h) in [
+            (8usize, 8usize),
+            (5, 7),
+            (16, 9),
+            (3, 2),
+            (7, 16),
+            (4, 5),
+            (6, 2),
+            (2, 3),
+        ] {
             let p0 = make_plane(w, h, (w * 7 + h) as u32).to_f32();
             let want = reference_cols_97(&p0);
             for variant in [
@@ -643,7 +680,11 @@ mod tests {
         for variant in [VerticalVariant::Interleaved, VerticalVariant::Merged] {
             let mut p = p0.clone();
             fwd97_vertical(&mut p, Region::full(&p0), variant);
-            assert_eq!(p.to_dense(), sep.to_dense(), "{variant:?} not bit-identical");
+            assert_eq!(
+                p.to_dense(),
+                sep.to_dense(),
+                "{variant:?} not bit-identical"
+            );
         }
     }
 
@@ -708,7 +749,15 @@ mod tests {
         for y in 0..5 {
             p.row_mut(y).fill(y as i32);
         }
-        let mut rows = Rows::new(&mut p, Region { x0: 0, y0: 0, w: 2, h: 5 });
+        let mut rows = Rows::new(
+            &mut p,
+            Region {
+                x0: 0,
+                y0: 0,
+                w: 2,
+                h: 5,
+            },
+        );
         split_rows(&mut rows);
         let got: Vec<i32> = (0..5).map(|y| p.get(0, y)).collect();
         assert_eq!(got, vec![0, 2, 4, 1, 3]);
@@ -718,7 +767,12 @@ mod tests {
     fn subregion_vertical_only_touches_region() {
         let p0 = make_plane(16, 8, 3);
         let mut p = p0.clone();
-        let region = Region { x0: 4, y0: 0, w: 8, h: 8 };
+        let region = Region {
+            x0: 4,
+            y0: 0,
+            w: 8,
+            h: 8,
+        };
         fwd53_vertical(&mut p, region, VerticalVariant::Merged);
         for y in 0..8 {
             for x in 0..16 {

@@ -108,7 +108,12 @@ pub fn chunk_row_transfer(
         let row_end = (y + 1) * stride_bytes;
         bytes = row_end - main_offset;
     }
-    RowTransfer { dir, main_offset, ls_offset: 0, bytes }
+    RowTransfer {
+        dir,
+        main_offset,
+        ls_offset: 0,
+        bytes,
+    }
 }
 
 #[cfg(test)]
@@ -120,7 +125,11 @@ mod tests {
         ChunkPlan::build(
             width,
             16,
-            &PlanConfig { num_spes: 4, elem_size: 4, ..PlanConfig::default() },
+            &PlanConfig {
+                num_spes: 4,
+                elem_size: 4,
+                ..PlanConfig::default()
+            },
         )
         .unwrap()
     }
@@ -171,19 +180,43 @@ mod tests {
 
     #[test]
     fn lines_touched_counts_straddles() {
-        let t = RowTransfer { dir: DmaDir::Get, main_offset: 100, ls_offset: 0, bytes: 56 };
+        let t = RowTransfer {
+            dir: DmaDir::Get,
+            main_offset: 100,
+            ls_offset: 0,
+            bytes: 56,
+        };
         // Bytes 100..156 straddle lines 0 and 1.
         assert_eq!(t.lines_touched(), 2);
-        let t2 = RowTransfer { dir: DmaDir::Get, main_offset: 0, ls_offset: 0, bytes: 128 };
+        let t2 = RowTransfer {
+            dir: DmaDir::Get,
+            main_offset: 0,
+            ls_offset: 0,
+            bytes: 128,
+        };
         assert_eq!(t2.lines_touched(), 1);
         // Muta-style unaligned 112-pixel (448-byte) tile row starting mid-line
         // touches one more line than the aligned equivalent.
-        let muta = RowTransfer { dir: DmaDir::Get, main_offset: 64, ls_offset: 0, bytes: 448 };
+        let muta = RowTransfer {
+            dir: DmaDir::Get,
+            main_offset: 64,
+            ls_offset: 0,
+            bytes: 448,
+        };
         assert_eq!(muta.lines_touched(), 4);
-        let ours = RowTransfer { dir: DmaDir::Get, main_offset: 0, ls_offset: 0, bytes: 448 };
+        let ours = RowTransfer {
+            dir: DmaDir::Get,
+            main_offset: 0,
+            ls_offset: 0,
+            bytes: 448,
+        };
         assert_eq!(ours.lines_touched(), 4); // same size...
-        let ours_padded =
-            RowTransfer { dir: DmaDir::Get, main_offset: 0, ls_offset: 0, bytes: 512 };
+        let ours_padded = RowTransfer {
+            dir: DmaDir::Get,
+            main_offset: 0,
+            ls_offset: 0,
+            bytes: 512,
+        };
         assert_eq!(ours_padded.lines_touched(), 4); // ...but padded stays 4 lines.
     }
 }

@@ -121,7 +121,10 @@ mod tests {
 
     #[test]
     fn error_display_is_informative() {
-        let e = XpartError::LocalStoreOverflow { needed: 300_000, budget: 262_144 };
+        let e = XpartError::LocalStoreOverflow {
+            needed: 300_000,
+            budget: 262_144,
+        };
         let s = e.to_string();
         assert!(s.contains("300000") && s.contains("262144"));
     }

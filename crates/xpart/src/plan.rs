@@ -95,14 +95,21 @@ impl ChunkPlan {
             return Err(XpartError::EmptyExtent { what: "height" });
         }
         if cfg.elem_size == 0 || !CACHE_LINE.is_multiple_of(cfg.elem_size) {
-            return Err(XpartError::ElemSizeIncompatible { elem_size: cfg.elem_size });
+            return Err(XpartError::ElemSizeIncompatible {
+                elem_size: cfg.elem_size,
+            });
         }
         if cfg.chunk_width_bytes == 0 || !cfg.chunk_width_bytes.is_multiple_of(CACHE_LINE) {
-            return Err(XpartError::ChunkWidthNotLineMultiple { bytes: cfg.chunk_width_bytes });
+            return Err(XpartError::ChunkWidthNotLineMultiple {
+                bytes: cfg.chunk_width_bytes,
+            });
         }
         let needed = ls_row_footprint(cfg.chunk_width_bytes, cfg.buffering);
         if needed > cfg.ls_budget {
-            return Err(XpartError::LocalStoreOverflow { needed, budget: cfg.ls_budget });
+            return Err(XpartError::LocalStoreOverflow {
+                needed,
+                budget: cfg.ls_budget,
+            });
         }
 
         let chunk_w = cfg.chunk_width_bytes / cfg.elem_size;
@@ -116,7 +123,12 @@ impl ChunkPlan {
                 height,
                 is_remainder: true,
             });
-            return Ok(Self { width, height, elem_size: cfg.elem_size, chunks });
+            return Ok(Self {
+                width,
+                height,
+                elem_size: cfg.elem_size,
+                chunks,
+            });
         }
 
         let full = width / chunk_w;
@@ -143,7 +155,12 @@ impl ChunkPlan {
         }
         // Degenerate case: the array is narrower than one chunk — everything
         // is remainder and lands on the PPE, matching the paper's rule.
-        Ok(Self { width, height, elem_size: cfg.elem_size, chunks })
+        Ok(Self {
+            width,
+            height,
+            elem_size: cfg.elem_size,
+            chunks,
+        })
     }
 
     /// Logical array width in elements.
@@ -321,5 +338,58 @@ mod tests {
         assert_eq!(p.chunks_for(Owner::Spe(0)).count(), 2);
         assert_eq!(p.chunks_for(Owner::Spe(1)).count(), 2);
         assert_eq!(p.chunks_for(Owner::Ppe).count(), 1);
+    }
+
+    #[test]
+    fn narrower_than_one_chunk_every_spe_idle() {
+        // Chunk width 64 elems but the array is 63 wide: no SPE receives
+        // work, the single remainder chunk carries every column.
+        let p = ChunkPlan::build(63, 5, &cfg(8, 2)).unwrap();
+        p.validate().unwrap();
+        assert_eq!(p.chunks().len(), 1);
+        let r = p.remainder().expect("remainder");
+        assert!(r.is_remainder && r.owner == Owner::Ppe);
+        assert_eq!((r.x0, r.width, r.height), (0, 63, 5));
+        assert_eq!(r.elems(), 63 * 5);
+        for s in 0..8 {
+            assert_eq!(p.chunks_for(Owner::Spe(s)).count(), 0, "SPE {s} has work");
+        }
+        assert_eq!(p.covered_elems(), 63 * 5);
+    }
+
+    #[test]
+    fn exact_multiple_width_has_empty_remainder() {
+        // 192 elems = exactly 3 chunks of 64: the remainder is absent, not
+        // zero-width, and the PPE owns nothing.
+        let p = ChunkPlan::build(192, 7, &cfg(3, 2)).unwrap();
+        p.validate().unwrap();
+        assert!(p.remainder().is_none());
+        assert_eq!(p.chunks_for(Owner::Ppe).count(), 0);
+        assert!(p.chunks().iter().all(|c| !c.is_remainder && c.width == 64));
+        let total: usize = p.chunks().iter().map(ChunkDesc::elems).sum();
+        assert_eq!(total, 192 * 7);
+    }
+
+    #[test]
+    fn one_pixel_wide_component() {
+        // A 1-pixel-wide plane (deep DWT levels shrink to this): the whole
+        // column is one remainder chunk and the plan still validates.
+        let p = ChunkPlan::build(1, 17, &cfg(4, 1)).unwrap();
+        p.validate().unwrap();
+        assert_eq!(p.chunks().len(), 1);
+        let c = &p.chunks()[0];
+        assert!(c.is_remainder && c.owner == Owner::Ppe);
+        assert_eq!((c.x0, c.width, c.height), (0, 1, 17));
+        assert_eq!(p.covered_elems(), 17);
+    }
+
+    #[test]
+    fn one_pixel_wide_zero_spes() {
+        // Degenerate on both axes: 1-wide array and no SPEs at all.
+        let p = ChunkPlan::build(1, 1, &cfg(0, 1)).unwrap();
+        p.validate().unwrap();
+        assert_eq!(p.chunks().len(), 1);
+        assert_eq!(p.chunks()[0].owner, Owner::Ppe);
+        assert_eq!(p.covered_elems(), 1);
     }
 }

@@ -42,7 +42,12 @@ impl<T: Copy + Default> AlignedPlane<T> {
         }
         let stride = round_up(width * elem, CACHE_LINE) / elem;
         let data = vec![T::default(); stride * height];
-        Ok(Self { width, height, stride, data })
+        Ok(Self {
+            width,
+            height,
+            stride,
+            data,
+        })
     }
 
     /// Build a plane from a dense row-major buffer of `width * height`
@@ -56,7 +61,8 @@ impl<T: Copy + Default> AlignedPlane<T> {
         }
         let mut p = Self::new(width, height)?;
         for y in 0..height {
-            p.row_mut(y).copy_from_slice(&dense[y * width..(y + 1) * width]);
+            p.row_mut(y)
+                .copy_from_slice(&dense[y * width..(y + 1) * width]);
         }
         Ok(p)
     }
@@ -173,8 +179,8 @@ impl<T: Copy + Default> AlignedPlane<T> {
     /// Map into a new plane of a different element type with the same
     /// geometry.
     pub fn map<U: Copy + Default>(&self, mut f: impl FnMut(T) -> U) -> AlignedPlane<U> {
-        let mut out = AlignedPlane::<U>::new(self.width, self.height)
-            .expect("geometry already validated");
+        let mut out =
+            AlignedPlane::<U>::new(self.width, self.height).expect("geometry already validated");
         for y in 0..self.height {
             let src = self.row(y);
             let dst = out.row_mut(y);
@@ -249,7 +255,10 @@ mod tests {
         let dense = vec![0i32; 10];
         assert!(matches!(
             AlignedPlane::from_dense(3, 4, &dense),
-            Err(XpartError::BufferSizeMismatch { expected: 12, got: 10 })
+            Err(XpartError::BufferSizeMismatch {
+                expected: 12,
+                got: 10
+            })
         ));
     }
 

@@ -35,7 +35,10 @@ fn main() {
         let t = simulate(
             &profile,
             &cfg,
-            &SimOptions { ppe_tier1: true, ..Default::default() },
+            &SimOptions {
+                ppe_tier1: true,
+                ..Default::default()
+            },
         )
         .total_seconds();
         println!("{:>8} + 2 PPE {:>12.3} {:>8.2}x", 16, t * 1e3, base / t);

@@ -8,7 +8,10 @@ use jpeg2000_cell::images::{psnr, synth};
 fn main() {
     let image = synth::natural(512, 512, 99);
     println!("rate-distortion sweep on a 512x512 grayscale natural image");
-    println!("{:>8} {:>12} {:>10} {:>10}", "rate", "bytes", "bpp", "PSNR dB");
+    println!(
+        "{:>8} {:>12} {:>10} {:>10}",
+        "rate", "bytes", "bpp", "PSNR dB"
+    );
     for rate in [0.02, 0.05, 0.1, 0.2, 0.4, 0.8] {
         let bytes = encode(&image, &EncoderParams::lossy(rate)).expect("encode");
         let back = decode(&bytes).expect("decode");

@@ -35,12 +35,9 @@ fn main() {
     );
 
     // The host-parallel encoder produces the identical codestream.
-    let par = jpeg2000_cell::codec::parallel::encode_parallel(
-        &image,
-        &EncoderParams::lossless(),
-        4,
-    )
-    .expect("parallel encode");
+    let par =
+        jpeg2000_cell::codec::parallel::encode_parallel(&image, &EncoderParams::lossless(), 4)
+            .expect("parallel encode");
     let seq = encode(&image, &EncoderParams::lossless()).unwrap();
     assert_eq!(par, seq);
     println!("host-parallel encoder: byte-identical to sequential");

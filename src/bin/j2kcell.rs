@@ -26,21 +26,31 @@ fn die(msg: &str) -> ! {
 }
 
 fn read_image(path: &str) -> Image {
-    let ext = Path::new(path).extension().and_then(|e| e.to_str()).unwrap_or("");
+    let ext = Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("");
     let r = match ext.to_ascii_lowercase().as_str() {
         "bmp" => bmp::read(path),
         "pgm" | "ppm" | "pnm" => pnm::read(path),
-        other => die(&format!("unsupported input extension .{other} (bmp/pgm/ppm)")),
+        other => die(&format!(
+            "unsupported input extension .{other} (bmp/pgm/ppm)"
+        )),
     };
     r.unwrap_or_else(|e| die(&format!("cannot read {path}: {e}")))
 }
 
 fn write_image(path: &str, im: &Image) {
-    let ext = Path::new(path).extension().and_then(|e| e.to_str()).unwrap_or("");
+    let ext = Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("");
     let r = match ext.to_ascii_lowercase().as_str() {
         "bmp" => bmp::write(path, im),
         "pgm" | "ppm" | "pnm" => pnm::write(path, im),
-        other => die(&format!("unsupported output extension .{other} (bmp/pgm/ppm)")),
+        other => die(&format!(
+            "unsupported output extension .{other} (bmp/pgm/ppm)"
+        )),
     };
     r.unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
 }
@@ -80,7 +90,8 @@ fn parse(args: &[String]) -> Opt {
     let mut i = 0;
     while i < args.len() {
         let need = |i: usize| -> &String {
-            args.get(i + 1).unwrap_or_else(|| die(&format!("missing value after {}", args[i])))
+            args.get(i + 1)
+                .unwrap_or_else(|| die(&format!("missing value after {}", args[i])))
         };
         match args[i].as_str() {
             "--lossy" => {
@@ -220,18 +231,36 @@ fn main() {
             }
             .unwrap_or_else(|e| die(&e.to_string()));
             write_image(output, &im);
-            println!("{} -> {}: {}x{} x{} components", input, output, im.width, im.height, im.comps());
+            println!(
+                "{} -> {}: {}x{} x{} components",
+                input,
+                output,
+                im.width,
+                im.height,
+                im.comps()
+            );
         }
         "simulate" => {
             let [input] = o.positional.as_slice() else {
                 die("simulate needs an INPUT image path");
             };
             let im = read_image(input);
-            let (_, prof) = encode_with_profile(&im, &params_of(&o))
-                .unwrap_or_else(|e| die(&e.to_string()));
-            let base = if o.spes > 8 { MachineConfig::qs20_blade() } else { MachineConfig::qs20_single() };
+            let (_, prof) =
+                encode_with_profile(&im, &params_of(&o)).unwrap_or_else(|e| die(&e.to_string()));
+            let base = if o.spes > 8 {
+                MachineConfig::qs20_blade()
+            } else {
+                MachineConfig::qs20_single()
+            };
             let cfg = base.with_spes(o.spes).with_ppes(o.ppes);
-            let tl = simulate(&prof, &cfg, &SimOptions { ppe_tier1: o.ppes > 1, ..Default::default() });
+            let tl = simulate(
+                &prof,
+                &cfg,
+                &SimOptions {
+                    ppe_tier1: o.ppes > 1,
+                    ..Default::default()
+                },
+            );
             println!(
                 "simulated encode on {} SPE + {} PPE Cell/B.E. @ {:.1} GHz:",
                 cfg.num_spes,
@@ -260,10 +289,18 @@ fn main() {
                 h.layers,
                 h.cb_size,
                 h.cb_size,
-                if h.lossless { "reversible 5/3" } else { "irreversible 9/7" },
+                if h.lossless {
+                    "reversible 5/3"
+                } else {
+                    "irreversible 9/7"
+                },
                 h.mct
             );
-            println!("{} coded blocks, {} codestream bytes", parsed.blocks.len(), cs.len());
+            println!(
+                "{} coded blocks, {} codestream bytes",
+                parsed.blocks.len(),
+                cs.len()
+            );
         }
         other => die(&format!("unknown command {other}")),
     }

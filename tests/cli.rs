@@ -25,9 +25,19 @@ fn encode_decode_roundtrip_via_cli() {
     let j2c = tmp("out.j2c");
     let back = tmp("back.ppm");
     write_test_ppm(&src, 96, 64);
-    let st = Command::new(bin()).args(["encode"]).arg(&src).arg(&j2c).status().unwrap();
+    let st = Command::new(bin())
+        .args(["encode"])
+        .arg(&src)
+        .arg(&j2c)
+        .status()
+        .unwrap();
     assert!(st.success());
-    let st = Command::new(bin()).args(["decode"]).arg(&j2c).arg(&back).status().unwrap();
+    let st = Command::new(bin())
+        .args(["decode"])
+        .arg(&j2c)
+        .arg(&back)
+        .status()
+        .unwrap();
     assert!(st.success());
     assert_eq!(std::fs::read(&src).unwrap(), std::fs::read(&back).unwrap());
 }
@@ -64,8 +74,17 @@ fn info_reports_geometry() {
     let src = tmp("in3.ppm");
     let j2c = tmp("c.j2c");
     write_test_ppm(&src, 40, 30);
-    Command::new(bin()).args(["encode"]).arg(&src).arg(&j2c).status().unwrap();
-    let out = Command::new(bin()).args(["info"]).arg(&j2c).output().unwrap();
+    Command::new(bin())
+        .args(["encode"])
+        .arg(&src)
+        .arg(&j2c)
+        .status()
+        .unwrap();
+    let out = Command::new(bin())
+        .args(["info"])
+        .arg(&j2c)
+        .output()
+        .unwrap();
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("40x30 x3 @ 8 bit"), "{text}");
     assert!(text.contains("reversible 5/3"), "{text}");
@@ -77,7 +96,12 @@ fn reduced_resolution_decode() {
     let j2c = tmp("d.j2c");
     let half = tmp("half.ppm");
     write_test_ppm(&src, 64, 64);
-    Command::new(bin()).args(["encode"]).arg(&src).arg(&j2c).status().unwrap();
+    Command::new(bin())
+        .args(["encode"])
+        .arg(&src)
+        .arg(&j2c)
+        .status()
+        .unwrap();
     assert!(Command::new(bin())
         .args(["decode"])
         .arg(&j2c)
@@ -109,11 +133,19 @@ fn simulate_prints_timeline() {
 #[test]
 fn bad_arguments_exit_nonzero() {
     assert!(!Command::new(bin()).status().unwrap().success());
-    assert!(!Command::new(bin()).args(["encode", "only-one-arg"]).status().unwrap().success());
+    assert!(!Command::new(bin())
+        .args(["encode", "only-one-arg"])
+        .status()
+        .unwrap()
+        .success());
     assert!(!Command::new(bin())
         .args(["decode", "/nonexistent.j2c", "/tmp/x.ppm"])
         .status()
         .unwrap()
         .success());
-    assert!(!Command::new(bin()).args(["frobnicate"]).status().unwrap().success());
+    assert!(!Command::new(bin())
+        .args(["frobnicate"])
+        .status()
+        .unwrap()
+        .success());
 }

@@ -2,13 +2,25 @@
 //! arbitrary content, decoder robustness against corruption, and
 //! equivalence of the encoder drivers.
 
+use jpeg2000_cell::codec::cell::SimOptions;
 use jpeg2000_cell::codec::parallel::encode_parallel;
-use jpeg2000_cell::codec::{decode, encode, EncoderParams};
+use jpeg2000_cell::codec::{
+    decode, encode, encode_on_cell, transform_coefficients, transform_coefficients_parallel,
+    EncoderParams, ParallelOptions,
+};
+use jpeg2000_cell::decomposition::CACHE_LINE;
 use jpeg2000_cell::images::Image;
+use jpeg2000_cell::machine::MachineConfig;
 use proptest::prelude::*;
 
 fn image_strategy() -> impl Strategy<Value = Image> {
-    (1usize..80, 1usize..80, prop_oneof![Just(1usize), Just(3)], any::<u32>(), 0u8..4)
+    (
+        1usize..80,
+        1usize..80,
+        prop_oneof![Just(1usize), Just(3)],
+        any::<u32>(),
+        0u8..4,
+    )
         .prop_map(|(w, h, comps, seed, kind)| {
             let mut im = Image::new(w, h, comps, 8).unwrap();
             let mut x = seed | 1;
@@ -70,12 +82,61 @@ proptest! {
     #[test]
     fn parallel_driver_always_matches(
         im in image_strategy(),
-        workers in 1usize..6,
+        workers in 1usize..=8,
     ) {
         let params = EncoderParams { levels: 2, ..EncoderParams::lossless() };
         let seq = encode(&im, &params).unwrap();
         let par = encode_parallel(&im, &params, workers).unwrap();
         prop_assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn all_three_drivers_byte_identical(
+        im in image_strategy(),
+        workers in 1usize..=8,
+        lossy in any::<bool>(),
+    ) {
+        // The paper's invariant: parallelization never changes the
+        // codestream. Sequential, host-parallel (any worker count), and
+        // Cell-simulated encoders must agree byte for byte.
+        let params = if lossy {
+            EncoderParams { levels: 2, ..EncoderParams::lossy(0.4) }
+        } else {
+            EncoderParams { levels: 2, ..EncoderParams::lossless() }
+        };
+        let seq = encode(&im, &params).unwrap();
+        let par = encode_parallel(&im, &params, workers).unwrap();
+        prop_assert_eq!(&par, &seq);
+        let (cell, _, _) = encode_on_cell(
+            &im,
+            &params,
+            &MachineConfig::qs20_single(),
+            &SimOptions::default(),
+        ).unwrap();
+        prop_assert_eq!(&cell, &seq);
+    }
+
+    #[test]
+    fn chunked_transform_matches_sequential_coefficients(
+        im in image_strategy(),
+        levels in 1usize..5,
+        workers in 1usize..=8,
+        chunk_lines in 1usize..5,
+        lossy in any::<bool>(),
+    ) {
+        // Coefficient-for-coefficient equality of the chunk-parallel sample
+        // stages against the sequential reference, over arbitrary widths —
+        // including widths that are not a multiple of the chunk width, so
+        // the remainder chunk on the calling thread is exercised.
+        let params = if lossy {
+            EncoderParams { levels, ..EncoderParams::lossy(0.3) }
+        } else {
+            EncoderParams { levels, ..EncoderParams::lossless() }
+        };
+        let opts = ParallelOptions { chunk_width_bytes: Some(chunk_lines * CACHE_LINE) };
+        let seq = transform_coefficients(&im, &params).unwrap();
+        let par = transform_coefficients_parallel(&im, &params, workers, &opts).unwrap();
+        prop_assert_eq!(par, seq);
     }
 
     #[test]
@@ -100,5 +161,35 @@ proptest! {
         let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
         bytes[pos] ^= 1 << bit;
         let _ = decode(&bytes);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_byte_mutations(
+        im in image_strategy(),
+        pos_frac in 0.0f64..1.0,
+        val in 0u32..256,
+    ) {
+        // Overwrite one byte with an arbitrary value (not just a bit flip):
+        // decode must return Err or a valid image, never panic.
+        let mut bytes =
+            encode(&im, &EncoderParams { levels: 2, ..Default::default() }).unwrap();
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] = val as u8;
+        let _ = decode(&bytes);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_mutation_plus_truncation(
+        im in image_strategy(),
+        pos_frac in 0.0f64..1.0,
+        cut_frac in 0.0f64..1.0,
+        val in 0u32..256,
+    ) {
+        let mut bytes =
+            encode(&im, &EncoderParams { levels: 2, ..Default::default() }).unwrap();
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] = val as u8;
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        let _ = decode(&bytes[..cut]);
     }
 }

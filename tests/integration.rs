@@ -15,9 +15,13 @@ fn three_drivers_one_codestream() {
     let params = EncoderParams::lossless();
     let seq = encode(&im, &params).unwrap();
     let par = encode_parallel(&im, &params, 4).unwrap();
-    let (cell, tl, _) =
-        encode_on_cell(&im, &params, &MachineConfig::qs20_single(), &SimOptions::default())
-            .unwrap();
+    let (cell, tl, _) = encode_on_cell(
+        &im,
+        &params,
+        &MachineConfig::qs20_single(),
+        &SimOptions::default(),
+    )
+    .unwrap();
     assert_eq!(seq, par);
     assert_eq!(seq, cell);
     assert!(tl.total_seconds() > 0.0);
@@ -39,13 +43,21 @@ fn bmp_to_j2c_transcode_like_the_paper() {
 
 #[test]
 fn lossless_roundtrip_across_geometries_and_depths() {
-    for (w, h, comps) in [(64usize, 64usize, 1usize), (65, 63, 3), (17, 129, 1), (128, 32, 3)] {
+    for (w, h, comps) in [
+        (64usize, 64usize, 1usize),
+        (65, 63, 3),
+        (17, 129, 1),
+        (128, 32, 3),
+    ] {
         let im = if comps == 3 {
             synth::natural_rgb(w, h, 5)
         } else {
             synth::natural(w, h, 5)
         };
-        let params = EncoderParams { levels: 3, ..EncoderParams::lossless() };
+        let params = EncoderParams {
+            levels: 3,
+            ..EncoderParams::lossless()
+        };
         let back = decode(&encode(&im, &params).unwrap()).unwrap();
         assert_eq!(back, im, "{w}x{h}x{comps}");
     }
@@ -59,7 +71,10 @@ fn twelve_bit_imagery_roundtrips() {
         x = x.wrapping_mul(1664525).wrapping_add(1013904223);
         *v = ((x >> 12) % 4096) as u16;
     }
-    let params = EncoderParams { levels: 3, ..EncoderParams::lossless() };
+    let params = EncoderParams {
+        levels: 3,
+        ..EncoderParams::lossless()
+    };
     let back = decode(&encode(&im, &params).unwrap()).unwrap();
     assert_eq!(back, im);
 }
@@ -76,7 +91,10 @@ fn lossy_rate_sweep_monotone_and_within_budget() {
             bytes.len()
         );
         let p = psnr(&im, &decode(&bytes).unwrap()).unwrap();
-        assert!(p > last_psnr - 0.1, "rate {rate}: PSNR {p} after {last_psnr}");
+        assert!(
+            p > last_psnr - 0.1,
+            "rate {rate}: PSNR {p} after {last_psnr}"
+        );
         last_psnr = p;
     }
     assert!(last_psnr > 28.0, "rate 0.3 PSNR {last_psnr}");
@@ -85,12 +103,16 @@ fn lossy_rate_sweep_monotone_and_within_budget() {
 #[test]
 fn simulated_machines_reproduce_paper_orderings() {
     let im = synth::natural_rgb(256, 256, 5);
-    let params = EncoderParams { cb_size: 32, ..EncoderParams::lossless() };
+    let params = EncoderParams {
+        cb_size: 32,
+        ..EncoderParams::lossless()
+    };
     let (_, prof) = encode_with_profile(&im, &params).unwrap();
     let single = MachineConfig::qs20_single();
 
     // More SPEs help; a second chip helps further.
-    let t1 = jpeg2000_cell::codec::cell::simulate(&prof, &single.with_spes(1), &SimOptions::default());
+    let t1 =
+        jpeg2000_cell::codec::cell::simulate(&prof, &single.with_spes(1), &SimOptions::default());
     let t8 = jpeg2000_cell::codec::cell::simulate(&prof, &single, &SimOptions::default());
     let t16 = jpeg2000_cell::codec::cell::simulate(
         &prof,
@@ -104,7 +126,11 @@ fn simulated_machines_reproduce_paper_orderings() {
     let p4 = simulate_p4(&prof);
     let p4_secs = p4.total_seconds();
     let cell_secs = t8.total_seconds();
-    assert!(p4_secs / cell_secs > 1.5, "overall only {}", p4_secs / cell_secs);
+    assert!(
+        p4_secs / cell_secs > 1.5,
+        "overall only {}",
+        p4_secs / cell_secs
+    );
 
     // Ours beats the Muta model per frame.
     let muta_tl = simulate_muta(&prof, MutaMode::Muta1);
@@ -118,8 +144,9 @@ fn lossy_scaling_flattens_from_rate_control() {
     let im = synth::natural_rgb(192, 192, 31);
     let (_, prof) = encode_with_profile(&im, &EncoderParams::lossy(0.1)).unwrap();
     let single = MachineConfig::qs20_single();
-    let f1 = jpeg2000_cell::codec::cell::simulate(&prof, &single.with_spes(1), &SimOptions::default())
-        .fraction_matching("rate-control");
+    let f1 =
+        jpeg2000_cell::codec::cell::simulate(&prof, &single.with_spes(1), &SimOptions::default())
+            .fraction_matching("rate-control");
     let f8 = jpeg2000_cell::codec::cell::simulate(&prof, &single, &SimOptions::default())
         .fraction_matching("rate-control");
     assert!(f8 > f1, "rate-control share should grow: {f1} -> {f8}");
