@@ -1,0 +1,261 @@
+//! `serve_load` — load generator for the `j2kserved` encode daemon.
+//!
+//! Drives the TCP wire protocol with `--clients` concurrent connections
+//! pushing `--jobs` synthetic encode jobs total, then reports throughput
+//! and latency percentiles as JSON (written to `--out`, printed to
+//! stdout) so the serve layer's performance trajectory can be tracked
+//! run over run (`BENCH_serve.json`).
+//!
+//! ```text
+//! serve_load [--addr HOST:PORT] [--jobs N] [--clients N] [--size N]
+//!            [--seed N] [--lossy RATE] [--timeout-ms N] [--verify]
+//!            [--out PATH]
+//! ```
+//!
+//! With `--verify`, every returned codestream is checked **byte-identical**
+//! to the local sequential `j2k_core::encode` of the same input and
+//! decoded back to the original image — the service must never trade
+//! correctness for throughput. Rejected jobs (admission control under
+//! overload) are counted, not retried; the exit code is nonzero if
+//! verification fails or nothing completes.
+
+use j2k_core::EncoderParams;
+use j2k_serve::wire::{call, EncodeRequest, Request, Response, DEFAULT_MAX_FRAME};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+struct Opt {
+    addr: String,
+    jobs: usize,
+    clients: usize,
+    size: usize,
+    seed: u64,
+    lossy: Option<f64>,
+    timeout_ms: u32,
+    verify: bool,
+    out: String,
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("serve_load: {msg}");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Opt {
+    let mut o = Opt {
+        addr: "127.0.0.1:7201".into(),
+        jobs: 32,
+        clients: 4,
+        size: 128,
+        seed: 20080906,
+        lossy: None,
+        timeout_ms: 0,
+        verify: false,
+        out: "BENCH_serve.json".into(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let need = |i: usize| -> &String {
+            argv.get(i + 1)
+                .unwrap_or_else(|| die(&format!("missing value after {}", argv[i])))
+        };
+        match argv[i].as_str() {
+            "--addr" => {
+                o.addr = need(i).clone();
+                i += 2;
+            }
+            "--jobs" => {
+                o.jobs = need(i).parse().unwrap_or_else(|_| die("--jobs N"));
+                i += 2;
+            }
+            "--clients" => {
+                o.clients = need(i).parse().unwrap_or_else(|_| die("--clients N"));
+                i += 2;
+            }
+            "--size" => {
+                o.size = need(i).parse().unwrap_or_else(|_| die("--size N"));
+                i += 2;
+            }
+            "--seed" => {
+                o.seed = need(i).parse().unwrap_or_else(|_| die("--seed N"));
+                i += 2;
+            }
+            "--lossy" => {
+                o.lossy = Some(need(i).parse().unwrap_or_else(|_| die("--lossy RATE")));
+                i += 2;
+            }
+            "--timeout-ms" => {
+                o.timeout_ms = need(i).parse().unwrap_or_else(|_| die("--timeout-ms N"));
+                i += 2;
+            }
+            "--verify" => {
+                o.verify = true;
+                i += 1;
+            }
+            "--out" => {
+                o.out = need(i).clone();
+                i += 2;
+            }
+            other => die(&format!("unknown flag {other}")),
+        }
+    }
+    o
+}
+
+fn params_of(o: &Opt) -> EncoderParams {
+    match o.lossy {
+        Some(rate) => EncoderParams::lossy(rate),
+        None => EncoderParams::lossless(),
+    }
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted_ms.len() as f64).ceil() as usize).clamp(1, sorted_ms.len());
+    sorted_ms[rank - 1]
+}
+
+#[derive(Default)]
+struct Tally {
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    timed_out: AtomicU64,
+    failed: AtomicU64,
+    verify_failures: AtomicU64,
+}
+
+fn main() {
+    let o = parse_args();
+    let params = params_of(&o);
+    let tally = Tally::default();
+    let latencies_ms: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(o.jobs));
+    let next_job = AtomicU64::new(0);
+
+    let wall = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..o.clients.max(1) {
+            let (o, params, tally, latencies_ms, next_job) =
+                (&o, &params, &tally, &latencies_ms, &next_job);
+            scope.spawn(move || {
+                let mut conn = match TcpStream::connect(&o.addr) {
+                    Ok(c) => c,
+                    Err(e) => die(&format!("connect {}: {e}", o.addr)),
+                };
+                loop {
+                    let j = next_job.fetch_add(1, Ordering::Relaxed);
+                    if j >= o.jobs as u64 {
+                        break;
+                    }
+                    let image = imgio::synth::natural_rgb(o.size, o.size, o.seed + j);
+                    let req = Request::Encode(EncodeRequest {
+                        priority: (j % 4) as u8,
+                        timeout_ms: o.timeout_ms,
+                        params: *params,
+                        image: image.clone(),
+                    });
+                    let t0 = Instant::now();
+                    match call(&mut conn, &req, DEFAULT_MAX_FRAME) {
+                        Ok(Response::EncodeOk(cs)) => {
+                            let ms = t0.elapsed().as_secs_f64() * 1e3;
+                            latencies_ms.lock().unwrap().push(ms);
+                            tally.completed.fetch_add(1, Ordering::Relaxed);
+                            if o.verify {
+                                let seq = j2k_core::encode(&image, params).expect("local encode");
+                                let decoded_ok = j2k_core::decode(&cs).is_ok();
+                                if cs != seq || !decoded_ok {
+                                    eprintln!("job {j}: VERIFY FAILED (identical={}, decodes={decoded_ok})", cs == seq);
+                                    tally.verify_failures.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        Ok(Response::Rejected(r)) => {
+                            eprintln!("job {j}: rejected ({r:?})");
+                            tally.rejected.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(Response::TimedOut) => {
+                            tally.timed_out.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(other) => {
+                            eprintln!("job {j}: {other:?}");
+                            tally.failed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            eprintln!("job {j}: wire error {e}");
+                            tally.failed.fetch_add(1, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                }
+            });
+        }
+    });
+    let wall_s = wall.elapsed().as_secs_f64();
+
+    // Pull the server's own view of the run.
+    let server_metrics = TcpStream::connect(&o.addr)
+        .ok()
+        .and_then(|mut c| call(&mut c, &Request::Metrics, DEFAULT_MAX_FRAME).ok())
+        .and_then(|r| match r {
+            Response::MetricsJson(j) => Some(j),
+            _ => None,
+        })
+        .unwrap_or_else(|| "null".into());
+
+    let mut lat = latencies_ms.into_inner().unwrap();
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let completed = tally.completed.load(Ordering::Relaxed);
+    let verify_failures = tally.verify_failures.load(Ordering::Relaxed);
+    let mean = if lat.is_empty() {
+        0.0
+    } else {
+        lat.iter().sum::<f64>() / lat.len() as f64
+    };
+    let json = format!(
+        "{{\"config\":{{\"addr\":\"{}\",\"jobs\":{},\"clients\":{},\"size\":{},\"seed\":{},\
+         \"mode\":\"{}\",\"timeout_ms\":{},\"verify\":{}}},\
+         \"completed\":{},\"rejected\":{},\"timed_out\":{},\"failed\":{},\
+         \"wall_s\":{:.4},\"throughput_jobs_per_s\":{:.3},\
+         \"latency_ms\":{{\"mean\":{:.3},\"p50\":{:.3},\"p95\":{:.3},\"p99\":{:.3},\"max\":{:.3}}},\
+         \"verify_failures\":{},\"server_metrics\":{}}}",
+        o.addr,
+        o.jobs,
+        o.clients,
+        o.size,
+        o.seed,
+        if o.lossy.is_some() {
+            "lossy"
+        } else {
+            "lossless"
+        },
+        o.timeout_ms,
+        o.verify,
+        completed,
+        tally.rejected.load(Ordering::Relaxed),
+        tally.timed_out.load(Ordering::Relaxed),
+        tally.failed.load(Ordering::Relaxed),
+        wall_s,
+        completed as f64 / wall_s.max(1e-9),
+        mean,
+        percentile(&lat, 0.50),
+        percentile(&lat, 0.95),
+        percentile(&lat, 0.99),
+        lat.last().copied().unwrap_or(0.0),
+        verify_failures,
+        server_metrics,
+    );
+    println!("{json}");
+    if let Err(e) = std::fs::write(&o.out, format!("{json}\n")) {
+        die(&format!("write {}: {e}", o.out));
+    }
+    if verify_failures > 0 {
+        die(&format!("{verify_failures} verification failures"));
+    }
+    if completed == 0 {
+        die("no jobs completed");
+    }
+}

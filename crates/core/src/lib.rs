@@ -22,6 +22,7 @@
 
 pub mod cell;
 pub mod codestream;
+pub mod control;
 pub mod jp2;
 pub mod mct;
 pub mod parallel;
@@ -30,8 +31,9 @@ pub mod profile;
 pub mod quant;
 
 pub use cell::encode_on_cell;
+pub use control::EncodeControl;
 pub use parallel::{
-    encode_parallel, encode_parallel_opts, encode_parallel_with_profile,
+    encode_parallel, encode_parallel_ctl, encode_parallel_opts, encode_parallel_with_profile,
     transform_coefficients_parallel, ParallelOptions,
 };
 pub use pipeline::{
@@ -39,7 +41,7 @@ pub use pipeline::{
 };
 pub use profile::{StageTime, WorkloadProfile};
 
-use wavelet::VerticalVariant;
+pub use wavelet::VerticalVariant;
 
 /// Compression mode.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -153,6 +155,11 @@ pub enum CodecError {
     Image(String),
     /// Malformed codestream during decode.
     Codestream(String),
+    /// Encode stopped by an explicit [`control::EncodeControl::cancel`].
+    Cancelled,
+    /// Encode stopped because its [`control::EncodeControl`] deadline
+    /// passed.
+    Deadline,
 }
 
 impl std::fmt::Display for CodecError {
@@ -161,6 +168,8 @@ impl std::fmt::Display for CodecError {
             CodecError::Params(m) => write!(f, "bad parameters: {m}"),
             CodecError::Image(m) => write!(f, "bad image: {m}"),
             CodecError::Codestream(m) => write!(f, "bad codestream: {m}"),
+            CodecError::Cancelled => write!(f, "encode cancelled"),
+            CodecError::Deadline => write!(f, "encode deadline exceeded"),
         }
     }
 }

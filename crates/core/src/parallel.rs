@@ -19,6 +19,7 @@
 //! level shift / MCT / quantization are elementwise, so any disjoint
 //! partition performs the same arithmetic on the same operands.
 
+use crate::control::EncodeControl;
 use crate::pipeline::{
     band_kind, block_grid, build_profile, default_base_step, rate_control_and_assemble,
     BlockRecord, Transformed,
@@ -71,14 +72,34 @@ pub fn encode_parallel_opts(
     workers: usize,
     opts: &ParallelOptions,
 ) -> Result<(Vec<u8>, WorkloadProfile), CodecError> {
+    encode_parallel_ctl(image, params, workers, opts, None)
+}
+
+/// Cancellable / deadline-aware encode: identical to
+/// [`encode_parallel_opts`] but polls `ctl` at every stage boundary and,
+/// during Tier-1, once per code block, returning
+/// [`CodecError::Cancelled`] / [`CodecError::Deadline`] instead of a
+/// codestream when the control stops the encode. The produced codestream
+/// (when the encode completes) is byte-identical to the sequential
+/// encoder — the control adds checkpoints, never arithmetic.
+pub fn encode_parallel_ctl(
+    image: &Image,
+    params: &EncoderParams,
+    workers: usize,
+    opts: &ParallelOptions,
+    ctl: Option<&EncodeControl>,
+) -> Result<(Vec<u8>, WorkloadProfile), CodecError> {
     params.validate()?;
     image
         .validate()
         .map_err(|e| CodecError::Image(e.to_string()))?;
     let workers = workers.max(1);
+    if let Some(c) = ctl {
+        c.check()?;
+    }
 
     // Sample stages, chunk-parallel.
-    let (t, stats) = transform_samples_parallel(image, params, workers, opts)?;
+    let (t, stats) = transform_samples_parallel_ctl(image, params, workers, opts, ctl)?;
     let mut stage_times = stats.stage_times;
     let mut worker_jobs = stats.worker_jobs;
 
@@ -127,6 +148,9 @@ pub fn encode_parallel_opts(
             let slot_ptr = &slot_ptr;
             let counts = &tier1_counts;
             scope.spawn(move || loop {
+                if ctl.is_some_and(|c| c.is_stopped()) {
+                    break;
+                }
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 if i >= njobs {
                     break;
@@ -170,6 +194,10 @@ pub fn encode_parallel_opts(
     });
     let tier1_counts: Vec<u64> = tier1_counts.into_iter().map(|c| c.into_inner()).collect();
     accumulate(&mut worker_jobs, &tier1_counts);
+    if let Some(c) = ctl {
+        // A stopped Tier-1 leaves unclaimed slots; bail before unwrapping.
+        c.check()?;
+    }
 
     let records: Vec<BlockRecord> = slots
         .into_iter()
@@ -407,6 +435,18 @@ pub(crate) fn transform_samples_parallel(
     workers: usize,
     opts: &ParallelOptions,
 ) -> Result<(Transformed, TransformStats), CodecError> {
+    transform_samples_parallel_ctl(image, params, workers, opts, None)
+}
+
+/// [`transform_samples_parallel`] with an optional [`EncodeControl`]
+/// polled after each stage and between DWT levels.
+pub(crate) fn transform_samples_parallel_ctl(
+    image: &Image,
+    params: &EncoderParams,
+    workers: usize,
+    opts: &ParallelOptions,
+    ctl: Option<&EncodeControl>,
+) -> Result<(Transformed, TransformStats), CodecError> {
     let (w, h) = (image.width, image.height);
     let comps = image.comps();
     let depth = image.bit_depth;
@@ -430,6 +470,9 @@ pub(crate) fn transform_samples_parallel(
         name: "convert",
         seconds: t0.elapsed().as_secs_f64(),
     });
+    if let Some(c) = ctl {
+        c.check()?;
+    }
 
     let plan = plan_for(w, workers, opts)?;
     let regions = wavelet::level_regions(w, h, params.levels);
@@ -468,6 +511,9 @@ pub(crate) fn transform_samples_parallel(
                 name: "mct",
                 seconds: t1.elapsed().as_secs_f64(),
             });
+            if let Some(c) = ctl {
+                c.check()?;
+            }
 
             // 5/3 DWT level by level: vertical by column chunk, then (after
             // the barrier) horizontal by row band.
@@ -476,6 +522,9 @@ pub(crate) fn transform_samples_parallel(
                 let shared: Vec<SharedPlane<i32>> =
                     int_planes.iter_mut().map(SharedPlane::new).collect();
                 for r in &regions {
+                    if let Some(c) = ctl {
+                        c.check()?;
+                    }
                     let lplan = plan_for(r.w, workers, opts)?;
                     let vert = assign_columns(&lplan, comps, r.h, workers);
                     // SAFETY: disjoint column chunks, one thread per job.
@@ -594,6 +643,9 @@ pub(crate) fn transform_samples_parallel(
                 name: "mct",
                 seconds: t1.elapsed().as_secs_f64(),
             });
+            if let Some(c) = ctl {
+                c.check()?;
+            }
 
             // 9/7 DWT level by level, vertical chunks then horizontal bands.
             let t2 = Instant::now();
@@ -602,6 +654,9 @@ pub(crate) fn transform_samples_parallel(
                 let shared_q: Vec<SharedPlane<i32>> =
                     q13.iter_mut().map(SharedPlane::new).collect();
                 for r in &regions {
+                    if let Some(c) = ctl {
+                        c.check()?;
+                    }
                     let lplan = plan_for(r.w, workers, opts)?;
                     let vert = assign_columns(&lplan, comps, r.h, workers);
                     // SAFETY: disjoint column chunks, one thread per job.
@@ -629,6 +684,9 @@ pub(crate) fn transform_samples_parallel(
                 name: "dwt",
                 seconds: t2.elapsed().as_secs_f64(),
             });
+            if let Some(c) = ctl {
+                c.check()?;
+            }
 
             // Per-band signalled steps and weights (cheap, calling thread;
             // same order and arithmetic as the sequential pipeline).
@@ -785,6 +843,48 @@ mod tests {
         };
         let err = transform_coefficients_parallel(&im, &EncoderParams::lossless(), 2, &opts);
         assert!(matches!(err, Err(CodecError::Params(_))));
+    }
+
+    #[test]
+    fn cancelled_control_stops_encode() {
+        let im = synth::natural(64, 64, 9);
+        let ctl = EncodeControl::new();
+        ctl.cancel();
+        let r = encode_parallel_ctl(
+            &im,
+            &EncoderParams::lossless(),
+            2,
+            &ParallelOptions::default(),
+            Some(&ctl),
+        );
+        assert!(matches!(r, Err(CodecError::Cancelled)));
+    }
+
+    #[test]
+    fn expired_deadline_stops_encode() {
+        let im = synth::natural(64, 64, 9);
+        let ctl =
+            EncodeControl::with_deadline(Instant::now() - std::time::Duration::from_millis(1));
+        let r = encode_parallel_ctl(
+            &im,
+            &EncoderParams::lossy(0.2),
+            2,
+            &ParallelOptions::default(),
+            Some(&ctl),
+        );
+        assert!(matches!(r, Err(CodecError::Deadline)));
+    }
+
+    #[test]
+    fn live_control_is_byte_identical() {
+        let im = synth::natural_rgb(80, 48, 17);
+        let params = EncoderParams::lossless();
+        let seq = crate::encode(&im, &params).unwrap();
+        let ctl =
+            EncodeControl::with_deadline(Instant::now() + std::time::Duration::from_secs(600));
+        let (par, _) =
+            encode_parallel_ctl(&im, &params, 3, &ParallelOptions::default(), Some(&ctl)).unwrap();
+        assert_eq!(par, seq);
     }
 
     #[test]

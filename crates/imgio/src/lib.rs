@@ -111,8 +111,16 @@ impl Image {
         self.samples() * usize::from(self.bit_depth.div_ceil(8))
     }
 
-    /// Validate internal consistency (plane sizes, sample ranges).
+    /// Validate internal consistency (bit depth, plane sizes, sample
+    /// ranges). The depth check must come first: [`Self::max_value`] on
+    /// an out-of-range depth would overflow the shift.
     pub fn validate(&self) -> Result<(), ImgError> {
+        if self.bit_depth == 0 || self.bit_depth > 16 {
+            return Err(ImgError::Invalid(format!(
+                "bit depth {} unsupported",
+                self.bit_depth
+            )));
+        }
         let n = self.width * self.height;
         let max = self.max_value();
         for (c, p) in self.planes.iter().enumerate() {
@@ -160,6 +168,12 @@ mod tests {
         assert!(im.validate().is_err());
         let mut im = Image::new(2, 2, 1, 4).unwrap();
         im.planes[0][0] = 200;
+        assert!(im.validate().is_err());
+        // Out-of-range depth must error, not overflow max_value's shift.
+        let mut im = Image::new(2, 2, 1, 8).unwrap();
+        im.bit_depth = 200;
+        assert!(im.validate().is_err());
+        im.bit_depth = 0;
         assert!(im.validate().is_err());
     }
 }

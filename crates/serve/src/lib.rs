@@ -1,0 +1,38 @@
+//! `j2k-serve` — an embeddable JPEG2000 **encode service**: the paper's
+//! dynamic-work-queue discipline applied at the request level.
+//!
+//! Kang & Bader feed fixed-footprint SPE workers from a dynamic queue of
+//! code blocks because Tier-1 cost is data dependent — static assignment
+//! stalls the pipeline. A production encoder serving heavy traffic faces
+//! the same problem one level up: whole encode requests have
+//! data-dependent cost, arrive faster than they finish under overload,
+//! and must never grow memory without bound. This crate is that level:
+//!
+//! * [`queue`] — a **bounded MPMC priority queue** of jobs: the
+//!   request-level mirror of the Tier-1 code-block queue, with
+//!   reject-when-full instead of unbounded growth;
+//! * [`service`] — [`EncodeService`]: admission control, a worker pool
+//!   reusing [`j2k_core::encode_parallel`]'s chunk/queue parallelism with
+//!   a per-job `workers` budget, per-job deadlines enforced *inside* the
+//!   encode via [`j2k_core::EncodeControl`], cancellation, graceful
+//!   drain-on-shutdown, and a [`MetricsSnapshot`] (queue depth, job
+//!   counters, per-stage wall times);
+//! * [`wire`] — a length-prefixed binary protocol (std::net only) with
+//!   typed errors and allocation bounded before it happens;
+//! * [`server`] — the TCP daemon loop behind the `j2kserved` binary.
+//!
+//! Invariant inherited from the codec: every codestream the service
+//! returns is **byte-identical** to sequential [`j2k_core::encode`] for
+//! the same input — scheduling decisions never touch the output.
+
+pub mod queue;
+pub mod server;
+pub mod service;
+pub mod wire;
+
+pub use queue::{JobQueue, PushError};
+pub use server::{serve, ServerConfig};
+pub use service::{
+    EncodeJob, EncodeService, JobHandle, JobOutcome, MetricsSnapshot, ServiceConfig, SubmitError,
+};
+pub use wire::{Request, Response, WireError};

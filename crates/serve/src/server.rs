@@ -1,0 +1,136 @@
+//! TCP front end for an [`EncodeService`]: one thread per connection,
+//! one frame per request, one frame per reply.
+//!
+//! The server never buffers more than one in-flight request per
+//! connection, and the service's bounded queue provides the global
+//! backpressure — a flood of connections turns into
+//! [`Response::Rejected`] replies, not memory growth. Framing errors
+//! (bad magic, oversized length, mid-frame disconnect) close the
+//! connection; payload-local errors get a [`Response::Failed`] reply and
+//! the connection lives on.
+
+use crate::service::{EncodeJob, EncodeService, JobOutcome, SubmitError};
+use crate::wire::{
+    encode_response, parse_request, read_frame, write_frame, RejectReason, Request, Response,
+    WireError,
+};
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Server tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Per-frame payload ceiling (see [`crate::wire::read_frame`]).
+    pub max_frame: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_frame: crate::wire::DEFAULT_MAX_FRAME,
+        }
+    }
+}
+
+/// Accept connections until a [`Request::Shutdown`] arrives, then drain
+/// the service and return. Blocks the calling thread; connection
+/// handlers run on their own threads.
+pub fn serve(
+    listener: TcpListener,
+    service: Arc<EncodeService>,
+    cfg: ServerConfig,
+) -> std::io::Result<()> {
+    let stop = Arc::new(AtomicBool::new(false));
+    let local = listener.local_addr()?;
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            if handle_conn(stream, &service, cfg) == ConnExit::Shutdown {
+                stop.store(true, Ordering::SeqCst);
+                service.begin_shutdown();
+                // Self-connect to pop the accept loop out of `incoming()`.
+                let _ = TcpStream::connect(local);
+            }
+        });
+    }
+    service.shutdown();
+    Ok(())
+}
+
+#[derive(Debug, PartialEq, Eq)]
+enum ConnExit {
+    Closed,
+    Shutdown,
+}
+
+fn respond(stream: &mut TcpStream, resp: &Response) -> bool {
+    write_frame(stream, &encode_response(resp)).is_ok()
+}
+
+fn handle_conn(stream: TcpStream, service: &EncodeService, cfg: ServerConfig) -> ConnExit {
+    let mut writer = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return ConnExit::Closed,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        let payload = match read_frame(&mut reader, cfg.max_frame) {
+            Ok(p) => p,
+            // Clean disconnect, mid-frame disconnect, garbage, or an
+            // oversized claim: the stream is unsynchronized — drop it.
+            Err(_) => return ConnExit::Closed,
+        };
+        let req = match parse_request(&payload) {
+            Ok(r) => r,
+            Err(e @ WireError::Malformed(_)) => {
+                if !respond(&mut writer, &Response::Failed(e.to_string())) {
+                    return ConnExit::Closed;
+                }
+                continue;
+            }
+            Err(_) => return ConnExit::Closed,
+        };
+        let resp = match req {
+            Request::Ping => Response::Pong,
+            Request::Metrics => Response::MetricsJson(service.metrics().to_json()),
+            Request::Shutdown => {
+                let _ = respond(&mut writer, &Response::Pong);
+                return ConnExit::Shutdown;
+            }
+            Request::Encode(e) => {
+                let job = EncodeJob {
+                    image: e.image,
+                    params: e.params,
+                    priority: e.priority,
+                    timeout: (e.timeout_ms > 0)
+                        .then(|| Duration::from_millis(u64::from(e.timeout_ms))),
+                };
+                match service.submit(job) {
+                    Ok(handle) => match handle.wait() {
+                        JobOutcome::Completed { codestream } => Response::EncodeOk(codestream),
+                        JobOutcome::TimedOut => Response::TimedOut,
+                        JobOutcome::Cancelled => Response::Cancelled,
+                        JobOutcome::Failed(m) => Response::Failed(m),
+                    },
+                    Err(SubmitError::Overloaded { .. }) => {
+                        Response::Rejected(RejectReason::Overloaded)
+                    }
+                    Err(SubmitError::ShuttingDown) => {
+                        Response::Rejected(RejectReason::ShuttingDown)
+                    }
+                }
+            }
+        };
+        if !respond(&mut writer, &resp) {
+            return ConnExit::Closed;
+        }
+    }
+}

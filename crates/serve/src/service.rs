@@ -1,0 +1,451 @@
+//! The encode service: admission control in front of a worker pool that
+//! drains the bounded [`JobQueue`](crate::queue::JobQueue).
+//!
+//! Life of a job: [`EncodeService::submit`] computes the job's deadline,
+//! wraps image + params + a shared [`EncodeControl`] into a queue task,
+//! and either enqueues it (returning a [`JobHandle`]) or refuses with a
+//! typed [`SubmitError`] — the service never buffers beyond the
+//! configured queue capacity. A pool thread claims the task, runs
+//! [`encode_parallel_ctl`] with the per-job `workers_per_job` budget, and
+//! publishes the [`JobOutcome`] through the handle. Deadlines are
+//! enforced *inside* the encode (the control is polled per stage and per
+//! Tier-1 code block), so a job whose deadline passes mid-encode stops at
+//! the next checkpoint and reports [`JobOutcome::TimedOut`]; a job that
+//! expires while still queued fails the control's very first checkpoint
+//! the same way — one mechanism, no timer thread.
+//!
+//! Shutdown is graceful by construction: [`EncodeService::begin_shutdown`]
+//! closes the queue (new submissions refuse with
+//! [`SubmitError::ShuttingDown`]) while queued and in-flight jobs drain;
+//! [`EncodeService::shutdown`] additionally joins the pool.
+
+use crate::queue::{JobQueue, PushError};
+use imgio::Image;
+use j2k_core::{encode_parallel_ctl, CodecError, EncodeControl, EncoderParams, ParallelOptions};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One encode request.
+#[derive(Debug, Clone)]
+pub struct EncodeJob {
+    /// Input image.
+    pub image: Image,
+    /// Encoder parameters (validated by the encoder, not at submit).
+    pub params: EncoderParams,
+    /// Scheduling priority: higher runs first; FIFO within a priority.
+    pub priority: u8,
+    /// Per-job deadline, measured from submission. `None` falls back to
+    /// [`ServiceConfig::default_timeout`].
+    pub timeout: Option<Duration>,
+}
+
+impl EncodeJob {
+    /// A default-priority job with no per-job timeout.
+    pub fn new(image: Image, params: EncoderParams) -> Self {
+        EncodeJob {
+            image,
+            params,
+            priority: 0,
+            timeout: None,
+        }
+    }
+}
+
+/// Terminal state of a submitted job.
+#[derive(Debug)]
+pub enum JobOutcome {
+    /// Encode finished; the codestream is byte-identical to the
+    /// sequential encoder's output for the same input.
+    Completed {
+        /// The JPEG2000 codestream.
+        codestream: Vec<u8>,
+    },
+    /// The job's deadline passed (queued or mid-encode).
+    TimedOut,
+    /// [`JobHandle::cancel`] stopped the job.
+    Cancelled,
+    /// The encoder rejected the job (bad params/image) or failed.
+    Failed(String),
+}
+
+/// Typed admission-control refusal from [`EncodeService::submit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity; retry later or shed load.
+    Overloaded {
+        /// The configured queue bound.
+        capacity: usize,
+    },
+    /// [`EncodeService::begin_shutdown`] has run; no new work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::Overloaded { capacity } => {
+                write!(f, "overloaded: queue at capacity {capacity}")
+            }
+            SubmitError::ShuttingDown => write!(f, "service shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+#[derive(Debug)]
+struct JobShared {
+    id: u64,
+    ctl: EncodeControl,
+    outcome: Mutex<Option<JobOutcome>>,
+    cv: Condvar,
+}
+
+impl JobShared {
+    fn complete(&self, outcome: JobOutcome) {
+        *self.outcome.lock().unwrap() = Some(outcome);
+        self.cv.notify_all();
+    }
+}
+
+/// Caller's side of a submitted job: wait for the outcome or cancel.
+#[derive(Debug)]
+pub struct JobHandle {
+    shared: Arc<JobShared>,
+}
+
+impl JobHandle {
+    /// Service-assigned job id (monotonic per service).
+    pub fn id(&self) -> u64 {
+        self.shared.id
+    }
+
+    /// Request cancellation; the encode stops at its next checkpoint and
+    /// the outcome becomes [`JobOutcome::Cancelled`].
+    pub fn cancel(&self) {
+        self.shared.ctl.cancel();
+    }
+
+    /// Block until the job reaches a terminal state and take the outcome.
+    pub fn wait(self) -> JobOutcome {
+        let mut g = self.shared.outcome.lock().unwrap();
+        loop {
+            if let Some(o) = g.take() {
+                return o;
+            }
+            g = self.shared.cv.wait(g).unwrap();
+        }
+    }
+}
+
+struct Task {
+    image: Image,
+    params: EncoderParams,
+    shared: Arc<JobShared>,
+}
+
+/// Tuning of an [`EncodeService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Bounded queue capacity; submissions beyond it are
+    /// [`SubmitError::Overloaded`].
+    pub queue_capacity: usize,
+    /// Pool threads draining the queue (>= 1): the concurrency of whole
+    /// jobs.
+    pub pool_threads: usize,
+    /// `workers` budget handed to [`encode_parallel_ctl`] per job: the
+    /// parallelism *within* one encode.
+    pub workers_per_job: usize,
+    /// Deadline for jobs that set none.
+    pub default_timeout: Option<Duration>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            queue_capacity: 64,
+            pool_threads: 2,
+            workers_per_job: 1,
+            default_timeout: None,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Metrics {
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    timed_out: AtomicU64,
+    cancelled: AtomicU64,
+    failed: AtomicU64,
+    /// Accumulated per-stage encode wall time (name -> seconds) and
+    /// completed-job latency samples, both fed from finished jobs.
+    stage_seconds: Mutex<BTreeMap<&'static str, f64>>,
+}
+
+/// Point-in-time counters of a service, JSON-serializable for the wire.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Jobs queued right now (admitted, not yet claimed).
+    pub queue_depth: usize,
+    /// The admission bound.
+    pub queue_capacity: usize,
+    /// Jobs admitted since start.
+    pub accepted: u64,
+    /// Jobs refused by admission control since start.
+    pub rejected: u64,
+    /// Jobs that returned a codestream.
+    pub completed: u64,
+    /// Jobs stopped by their deadline.
+    pub timed_out: u64,
+    /// Jobs stopped by [`JobHandle::cancel`].
+    pub cancelled: u64,
+    /// Jobs the encoder refused or failed.
+    pub failed: u64,
+    /// Accumulated encode wall time per pipeline stage, seconds
+    /// (stage names from [`j2k_core::WorkloadProfile::stage_times`]).
+    pub stage_seconds: Vec<(String, f64)>,
+}
+
+impl MetricsSnapshot {
+    /// Hand-rolled JSON (the workspace builds offline, without serde).
+    pub fn to_json(&self) -> String {
+        let stages: Vec<String> = self
+            .stage_seconds
+            .iter()
+            .map(|(n, s)| format!("\"{n}\":{s:.6}"))
+            .collect();
+        format!(
+            "{{\"queue_depth\":{},\"queue_capacity\":{},\"accepted\":{},\"rejected\":{},\
+             \"completed\":{},\"timed_out\":{},\"cancelled\":{},\"failed\":{},\
+             \"stage_seconds\":{{{}}}}}",
+            self.queue_depth,
+            self.queue_capacity,
+            self.accepted,
+            self.rejected,
+            self.completed,
+            self.timed_out,
+            self.cancelled,
+            self.failed,
+            stages.join(",")
+        )
+    }
+}
+
+/// The embeddable encode service. See the module docs for the lifecycle.
+pub struct EncodeService {
+    cfg: ServiceConfig,
+    queue: Arc<JobQueue<Task>>,
+    metrics: Arc<Metrics>,
+    pool: Mutex<Vec<JoinHandle<()>>>,
+    next_id: AtomicU64,
+}
+
+impl EncodeService {
+    /// Start the worker pool and return the running service.
+    pub fn start(cfg: ServiceConfig) -> Self {
+        let queue = Arc::new(JobQueue::new(cfg.queue_capacity));
+        let metrics = Arc::new(Metrics::default());
+        let pool = (0..cfg.pool_threads.max(1))
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let metrics = Arc::clone(&metrics);
+                let workers = cfg.workers_per_job;
+                std::thread::spawn(move || worker_loop(&queue, &metrics, workers))
+            })
+            .collect();
+        EncodeService {
+            cfg,
+            queue,
+            metrics,
+            pool: Mutex::new(pool),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Admission control: enqueue `job` or refuse. Never blocks and never
+    /// buffers beyond `queue_capacity`.
+    pub fn submit(&self, job: EncodeJob) -> Result<JobHandle, SubmitError> {
+        let timeout = job.timeout.or(self.cfg.default_timeout);
+        let ctl = match timeout {
+            Some(t) => EncodeControl::with_deadline(Instant::now() + t),
+            None => EncodeControl::new(),
+        };
+        let shared = Arc::new(JobShared {
+            id: self.next_id.fetch_add(1, Ordering::Relaxed),
+            ctl,
+            outcome: Mutex::new(None),
+            cv: Condvar::new(),
+        });
+        let task = Task {
+            image: job.image,
+            params: job.params,
+            shared: Arc::clone(&shared),
+        };
+        match self.queue.try_push(task, job.priority) {
+            Ok(()) => {
+                self.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+                Ok(JobHandle { shared })
+            }
+            Err((_, PushError::Full { capacity })) => {
+                self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::Overloaded { capacity })
+            }
+            Err((_, PushError::Closed)) => Err(SubmitError::ShuttingDown),
+        }
+    }
+
+    /// Current queue depth (admitted, unclaimed jobs).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Hold the pool at the queue: claimed jobs finish, queued jobs wait.
+    /// Operational drain hook; also makes queue-state tests deterministic.
+    pub fn pause(&self) {
+        self.queue.pause();
+    }
+
+    /// Undo [`pause`](Self::pause).
+    pub fn resume(&self) {
+        self.queue.resume();
+    }
+
+    /// Counters right now.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let m = &self.metrics;
+        MetricsSnapshot {
+            queue_depth: self.queue.len(),
+            queue_capacity: self.queue.capacity(),
+            accepted: m.accepted.load(Ordering::Relaxed),
+            rejected: m.rejected.load(Ordering::Relaxed),
+            completed: m.completed.load(Ordering::Relaxed),
+            timed_out: m.timed_out.load(Ordering::Relaxed),
+            cancelled: m.cancelled.load(Ordering::Relaxed),
+            failed: m.failed.load(Ordering::Relaxed),
+            stage_seconds: m
+                .stage_seconds
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(&n, &s)| (n.to_string(), s))
+                .collect(),
+        }
+    }
+
+    /// Close intake: new submissions get [`SubmitError::ShuttingDown`];
+    /// queued and in-flight jobs keep draining (a paused service resumes
+    /// so the drain can proceed). Returns immediately; idempotent.
+    pub fn begin_shutdown(&self) {
+        self.queue.close();
+    }
+
+    /// [`begin_shutdown`](Self::begin_shutdown), then block until every
+    /// queued and in-flight job has completed and the pool has exited.
+    pub fn shutdown(&self) {
+        self.begin_shutdown();
+        let handles: Vec<_> = self.pool.lock().unwrap().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for EncodeService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(queue: &JobQueue<Task>, metrics: &Metrics, workers_per_job: usize) {
+    while let Some(task) = queue.pop() {
+        let outcome = match encode_parallel_ctl(
+            &task.image,
+            &task.params,
+            workers_per_job,
+            &ParallelOptions::default(),
+            Some(&task.shared.ctl),
+        ) {
+            Ok((codestream, profile)) => {
+                metrics.completed.fetch_add(1, Ordering::Relaxed);
+                let mut stages = metrics.stage_seconds.lock().unwrap();
+                for st in &profile.stage_times {
+                    *stages.entry(st.name).or_insert(0.0) += st.seconds;
+                }
+                JobOutcome::Completed { codestream }
+            }
+            Err(CodecError::Deadline) => {
+                metrics.timed_out.fetch_add(1, Ordering::Relaxed);
+                JobOutcome::TimedOut
+            }
+            Err(CodecError::Cancelled) => {
+                metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+                JobOutcome::Cancelled
+            }
+            Err(e) => {
+                metrics.failed.fetch_add(1, Ordering::Relaxed);
+                JobOutcome::Failed(e.to_string())
+            }
+        };
+        task.shared.complete(outcome);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_and_wait_roundtrip() {
+        let svc = EncodeService::start(ServiceConfig::default());
+        let im = imgio::synth::natural(48, 48, 3);
+        let h = svc
+            .submit(EncodeJob::new(im.clone(), EncoderParams::lossless()))
+            .unwrap();
+        match h.wait() {
+            JobOutcome::Completed { codestream } => {
+                assert_eq!(j2k_core::decode(&codestream).unwrap(), im);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        let m = svc.metrics();
+        assert_eq!((m.accepted, m.completed), (1, 1));
+        assert!(m.stage_seconds.iter().any(|(n, _)| n == "tier1"));
+    }
+
+    #[test]
+    fn invalid_params_fail_cleanly() {
+        let svc = EncodeService::start(ServiceConfig::default());
+        let im = imgio::synth::natural(16, 16, 1);
+        let bad = EncoderParams {
+            levels: 0,
+            ..EncoderParams::lossless()
+        };
+        let h = svc.submit(EncodeJob::new(im, bad)).unwrap();
+        assert!(matches!(h.wait(), JobOutcome::Failed(_)));
+        assert_eq!(svc.metrics().failed, 1);
+    }
+
+    #[test]
+    fn metrics_json_shape() {
+        let snap = MetricsSnapshot {
+            queue_depth: 1,
+            queue_capacity: 8,
+            accepted: 5,
+            rejected: 2,
+            completed: 3,
+            timed_out: 1,
+            cancelled: 0,
+            failed: 0,
+            stage_seconds: vec![("dwt".into(), 0.25)],
+        };
+        let j = snap.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"rejected\":2"));
+        assert!(j.contains("\"dwt\":0.250000"));
+    }
+}

@@ -1,0 +1,107 @@
+//! End-to-end TCP coverage of the daemon loop: encode round trips with
+//! byte-identity, metrics over the wire, rejection under pressure, and a
+//! server that survives abusive connections.
+
+use j2k_core::EncoderParams;
+use j2k_serve::wire::{call, EncodeRequest, Request, Response, DEFAULT_MAX_FRAME};
+use j2k_serve::{serve, EncodeService, ServerConfig, ServiceConfig};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+fn start_server(cfg: ServiceConfig) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let service = Arc::new(EncodeService::start(cfg));
+    let t = std::thread::spawn(move || {
+        serve(listener, service, ServerConfig::default()).unwrap();
+    });
+    (addr, t)
+}
+
+fn encode_req(seed: u64) -> Request {
+    Request::Encode(EncodeRequest {
+        priority: 0,
+        timeout_ms: 0,
+        params: EncoderParams::lossless(),
+        image: imgio::synth::natural(40, 40, seed),
+    })
+}
+
+#[test]
+fn tcp_encode_roundtrip_is_byte_identical_and_shutdown_works() {
+    let (addr, server) = start_server(ServiceConfig::default());
+    let mut conn = TcpStream::connect(addr).unwrap();
+
+    // Ping.
+    assert_eq!(
+        call(&mut conn, &Request::Ping, DEFAULT_MAX_FRAME).unwrap(),
+        Response::Pong
+    );
+
+    // Encode twice over one connection; verify byte-identity + decode.
+    for seed in [3u64, 4] {
+        match call(&mut conn, &encode_req(seed), DEFAULT_MAX_FRAME).unwrap() {
+            Response::EncodeOk(cs) => {
+                let im = imgio::synth::natural(40, 40, seed);
+                assert_eq!(
+                    cs,
+                    j2k_core::encode(&im, &EncoderParams::lossless()).unwrap()
+                );
+                assert_eq!(j2k_core::decode(&cs).unwrap(), im);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    // Metrics over the wire reflect the work.
+    match call(&mut conn, &Request::Metrics, DEFAULT_MAX_FRAME).unwrap() {
+        Response::MetricsJson(j) => {
+            assert!(j.contains("\"completed\":2"), "{j}");
+            assert!(j.contains("\"tier1\""), "{j}");
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+
+    // Shutdown drains and the serve loop returns.
+    assert_eq!(
+        call(&mut conn, &Request::Shutdown, DEFAULT_MAX_FRAME).unwrap(),
+        Response::Pong
+    );
+    server.join().unwrap();
+}
+
+#[test]
+fn server_survives_garbage_and_mid_frame_disconnects() {
+    let (addr, server) = start_server(ServiceConfig::default());
+
+    // Garbage bytes: server drops the connection, stays alive.
+    {
+        use std::io::Write;
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.write_all(b"not a frame at all").unwrap();
+    }
+    // Mid-frame disconnect: header promises more than we send.
+    {
+        use std::io::Write;
+        let mut conn = TcpStream::connect(addr).unwrap();
+        let mut partial = Vec::new();
+        partial.extend_from_slice(&j2k_serve::wire::MAGIC.to_be_bytes());
+        partial.push(j2k_serve::wire::VERSION);
+        partial.push(0);
+        partial.extend_from_slice(&1000u32.to_be_bytes());
+        partial.extend_from_slice(&[0u8; 10]);
+        conn.write_all(&partial).unwrap();
+    }
+
+    // A healthy client still gets served.
+    let mut conn = TcpStream::connect(addr).unwrap();
+    assert!(matches!(
+        call(&mut conn, &encode_req(5), DEFAULT_MAX_FRAME).unwrap(),
+        Response::EncodeOk(_)
+    ));
+    assert_eq!(
+        call(&mut conn, &Request::Shutdown, DEFAULT_MAX_FRAME).unwrap(),
+        Response::Pong
+    );
+    server.join().unwrap();
+}

@@ -4,11 +4,16 @@
 //! ```text
 //! j2kcell encode  input.{bmp,pgm,ppm} output.{j2c,jp2} [--lossy RATE] [--levels N]
 //!                 [--cb N] [--variant separate|interleaved|merged]
-//!                 [--fixed] [--bypass] [--layers N] [--threads N]
+//!                 [--fixed] [--bypass] [--layers N] [--workers N]
 //! j2kcell decode  input.j2c output.{bmp,pgm,ppm} [--resolution N] [--max-layers N]
 //! j2kcell simulate input.{bmp,pgm,ppm} [--lossy RATE] [--spes N] [--ppes N]
 //! j2kcell info    input.j2c
 //! ```
+//!
+//! `--workers N` (alias `--threads`) dispatches the encode to
+//! `encode_parallel` with N host threads — the paper's chunked sample
+//! stages plus the dynamic Tier-1 queue — producing a codestream
+//! byte-identical to the sequential encoder.
 
 use jpeg2000_cell::codec::cell::{simulate, SimOptions};
 use jpeg2000_cell::codec::codestream;
@@ -24,6 +29,29 @@ fn die(msg: &str) -> ! {
     eprintln!("j2kcell: {msg}");
     exit(2);
 }
+
+const USAGE: &str = "\
+j2kcell — JPEG2000 encoder/decoder and Cell/B.E. what-if simulator
+
+usage:
+  j2kcell encode  INPUT.{bmp,pgm,ppm} OUTPUT.{j2c,jp2} [options]
+  j2kcell decode  INPUT.{j2c,jp2} OUTPUT.{bmp,pgm,ppm} [--resolution N] [--max-layers N]
+  j2kcell simulate INPUT.{bmp,pgm,ppm} [--lossy RATE] [--spes N] [--ppes N]
+  j2kcell info    INPUT.{j2c,jp2}
+
+encode options:
+  --lossy RATE       irreversible 9/7 path at RATE output bits per input
+                     bit (e.g. 0.1 = 10:1); default lossless 5/3
+  --levels N         DWT decomposition levels (default 5)
+  --cb N             code block size, power of two <= 64 (default 64)
+  --layers N         quality layers (default 1)
+  --variant V        vertical DWT schedule: separate|interleaved|merged
+  --fixed            Q13 fixed-point 9/7 arithmetic (default f32)
+  --bypass           selective MQ bypass (lazy mode)
+  --workers N        encode with N host threads via encode_parallel —
+                     chunked sample stages + dynamic Tier-1 work queue;
+                     output stays byte-identical to the sequential
+                     encoder (alias: --threads; default 1 = sequential)";
 
 fn read_image(path: &str) -> Image {
     let ext = Path::new(path)
@@ -63,7 +91,7 @@ struct Opt {
     layers: usize,
     fixed: bool,
     variant: wavelet::VerticalVariant,
-    threads: usize,
+    workers: usize,
     spes: usize,
     ppes: usize,
     resolution: usize,
@@ -80,7 +108,7 @@ fn parse(args: &[String]) -> Opt {
         layers: 1,
         fixed: false,
         variant: wavelet::VerticalVariant::Merged,
-        threads: 1,
+        workers: 1,
         spes: 8,
         ppes: 1,
         resolution: 0,
@@ -110,8 +138,10 @@ fn parse(args: &[String]) -> Opt {
                 o.layers = need(i).parse().unwrap_or_else(|_| die("--layers N"));
                 i += 2;
             }
-            "--threads" => {
-                o.threads = need(i).parse().unwrap_or_else(|_| die("--threads N"));
+            "--workers" | "--threads" => {
+                o.workers = need(i)
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("{} N", args[i])));
                 i += 2;
             }
             "--spes" => {
@@ -147,6 +177,10 @@ fn parse(args: &[String]) -> Opt {
                 };
                 i += 2;
             }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                exit(0);
+            }
             flag if flag.starts_with("--") => die(&format!("unknown flag {flag}")),
             _ => {
                 o.positional.push(args[i].clone());
@@ -179,8 +213,12 @@ fn params_of(o: &Opt) -> EncoderParams {
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = argv.split_first() else {
-        die("usage: j2kcell <encode|decode|simulate|info> ...");
+        die("usage: j2kcell <encode|decode|simulate|info> ... (--help for details)");
     };
+    if cmd == "--help" || cmd == "-h" {
+        println!("{USAGE}");
+        return;
+    }
     let o = parse(rest);
     match cmd.as_str() {
         "encode" => {
@@ -190,8 +228,8 @@ fn main() {
             let im = read_image(input);
             let params = params_of(&o);
             let t0 = std::time::Instant::now();
-            let bytes = if o.threads > 1 {
-                jpeg2000_cell::codec::parallel::encode_parallel(&im, &params, o.threads)
+            let bytes = if o.workers > 1 {
+                jpeg2000_cell::codec::parallel::encode_parallel(&im, &params, o.workers)
                     .unwrap_or_else(|e| die(&e.to_string()))
             } else {
                 jpeg2000_cell::codec::encode(&im, &params).unwrap_or_else(|e| die(&e.to_string()))

@@ -1,0 +1,83 @@
+//! `j2kserved` — the JPEG2000 encode daemon: a TCP front end over
+//! `j2k_serve::EncodeService` speaking the length-prefixed binary
+//! protocol of `j2k_serve::wire`.
+//!
+//! ```text
+//! j2kserved [--addr HOST:PORT] [--pool N] [--job-workers N]
+//!           [--queue N] [--timeout-ms N] [--max-frame-mb N]
+//!
+//!   --addr HOST:PORT   listen address          (default 127.0.0.1:7201)
+//!   --pool N           pool threads draining the job queue (default 2)
+//!   --job-workers N    encode_parallel workers per job      (default 1)
+//!   --queue N          bounded queue capacity; beyond it jobs are
+//!                      rejected as Overloaded                (default 64)
+//!   --timeout-ms N     default per-job deadline, 0 = none    (default 0)
+//!   --max-frame-mb N   per-frame payload ceiling in MiB      (default 256)
+//! ```
+//!
+//! The daemon exits after a Shutdown request, draining queued and
+//! in-flight jobs first.
+
+use j2k_serve::{serve, EncodeService, ServerConfig, ServiceConfig};
+use std::net::TcpListener;
+use std::process::exit;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn die(msg: &str) -> ! {
+    eprintln!("j2kserved: {msg}");
+    exit(2);
+}
+
+const USAGE: &str = "usage: j2kserved [--addr HOST:PORT] [--pool N] [--job-workers N] \
+                     [--queue N] [--timeout-ms N] [--max-frame-mb N]";
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:7201".to_string();
+    let mut cfg = ServiceConfig::default();
+    let mut max_frame_mb: usize = 256;
+    let mut i = 0;
+    while i < argv.len() {
+        let need = |i: usize| -> &String {
+            argv.get(i + 1)
+                .unwrap_or_else(|| die(&format!("missing value after {}", argv[i])))
+        };
+        match argv[i].as_str() {
+            "--addr" => addr = need(i).clone(),
+            "--pool" => cfg.pool_threads = need(i).parse().unwrap_or_else(|_| die("--pool N")),
+            "--job-workers" => {
+                cfg.workers_per_job = need(i).parse().unwrap_or_else(|_| die("--job-workers N"))
+            }
+            "--queue" => cfg.queue_capacity = need(i).parse().unwrap_or_else(|_| die("--queue N")),
+            "--timeout-ms" => {
+                let ms: u64 = need(i).parse().unwrap_or_else(|_| die("--timeout-ms N"));
+                cfg.default_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+            }
+            "--max-frame-mb" => {
+                max_frame_mb = need(i).parse().unwrap_or_else(|_| die("--max-frame-mb N"))
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => die(&format!("unknown flag {other}; {USAGE}")),
+        }
+        i += 2;
+    }
+
+    let listener = TcpListener::bind(&addr).unwrap_or_else(|e| die(&format!("bind {addr}: {e}")));
+    let service = Arc::new(EncodeService::start(cfg));
+    println!(
+        "j2kserved listening on {} (pool {}, {} workers/job, queue {}, default timeout {:?})",
+        listener.local_addr().map_or(addr, |a| a.to_string()),
+        cfg.pool_threads,
+        cfg.workers_per_job,
+        cfg.queue_capacity,
+        cfg.default_timeout,
+    );
+    let server_cfg = ServerConfig {
+        max_frame: max_frame_mb << 20,
+    };
+    serve(listener, service, server_cfg).unwrap_or_else(|e| die(&format!("serve: {e}")));
+}

@@ -131,6 +131,41 @@ fn simulate_prints_timeline() {
 }
 
 #[test]
+fn workers_flag_is_byte_identical_to_sequential() {
+    let src = tmp("in6.ppm");
+    let seq = tmp("seq.j2c");
+    let par = tmp("par.j2c");
+    let alias = tmp("alias.j2c");
+    write_test_ppm(&src, 96, 72);
+    for (out, extra) in [
+        (&seq, &[][..]),
+        (&par, &["--workers", "4"][..]),
+        (&alias, &["--threads", "3"][..]),
+    ] {
+        assert!(Command::new(bin())
+            .args(["encode"])
+            .arg(&src)
+            .arg(out)
+            .args(extra)
+            .status()
+            .unwrap()
+            .success());
+    }
+    let seq = std::fs::read(&seq).unwrap();
+    assert_eq!(std::fs::read(&par).unwrap(), seq);
+    assert_eq!(std::fs::read(&alias).unwrap(), seq);
+}
+
+#[test]
+fn help_documents_workers() {
+    let out = Command::new(bin()).args(["--help"]).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("--workers N"), "{text}");
+    assert!(text.contains("byte-identical"), "{text}");
+}
+
+#[test]
 fn bad_arguments_exit_nonzero() {
     assert!(!Command::new(bin()).status().unwrap().success());
     assert!(!Command::new(bin())
