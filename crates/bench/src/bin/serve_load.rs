@@ -9,22 +9,30 @@
 //! ```text
 //! serve_load [--addr HOST:PORT] [--jobs N] [--clients N] [--size N]
 //!            [--seed N] [--lossy RATE] [--timeout-ms N] [--verify]
-//!            [--out PATH]
+//!            [--retries N] [--backoff-ms N] [--probe] [--out PATH]
 //! ```
+//!
+//! Fault tolerance mirrors the server's own retry discipline:
+//! `Rejected(Overloaded)` is **not** a hard failure — the client retries
+//! the job up to `--retries` times with seeded-jitter exponential backoff
+//! (base `--backoff-ms`), and a wire error triggers a reconnect and
+//! retry on a fresh connection under the same budget. Shed load
+//! (rejections), retries, and reconnects are reported as separate
+//! columns. `--probe` polls the `Health` request until the daemon
+//! reports a full worker pool before offering load.
 //!
 //! With `--verify`, every returned codestream is checked **byte-identical**
 //! to the local sequential `j2k_core::encode` of the same input and
 //! decoded back to the original image — the service must never trade
-//! correctness for throughput. Rejected jobs (admission control under
-//! overload) are counted, not retried; the exit code is nonzero if
-//! verification fails or nothing completes.
+//! correctness for throughput. The exit code is nonzero if verification
+//! fails or nothing completes.
 
 use j2k_core::EncoderParams;
-use j2k_serve::wire::{call, EncodeRequest, Request, Response, DEFAULT_MAX_FRAME};
+use j2k_serve::wire::{call, EncodeRequest, RejectReason, Request, Response, DEFAULT_MAX_FRAME};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 struct Opt {
     addr: String,
@@ -35,6 +43,9 @@ struct Opt {
     lossy: Option<f64>,
     timeout_ms: u32,
     verify: bool,
+    retries: u32,
+    backoff_ms: u64,
+    probe: bool,
     out: String,
 }
 
@@ -53,6 +64,9 @@ fn parse_args() -> Opt {
         lossy: None,
         timeout_ms: 0,
         verify: false,
+        retries: 3,
+        backoff_ms: 25,
+        probe: false,
         out: "BENCH_serve.json".into(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -95,6 +109,18 @@ fn parse_args() -> Opt {
                 o.verify = true;
                 i += 1;
             }
+            "--retries" => {
+                o.retries = need(i).parse().unwrap_or_else(|_| die("--retries N"));
+                i += 2;
+            }
+            "--backoff-ms" => {
+                o.backoff_ms = need(i).parse().unwrap_or_else(|_| die("--backoff-ms N"));
+                i += 2;
+            }
+            "--probe" => {
+                o.probe = true;
+                i += 1;
+            }
             "--out" => {
                 o.out = need(i).clone();
                 i += 2;
@@ -120,18 +146,55 @@ fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
     sorted_ms[rank - 1]
 }
 
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Exponential backoff with seeded half-jitter: `base * 2^attempt`
+/// stretched or shrunk by up to 50%, deterministic per (salt, attempt)
+/// so a rerun with the same seed replays the same pacing.
+fn jittered_backoff(base_ms: u64, attempt: u32, salt: u64) -> Duration {
+    let exp = base_ms.saturating_mul(1u64 << attempt.min(10));
+    let jitter = splitmix64(salt.wrapping_add(u64::from(attempt))) % (exp / 2 + 1);
+    Duration::from_millis(exp / 2 + jitter)
+}
+
+/// Poll `Health` until the daemon reports a full, accepting worker pool.
+fn probe_until_ready(o: &Opt) {
+    for attempt in 0..40u32 {
+        let ready = TcpStream::connect(&o.addr)
+            .ok()
+            .and_then(|mut c| call(&mut c, &Request::Health, DEFAULT_MAX_FRAME).ok())
+            .is_some_and(|r| matches!(r, Response::Health(h) if h.ready()));
+        if ready {
+            return;
+        }
+        std::thread::sleep(jittered_backoff(o.backoff_ms, attempt.min(5), o.seed));
+    }
+    die(&format!("daemon at {} never reported ready", o.addr));
+}
+
 #[derive(Default)]
 struct Tally {
     completed: AtomicU64,
     rejected: AtomicU64,
     timed_out: AtomicU64,
     failed: AtomicU64,
+    poisoned: AtomicU64,
+    retries: AtomicU64,
+    reconnects: AtomicU64,
     verify_failures: AtomicU64,
 }
 
 fn main() {
     let o = parse_args();
     let params = params_of(&o);
+    if o.probe {
+        probe_until_ready(&o);
+    }
     let tally = Tally::default();
     let latencies_ms: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(o.jobs));
     let next_job = AtomicU64::new(0);
@@ -146,7 +209,7 @@ fn main() {
                     Ok(c) => c,
                     Err(e) => die(&format!("connect {}: {e}", o.addr)),
                 };
-                loop {
+                'jobs: loop {
                     let j = next_job.fetch_add(1, Ordering::Relaxed);
                     if j >= o.jobs as u64 {
                         break;
@@ -158,36 +221,84 @@ fn main() {
                         params: *params,
                         image: image.clone(),
                     });
-                    let t0 = Instant::now();
-                    match call(&mut conn, &req, DEFAULT_MAX_FRAME) {
-                        Ok(Response::EncodeOk(cs)) => {
-                            let ms = t0.elapsed().as_secs_f64() * 1e3;
-                            latencies_ms.lock().unwrap().push(ms);
-                            tally.completed.fetch_add(1, Ordering::Relaxed);
-                            if o.verify {
-                                let seq = j2k_core::encode(&image, params).expect("local encode");
-                                let decoded_ok = j2k_core::decode(&cs).is_ok();
-                                if cs != seq || !decoded_ok {
-                                    eprintln!("job {j}: VERIFY FAILED (identical={}, decodes={decoded_ok})", cs == seq);
-                                    tally.verify_failures.fetch_add(1, Ordering::Relaxed);
+                    let mut attempt = 0u32;
+                    loop {
+                        let t0 = Instant::now();
+                        match call(&mut conn, &req, DEFAULT_MAX_FRAME) {
+                            Ok(Response::EncodeOk(cs)) => {
+                                let ms = t0.elapsed().as_secs_f64() * 1e3;
+                                latencies_ms.lock().unwrap().push(ms);
+                                tally.completed.fetch_add(1, Ordering::Relaxed);
+                                if o.verify {
+                                    let seq =
+                                        j2k_core::encode(&image, params).expect("local encode");
+                                    let decoded_ok = j2k_core::decode(&cs).is_ok();
+                                    if cs != seq || !decoded_ok {
+                                        eprintln!("job {j}: VERIFY FAILED (identical={}, decodes={decoded_ok})", cs == seq);
+                                        tally.verify_failures.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                                break;
+                            }
+                            // Shed load is expected under overload: back
+                            // off (jittered, so the client herd doesn't
+                            // re-converge) and retry within the budget.
+                            Ok(Response::Rejected(RejectReason::Overloaded))
+                                if attempt < o.retries =>
+                            {
+                                attempt += 1;
+                                tally.retries.fetch_add(1, Ordering::Relaxed);
+                                std::thread::sleep(jittered_backoff(
+                                    o.backoff_ms,
+                                    attempt,
+                                    o.seed ^ j,
+                                ));
+                            }
+                            Ok(Response::Rejected(r)) => {
+                                eprintln!("job {j}: rejected ({r:?}) after {attempt} retries");
+                                tally.rejected.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                            Ok(Response::TimedOut) => {
+                                tally.timed_out.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                            Ok(Response::Poisoned(m)) => {
+                                eprintln!("job {j}: poisoned ({m})");
+                                tally.poisoned.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                            Ok(other) => {
+                                eprintln!("job {j}: {other:?}");
+                                tally.failed.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                            // The connection died (daemon restart, wire
+                            // fault): reconnect and retry this job on a
+                            // fresh stream.
+                            Err(e) if attempt < o.retries => {
+                                attempt += 1;
+                                tally.reconnects.fetch_add(1, Ordering::Relaxed);
+                                eprintln!("job {j}: wire error {e}; reconnecting");
+                                std::thread::sleep(jittered_backoff(
+                                    o.backoff_ms,
+                                    attempt,
+                                    o.seed ^ j,
+                                ));
+                                match TcpStream::connect(&o.addr) {
+                                    Ok(c) => conn = c,
+                                    Err(e) => {
+                                        eprintln!("job {j}: reconnect failed: {e}");
+                                        tally.failed.fetch_add(1, Ordering::Relaxed);
+                                        break 'jobs;
+                                    }
                                 }
                             }
-                        }
-                        Ok(Response::Rejected(r)) => {
-                            eprintln!("job {j}: rejected ({r:?})");
-                            tally.rejected.fetch_add(1, Ordering::Relaxed);
-                        }
-                        Ok(Response::TimedOut) => {
-                            tally.timed_out.fetch_add(1, Ordering::Relaxed);
-                        }
-                        Ok(other) => {
-                            eprintln!("job {j}: {other:?}");
-                            tally.failed.fetch_add(1, Ordering::Relaxed);
-                        }
-                        Err(e) => {
-                            eprintln!("job {j}: wire error {e}");
-                            tally.failed.fetch_add(1, Ordering::Relaxed);
-                            break;
+                            Err(e) => {
+                                eprintln!("job {j}: wire error {e} (budget spent)");
+                                tally.failed.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
                         }
                     }
                 }
@@ -217,8 +328,9 @@ fn main() {
     };
     let json = format!(
         "{{\"config\":{{\"addr\":\"{}\",\"jobs\":{},\"clients\":{},\"size\":{},\"seed\":{},\
-         \"mode\":\"{}\",\"timeout_ms\":{},\"verify\":{}}},\
-         \"completed\":{},\"rejected\":{},\"timed_out\":{},\"failed\":{},\
+         \"mode\":\"{}\",\"timeout_ms\":{},\"verify\":{},\"retries\":{},\"backoff_ms\":{}}},\
+         \"completed\":{},\"rejected\":{},\"timed_out\":{},\"failed\":{},\"poisoned\":{},\
+         \"retries\":{},\"reconnects\":{},\
          \"wall_s\":{:.4},\"throughput_jobs_per_s\":{:.3},\
          \"latency_ms\":{{\"mean\":{:.3},\"p50\":{:.3},\"p95\":{:.3},\"p99\":{:.3},\"max\":{:.3}}},\
          \"verify_failures\":{},\"server_metrics\":{}}}",
@@ -234,10 +346,15 @@ fn main() {
         },
         o.timeout_ms,
         o.verify,
+        o.retries,
+        o.backoff_ms,
         completed,
         tally.rejected.load(Ordering::Relaxed),
         tally.timed_out.load(Ordering::Relaxed),
         tally.failed.load(Ordering::Relaxed),
+        tally.poisoned.load(Ordering::Relaxed),
+        tally.retries.load(Ordering::Relaxed),
+        tally.reconnects.load(Ordering::Relaxed),
         wall_s,
         completed as f64 / wall_s.max(1e-9),
         mean,

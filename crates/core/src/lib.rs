@@ -160,6 +160,9 @@ pub enum CodecError {
     /// Encode stopped because its [`control::EncodeControl`] deadline
     /// passed.
     Deadline,
+    /// A `faultsim` failpoint injected this error (test/chaos builds
+    /// only; never produced without the `failpoints` feature).
+    Injected(String),
 }
 
 impl std::fmt::Display for CodecError {
@@ -170,6 +173,7 @@ impl std::fmt::Display for CodecError {
             CodecError::Codestream(m) => write!(f, "bad codestream: {m}"),
             CodecError::Cancelled => write!(f, "encode cancelled"),
             CodecError::Deadline => write!(f, "encode deadline exceeded"),
+            CodecError::Injected(m) => write!(f, "injected fault: {m}"),
         }
     }
 }

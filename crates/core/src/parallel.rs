@@ -30,6 +30,7 @@ use crate::{codestream::Quant, Arithmetic, CodecError, EncoderParams, Mode, Work
 use ebcot::block::encode_block_opts;
 use imgio::Image;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 use wavelet::rowops::{Region, SharedPlane};
 use wavelet::{horizontal, norms, vertical};
@@ -135,6 +136,9 @@ pub fn encode_parallel_ctl(
     // Tier-1 work queue: workers pull the next job index atomically.
     let t1 = Instant::now();
     let cursor = AtomicUsize::new(0);
+    // First injected `tier1.block` error, if the failpoint fires: the
+    // erroring worker parks its message here and stops claiming jobs.
+    let injected: Mutex<Option<String>> = Mutex::new(None);
     let tier1_counts: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
     let mut slots: Vec<Option<BlockRecord>> = Vec::with_capacity(jobs.len());
     slots.resize_with(jobs.len(), || None);
@@ -147,8 +151,17 @@ pub fn encode_parallel_ctl(
             let t = &t;
             let slot_ptr = &slot_ptr;
             let counts = &tier1_counts;
+            let injected = &injected;
             scope.spawn(move || loop {
                 if ctl.is_some_and(|c| c.is_stopped()) {
+                    break;
+                }
+                // Failpoint `tier1.block`: fires once per claimed code
+                // block. A panic here unwinds through the scope join (the
+                // service's catch_unwind lever); an error stops this
+                // worker and fails the whole encode after the barrier.
+                if let Some(msg) = faultsim::eval("tier1.block") {
+                    *injected.lock().unwrap_or_else(|e| e.into_inner()) = Some(msg);
                     break;
                 }
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -197,6 +210,11 @@ pub fn encode_parallel_ctl(
     if let Some(c) = ctl {
         // A stopped Tier-1 leaves unclaimed slots; bail before unwrapping.
         c.check()?;
+    }
+    // Same for an injected `tier1.block` error: the erroring worker left
+    // its claimed slot (and any unclaimed tail) empty.
+    if let Some(msg) = injected.into_inner().unwrap_or_else(|e| e.into_inner()) {
+        return Err(CodecError::Injected(msg));
     }
 
     let records: Vec<BlockRecord> = slots
@@ -525,6 +543,12 @@ pub(crate) fn transform_samples_parallel_ctl(
                     if let Some(c) = ctl {
                         c.check()?;
                     }
+                    // Failpoint `dwt.level`: fires once per decomposition
+                    // level, on the calling thread — the clean-error lever
+                    // for the service's failure (not crash) paths.
+                    if let Some(msg) = faultsim::eval("dwt.level") {
+                        return Err(CodecError::Injected(msg));
+                    }
                     let lplan = plan_for(r.w, workers, opts)?;
                     let vert = assign_columns(&lplan, comps, r.h, workers);
                     // SAFETY: disjoint column chunks, one thread per job.
@@ -656,6 +680,12 @@ pub(crate) fn transform_samples_parallel_ctl(
                 for r in &regions {
                     if let Some(c) = ctl {
                         c.check()?;
+                    }
+                    // Failpoint `dwt.level`: fires once per decomposition
+                    // level, on the calling thread — the clean-error lever
+                    // for the service's failure (not crash) paths.
+                    if let Some(msg) = faultsim::eval("dwt.level") {
+                        return Err(CodecError::Injected(msg));
                     }
                     let lplan = plan_for(r.w, workers, opts)?;
                     let vert = assign_columns(&lplan, comps, r.h, workers);

@@ -21,6 +21,16 @@
 //!   typed errors and allocation bounded before it happens;
 //! * [`server`] — the TCP daemon loop behind the `j2kserved` binary.
 //!
+//! The service is **self-healing** (DESIGN.md §11): workers run jobs
+//! under `catch_unwind`, a supervisor respawns crashed workers and
+//! retries their interrupted jobs with a bounded budget and exponential
+//! backoff, repeat offenders are quarantined with a typed
+//! [`JobOutcome::Poisoned`], and the wire protocol exposes a `Health`
+//! probe ([`HealthSnapshot`]). Every recovery path is exercised
+//! deterministically by the `fault_recovery` suite through the
+//! `failpoints` feature (the [`faultsim`] registry), which compiles to a
+//! no-op in release builds.
+//!
 //! Invariant inherited from the codec: every codestream the service
 //! returns is **byte-identical** to sequential [`j2k_core::encode`] for
 //! the same input — scheduling decisions never touch the output.
@@ -33,6 +43,7 @@ pub mod wire;
 pub use queue::{JobQueue, PushError};
 pub use server::{serve, ServerConfig};
 pub use service::{
-    EncodeJob, EncodeService, JobHandle, JobOutcome, MetricsSnapshot, ServiceConfig, SubmitError,
+    EncodeJob, EncodeService, HealthSnapshot, JobHandle, JobOutcome, MetricsSnapshot,
+    ServiceConfig, SubmitError,
 };
 pub use wire::{Request, Response, WireError};

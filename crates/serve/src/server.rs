@@ -101,6 +101,7 @@ fn handle_conn(stream: TcpStream, service: &EncodeService, cfg: ServerConfig) ->
         let resp = match req {
             Request::Ping => Response::Pong,
             Request::Metrics => Response::MetricsJson(service.metrics().to_json()),
+            Request::Health => Response::Health(service.health()),
             Request::Shutdown => {
                 let _ = respond(&mut writer, &Response::Pong);
                 return ConnExit::Shutdown;
@@ -119,6 +120,7 @@ fn handle_conn(stream: TcpStream, service: &EncodeService, cfg: ServerConfig) ->
                         JobOutcome::TimedOut => Response::TimedOut,
                         JobOutcome::Cancelled => Response::Cancelled,
                         JobOutcome::Failed(m) => Response::Failed(m),
+                        JobOutcome::Poisoned { message } => Response::Poisoned(message),
                     },
                     Err(SubmitError::Overloaded { .. }) => {
                         Response::Rejected(RejectReason::Overloaded)

@@ -1,5 +1,5 @@
-//! The encode service: admission control in front of a worker pool that
-//! drains the bounded [`JobQueue`](crate::queue::JobQueue).
+//! The encode service: admission control in front of a **self-healing**
+//! worker pool that drains the bounded [`JobQueue`](crate::queue::JobQueue).
 //!
 //! Life of a job: [`EncodeService::submit`] computes the job's deadline,
 //! wraps image + params + a shared [`EncodeControl`] into a queue task,
@@ -14,19 +14,57 @@
 //! expires while still queued fails the control's very first checkpoint
 //! the same way — one mechanism, no timer thread.
 //!
+//! # Fault model (DESIGN.md §11)
+//!
+//! Every worker iteration runs under `catch_unwind`: a panicking encode
+//! (bad geometry reaching a kernel, a future SIMD bug, an injected
+//! `faultsim` failpoint) is **isolated** — it retires that one worker
+//! thread instead of silently shrinking the pool. The crash path:
+//!
+//! 1. the dying worker hands its claimed job to the crash handler, which
+//!    either **re-enqueues** it (bounded retry budget, exponential
+//!    backoff, bypassing the admission bound — the slot was paid at
+//!    submit) or **quarantines** it after repeated crashes, completing
+//!    the handle with a typed [`JobOutcome::Poisoned`];
+//! 2. a retry whose backoff would end past the job's deadline resolves
+//!    [`JobOutcome::TimedOut`] immediately — no doomed wait;
+//! 3. the worker notifies the **supervisor** and exits; the supervisor
+//!    joins the dead thread and spawns a fresh replacement (fresh stack,
+//!    no suspect state), keeping the pool at strength;
+//! 4. delayed retries park at the supervisor until due, holding a queue
+//!    *reservation* so graceful shutdown still drains them.
+//!
+//! **Unwind-safety argument** for the `AssertUnwindSafe`: the encode
+//! call owns every piece of mutable state it touches — planes, chunk
+//! plans, Tier-1 slots all live in the call frame and die in the unwind.
+//! The state shared across the boundary is (a) the job queue, whose
+//! mutex is never held while user code runs, (b) the claimed-task slot,
+//! written only between `pop` and the encode call, and (c) the metrics
+//! atomics, which are monotone counters. A panic can therefore leave no
+//! torn invariant behind; locks that could in principle observe a
+//! panicking test thread are recovered with `into_inner` instead of
+//! unwrapping the poison flag.
+//!
 //! Shutdown is graceful by construction: [`EncodeService::begin_shutdown`]
 //! closes the queue (new submissions refuse with
-//! [`SubmitError::ShuttingDown`]) while queued and in-flight jobs drain;
-//! [`EncodeService::shutdown`] additionally joins the pool.
+//! [`SubmitError::ShuttingDown`]) while queued, in-flight, *and pending
+//! retry* jobs drain; [`EncodeService::shutdown`] additionally joins the
+//! supervisor (and with it every worker, original or respawned).
 
 use crate::queue::{JobQueue, PushError};
 use imgio::Image;
 use j2k_core::{encode_parallel_ctl, CodecError, EncodeControl, EncoderParams, ParallelOptions};
-use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{BTreeMap, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Quarantined job ids kept for [`EncodeService::quarantined`] (the
+/// count itself is unbounded; see `jobs_poisoned`).
+const QUARANTINE_KEEP: usize = 64;
 
 /// One encode request.
 #[derive(Debug, Clone)]
@@ -63,12 +101,19 @@ pub enum JobOutcome {
         /// The JPEG2000 codestream.
         codestream: Vec<u8>,
     },
-    /// The job's deadline passed (queued or mid-encode).
+    /// The job's deadline passed (queued, mid-encode, or during a crash
+    /// retry's backoff).
     TimedOut,
     /// [`JobHandle::cancel`] stopped the job.
     Cancelled,
     /// The encoder rejected the job (bad params/image) or failed.
     Failed(String),
+    /// The job crashed its worker more than the retry budget allows and
+    /// is quarantined: the service refuses to run it again.
+    Poisoned {
+        /// Human-readable crash summary.
+        message: String,
+    },
 }
 
 /// Typed admission-control refusal from [`EncodeService::submit`].
@@ -106,7 +151,7 @@ struct JobShared {
 
 impl JobShared {
     fn complete(&self, outcome: JobOutcome) {
-        *self.outcome.lock().unwrap() = Some(outcome);
+        *self.outcome.lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
         self.cv.notify_all();
     }
 }
@@ -131,19 +176,29 @@ impl JobHandle {
 
     /// Block until the job reaches a terminal state and take the outcome.
     pub fn wait(self) -> JobOutcome {
-        let mut g = self.shared.outcome.lock().unwrap();
+        let mut g = self
+            .shared
+            .outcome
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
         loop {
             if let Some(o) = g.take() {
                 return o;
             }
-            g = self.shared.cv.wait(g).unwrap();
+            g = self.shared.cv.wait(g).unwrap_or_else(|e| e.into_inner());
         }
     }
 }
 
+/// A queued unit of work. Shared as `Arc` so a crashing worker's handler
+/// and the retry path hand the *same* job (with its crash count) around
+/// without copying the image.
 struct Task {
     image: Image,
     params: EncoderParams,
+    priority: u8,
+    /// Times this job has crashed a worker.
+    crashes: AtomicU32,
     shared: Arc<JobShared>,
 }
 
@@ -161,6 +216,13 @@ pub struct ServiceConfig {
     pub workers_per_job: usize,
     /// Deadline for jobs that set none.
     pub default_timeout: Option<Duration>,
+    /// How many times a job that *crashes a worker* is retried before it
+    /// is quarantined as [`JobOutcome::Poisoned`]. 1 (the default) means
+    /// a job that crashes twice is poisoned.
+    pub max_crash_retries: u32,
+    /// Base backoff before a crash retry re-enters the queue; doubles per
+    /// crash (`base << (crashes-1)`). Zero retries immediately.
+    pub retry_backoff: Duration,
 }
 
 impl Default for ServiceConfig {
@@ -170,6 +232,8 @@ impl Default for ServiceConfig {
             pool_threads: 2,
             workers_per_job: 1,
             default_timeout: None,
+            max_crash_retries: 1,
+            retry_backoff: Duration::from_millis(100),
         }
     }
 }
@@ -182,12 +246,22 @@ struct Metrics {
     timed_out: AtomicU64,
     cancelled: AtomicU64,
     failed: AtomicU64,
+    retried: AtomicU64,
+    poisoned: AtomicU64,
+    workers_respawned: AtomicU64,
+    workers_alive: AtomicU64,
     /// Accumulated per-stage encode wall time (name -> seconds) and
     /// completed-job latency samples, both fed from finished jobs.
     stage_seconds: Mutex<BTreeMap<&'static str, f64>>,
+    /// Most recent quarantined job ids (bounded at [`QUARANTINE_KEEP`]).
+    quarantine: Mutex<Vec<u64>>,
 }
 
 /// Point-in-time counters of a service, JSON-serializable for the wire.
+///
+/// Every counter lives in service-owned atomics shared by reference with
+/// the pool — nothing is held in worker-local state, so the numbers
+/// survive any number of worker crashes and respawns.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MetricsSnapshot {
     /// Jobs queued right now (admitted, not yet claimed).
@@ -206,6 +280,15 @@ pub struct MetricsSnapshot {
     pub cancelled: u64,
     /// Jobs the encoder refused or failed.
     pub failed: u64,
+    /// Crash retries scheduled (a job that crashed once and completed on
+    /// retry contributes 1 here and 1 to `completed`).
+    pub jobs_retried: u64,
+    /// Jobs quarantined after exhausting the crash-retry budget.
+    pub jobs_poisoned: u64,
+    /// Worker threads respawned after a crash.
+    pub workers_respawned: u64,
+    /// Worker threads currently live.
+    pub workers_alive: u64,
     /// Accumulated encode wall time per pipeline stage, seconds
     /// (stage names from [`j2k_core::WorkloadProfile::stage_times`]).
     pub stage_seconds: Vec<(String, f64)>,
@@ -222,7 +305,8 @@ impl MetricsSnapshot {
         format!(
             "{{\"queue_depth\":{},\"queue_capacity\":{},\"accepted\":{},\"rejected\":{},\
              \"completed\":{},\"timed_out\":{},\"cancelled\":{},\"failed\":{},\
-             \"stage_seconds\":{{{}}}}}",
+             \"jobs_retried\":{},\"jobs_poisoned\":{},\"workers_respawned\":{},\
+             \"workers_alive\":{},\"stage_seconds\":{{{}}}}}",
             self.queue_depth,
             self.queue_capacity,
             self.accepted,
@@ -231,38 +315,116 @@ impl MetricsSnapshot {
             self.timed_out,
             self.cancelled,
             self.failed,
+            self.jobs_retried,
+            self.jobs_poisoned,
+            self.workers_respawned,
+            self.workers_alive,
             stages.join(",")
         )
     }
 }
 
-/// The embeddable encode service. See the module docs for the lifecycle.
+/// Readiness probe payload for the wire `Health` request: is the pool at
+/// strength, is anything quarantined, how deep is the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HealthSnapshot {
+    /// Worker threads currently live.
+    pub workers_alive: u64,
+    /// Configured pool size (the target for `workers_alive`).
+    pub pool_threads: u64,
+    /// Workers respawned after crashes since start.
+    pub workers_respawned: u64,
+    /// Jobs queued right now.
+    pub queue_depth: u64,
+    /// The admission bound.
+    pub queue_capacity: u64,
+    /// Crash retries scheduled since start.
+    pub jobs_retried: u64,
+    /// Jobs quarantined after exhausting the crash-retry budget — the
+    /// quarantine count.
+    pub jobs_poisoned: u64,
+    /// Whether the service still accepts submissions (false once
+    /// shutdown has begun).
+    pub accepting: bool,
+}
+
+impl HealthSnapshot {
+    /// Hand-rolled JSON, mirroring [`MetricsSnapshot::to_json`].
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"workers_alive\":{},\"pool_threads\":{},\"workers_respawned\":{},\
+             \"queue_depth\":{},\"queue_capacity\":{},\"jobs_retried\":{},\
+             \"jobs_poisoned\":{},\"accepting\":{}}}",
+            self.workers_alive,
+            self.pool_threads,
+            self.workers_respawned,
+            self.queue_depth,
+            self.queue_capacity,
+            self.jobs_retried,
+            self.jobs_poisoned,
+            self.accepting,
+        )
+    }
+
+    /// Ready to take traffic: accepting, with the full pool live.
+    pub fn ready(&self) -> bool {
+        self.accepting && self.workers_alive >= self.pool_threads
+    }
+}
+
+/// Worker → supervisor notifications.
+enum SupMsg {
+    /// A worker thread exited (cleanly on drain, or crashed).
+    Exited { id: u64, crashed: bool },
+    /// A crashed job's retry parks until `due`, then re-enters the queue.
+    /// The sender already holds a queue reservation for it.
+    RetryAt { task: Arc<Task>, due: Instant },
+}
+
+/// The embeddable encode service. See the module docs for the lifecycle
+/// and fault model.
 pub struct EncodeService {
     cfg: ServiceConfig,
-    queue: Arc<JobQueue<Task>>,
+    queue: Arc<JobQueue<Arc<Task>>>,
     metrics: Arc<Metrics>,
-    pool: Mutex<Vec<JoinHandle<()>>>,
+    supervisor: Mutex<Option<JoinHandle<()>>>,
     next_id: AtomicU64,
 }
 
 impl EncodeService {
-    /// Start the worker pool and return the running service.
+    /// Start the worker pool (under its supervisor) and return the
+    /// running service.
     pub fn start(cfg: ServiceConfig) -> Self {
         let queue = Arc::new(JobQueue::new(cfg.queue_capacity));
         let metrics = Arc::new(Metrics::default());
-        let pool = (0..cfg.pool_threads.max(1))
-            .map(|_| {
-                let queue = Arc::clone(&queue);
-                let metrics = Arc::clone(&metrics);
-                let workers = cfg.workers_per_job;
-                std::thread::spawn(move || worker_loop(&queue, &metrics, workers))
+        let (tx, rx) = channel::<SupMsg>();
+        let mut handles = HashMap::new();
+        let pool = cfg.pool_threads.max(1) as u64;
+        for id in 0..pool {
+            handles.insert(id, spawn_worker(id, &queue, &metrics, cfg, &tx));
+        }
+        let supervisor = {
+            let queue = Arc::clone(&queue);
+            let metrics = Arc::clone(&metrics);
+            std::thread::spawn(move || {
+                supervisor_main(Supervisor {
+                    rx,
+                    tx,
+                    queue,
+                    metrics,
+                    cfg,
+                    handles,
+                    next_worker_id: pool,
+                    live: pool as usize,
+                    pending: Vec::new(),
+                })
             })
-            .collect();
+        };
         EncodeService {
             cfg,
             queue,
             metrics,
-            pool: Mutex::new(pool),
+            supervisor: Mutex::new(Some(supervisor)),
             next_id: AtomicU64::new(1),
         }
     }
@@ -281,11 +443,13 @@ impl EncodeService {
             outcome: Mutex::new(None),
             cv: Condvar::new(),
         });
-        let task = Task {
+        let task = Arc::new(Task {
             image: job.image,
             params: job.params,
+            priority: job.priority,
+            crashes: AtomicU32::new(0),
             shared: Arc::clone(&shared),
-        };
+        });
         match self.queue.try_push(task, job.priority) {
             Ok(()) => {
                 self.metrics.accepted.fetch_add(1, Ordering::Relaxed);
@@ -327,29 +491,63 @@ impl EncodeService {
             timed_out: m.timed_out.load(Ordering::Relaxed),
             cancelled: m.cancelled.load(Ordering::Relaxed),
             failed: m.failed.load(Ordering::Relaxed),
+            jobs_retried: m.retried.load(Ordering::Relaxed),
+            jobs_poisoned: m.poisoned.load(Ordering::Relaxed),
+            workers_respawned: m.workers_respawned.load(Ordering::Relaxed),
+            workers_alive: m.workers_alive.load(Ordering::Relaxed),
             stage_seconds: m
                 .stage_seconds
                 .lock()
-                .unwrap()
+                .unwrap_or_else(|e| e.into_inner())
                 .iter()
                 .map(|(&n, &s)| (n.to_string(), s))
                 .collect(),
         }
     }
 
+    /// Readiness probe: pool strength, quarantine count, queue depth.
+    pub fn health(&self) -> HealthSnapshot {
+        let m = &self.metrics;
+        HealthSnapshot {
+            workers_alive: m.workers_alive.load(Ordering::Relaxed),
+            pool_threads: self.cfg.pool_threads.max(1) as u64,
+            workers_respawned: m.workers_respawned.load(Ordering::Relaxed),
+            queue_depth: self.queue.len() as u64,
+            queue_capacity: self.queue.capacity() as u64,
+            jobs_retried: m.retried.load(Ordering::Relaxed),
+            jobs_poisoned: m.poisoned.load(Ordering::Relaxed),
+            accepting: !self.queue.is_closed(),
+        }
+    }
+
+    /// Most recent quarantined job ids (up to [`QUARANTINE_KEEP`]).
+    pub fn quarantined(&self) -> Vec<u64> {
+        self.metrics
+            .quarantine
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
     /// Close intake: new submissions get [`SubmitError::ShuttingDown`];
-    /// queued and in-flight jobs keep draining (a paused service resumes
-    /// so the drain can proceed). Returns immediately; idempotent.
+    /// queued, in-flight, and pending-retry jobs keep draining (a paused
+    /// service resumes so the drain can proceed). Returns immediately;
+    /// idempotent.
     pub fn begin_shutdown(&self) {
         self.queue.close();
     }
 
     /// [`begin_shutdown`](Self::begin_shutdown), then block until every
-    /// queued and in-flight job has completed and the pool has exited.
+    /// admitted job has completed and the pool — including any workers
+    /// respawned after crashes — has exited.
     pub fn shutdown(&self) {
         self.begin_shutdown();
-        let handles: Vec<_> = self.pool.lock().unwrap().drain(..).collect();
-        for h in handles {
+        let sup = self
+            .supervisor
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        if let Some(h) = sup {
             let _ = h.join();
         }
     }
@@ -361,37 +559,277 @@ impl Drop for EncodeService {
     }
 }
 
-fn worker_loop(queue: &JobQueue<Task>, metrics: &Metrics, workers_per_job: usize) {
-    while let Some(task) = queue.pop() {
-        let outcome = match encode_parallel_ctl(
-            &task.image,
-            &task.params,
-            workers_per_job,
-            &ParallelOptions::default(),
-            Some(&task.shared.ctl),
-        ) {
-            Ok((codestream, profile)) => {
-                metrics.completed.fetch_add(1, Ordering::Relaxed);
-                let mut stages = metrics.stage_seconds.lock().unwrap();
-                for st in &profile.stage_times {
-                    *stages.entry(st.name).or_insert(0.0) += st.seconds;
+// ---------------------------------------------------------------------------
+// Worker pool + supervisor
+// ---------------------------------------------------------------------------
+
+fn spawn_worker(
+    id: u64,
+    queue: &Arc<JobQueue<Arc<Task>>>,
+    metrics: &Arc<Metrics>,
+    cfg: ServiceConfig,
+    tx: &Sender<SupMsg>,
+) -> JoinHandle<()> {
+    // Counted on the spawning side so `workers_alive` never transiently
+    // under-reports a worker that exists but has not yet scheduled.
+    metrics.workers_alive.fetch_add(1, Ordering::Relaxed);
+    let queue = Arc::clone(queue);
+    let metrics = Arc::clone(metrics);
+    let tx = tx.clone();
+    std::thread::spawn(move || worker_main(id, &queue, &metrics, &cfg, &tx))
+}
+
+fn worker_main(
+    id: u64,
+    queue: &JobQueue<Arc<Task>>,
+    metrics: &Metrics,
+    cfg: &ServiceConfig,
+    tx: &Sender<SupMsg>,
+) {
+    // The task claimed by the current iteration; after a panic the crash
+    // handler takes it from here. Written only between claim and encode,
+    // never while a lock is held across user code (see the module-level
+    // unwind-safety argument).
+    let current: Mutex<Option<Arc<Task>>> = Mutex::new(None);
+    loop {
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            worker_iteration(queue, metrics, cfg, &current)
+        }));
+        match r {
+            Ok(true) => continue,
+            Ok(false) => {
+                // Queue closed and drained: clean exit.
+                metrics.workers_alive.fetch_sub(1, Ordering::Relaxed);
+                let _ = tx.send(SupMsg::Exited { id, crashed: false });
+                return;
+            }
+            Err(_) => {
+                // The iteration panicked. A crashed worker always retires
+                // (fresh stack and state beat an unwound one); the
+                // supervisor replaces it. Its claimed job, if any, goes
+                // through the retry/quarantine state machine first.
+                let task = current.lock().unwrap_or_else(|e| e.into_inner()).take();
+                if let Some(task) = task {
+                    handle_crash(task, queue, metrics, cfg, tx);
                 }
-                JobOutcome::Completed { codestream }
+                metrics.workers_alive.fetch_sub(1, Ordering::Relaxed);
+                let _ = tx.send(SupMsg::Exited { id, crashed: true });
+                return;
             }
-            Err(CodecError::Deadline) => {
-                metrics.timed_out.fetch_add(1, Ordering::Relaxed);
-                JobOutcome::TimedOut
+        }
+    }
+}
+
+/// One claim-encode-complete cycle. Returns `false` when the queue is
+/// closed and drained (worker should exit cleanly).
+fn worker_iteration(
+    queue: &JobQueue<Arc<Task>>,
+    metrics: &Metrics,
+    cfg: &ServiceConfig,
+    current: &Mutex<Option<Arc<Task>>>,
+) -> bool {
+    let Some(task) = queue.pop() else {
+        return false;
+    };
+    *current.lock().unwrap_or_else(|e| e.into_inner()) = Some(Arc::clone(&task));
+    // Failpoint `worker.job_start`: between claim and encode. A panic
+    // here crashes the worker while it holds a claimed job — the
+    // narrowest reproduction of "worker dies mid-job".
+    if let Some(msg) = faultsim::eval("worker.job_start") {
+        current.lock().unwrap_or_else(|e| e.into_inner()).take();
+        metrics.failed.fetch_add(1, Ordering::Relaxed);
+        task.shared
+            .complete(JobOutcome::Failed(format!("injected fault: {msg}")));
+        return true;
+    }
+    let outcome = match encode_parallel_ctl(
+        &task.image,
+        &task.params,
+        cfg.workers_per_job,
+        &ParallelOptions::default(),
+        Some(&task.shared.ctl),
+    ) {
+        Ok((codestream, profile)) => {
+            metrics.completed.fetch_add(1, Ordering::Relaxed);
+            let mut stages = metrics
+                .stage_seconds
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            for st in &profile.stage_times {
+                *stages.entry(st.name).or_insert(0.0) += st.seconds;
             }
-            Err(CodecError::Cancelled) => {
-                metrics.cancelled.fetch_add(1, Ordering::Relaxed);
-                JobOutcome::Cancelled
+            JobOutcome::Completed { codestream }
+        }
+        Err(CodecError::Deadline) => {
+            metrics.timed_out.fetch_add(1, Ordering::Relaxed);
+            JobOutcome::TimedOut
+        }
+        Err(CodecError::Cancelled) => {
+            metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+            JobOutcome::Cancelled
+        }
+        Err(e) => {
+            metrics.failed.fetch_add(1, Ordering::Relaxed);
+            JobOutcome::Failed(e.to_string())
+        }
+    };
+    current.lock().unwrap_or_else(|e| e.into_inner()).take();
+    task.shared.complete(outcome);
+    true
+}
+
+/// The retry/quarantine state machine, run by a dying worker for the job
+/// it crashed on:
+///
+/// ```text
+/// crash -> crashes+1 > budget ----------------> Poisoned (quarantine)
+///       -> deadline <= retry due time --------> TimedOut (no doomed wait)
+///       -> backoff == 0 ----------------------> requeue now
+///       -> else: reserve + park at supervisor -> requeue at due
+/// ```
+fn handle_crash(
+    task: Arc<Task>,
+    queue: &JobQueue<Arc<Task>>,
+    metrics: &Metrics,
+    cfg: &ServiceConfig,
+    tx: &Sender<SupMsg>,
+) {
+    let crashes = task.crashes.fetch_add(1, Ordering::Relaxed) + 1;
+    let id = task.shared.id;
+    if crashes > cfg.max_crash_retries {
+        metrics.poisoned.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut q = metrics.quarantine.lock().unwrap_or_else(|e| e.into_inner());
+            q.push(id);
+            if q.len() > QUARANTINE_KEEP {
+                let excess = q.len() - QUARANTINE_KEEP;
+                q.drain(..excess);
             }
-            Err(e) => {
-                metrics.failed.fetch_add(1, Ordering::Relaxed);
-                JobOutcome::Failed(e.to_string())
+        }
+        task.shared.complete(JobOutcome::Poisoned {
+            message: format!(
+                "job {id} crashed its worker {crashes} times (budget {}); quarantined",
+                cfg.max_crash_retries
+            ),
+        });
+        return;
+    }
+    // Exponential backoff: base << (crashes - 1), saturating.
+    let backoff = cfg
+        .retry_backoff
+        .saturating_mul(1u32 << (crashes - 1).min(16));
+    let due = Instant::now() + backoff;
+    // A retry that cannot begin before the job's deadline is a timeout
+    // *now*: completing the handle immediately beats parking the job for
+    // a wait it is guaranteed to lose.
+    if let Some(d) = task.shared.ctl.deadline() {
+        if d <= due {
+            metrics.timed_out.fetch_add(1, Ordering::Relaxed);
+            task.shared.complete(JobOutcome::TimedOut);
+            return;
+        }
+    }
+    metrics.retried.fetch_add(1, Ordering::Relaxed);
+    let priority = task.priority;
+    if backoff.is_zero() {
+        queue.requeue(task, priority);
+        return;
+    }
+    queue.reserve();
+    if let Err(e) = tx.send(SupMsg::RetryAt { task, due }) {
+        // Supervisor already gone (late crash during teardown): run the
+        // retry immediately rather than dropping an admitted job.
+        if let SupMsg::RetryAt { task, .. } = e.0 {
+            queue.requeue(task, priority);
+        }
+    }
+}
+
+struct Supervisor {
+    rx: Receiver<SupMsg>,
+    /// Kept for cloning into respawned workers; never used to send.
+    tx: Sender<SupMsg>,
+    queue: Arc<JobQueue<Arc<Task>>>,
+    metrics: Arc<Metrics>,
+    cfg: ServiceConfig,
+    handles: HashMap<u64, JoinHandle<()>>,
+    next_worker_id: u64,
+    live: usize,
+    /// Delayed crash retries: (due, task). Each holds a queue
+    /// reservation.
+    pending: Vec<(Instant, Arc<Task>)>,
+}
+
+fn supervisor_main(mut s: Supervisor) {
+    loop {
+        // Re-enqueue every retry that has come due.
+        let now = Instant::now();
+        let mut i = 0;
+        while i < s.pending.len() {
+            if s.pending[i].0 <= now {
+                let (_, task) = s.pending.swap_remove(i);
+                let priority = task.priority;
+                s.queue.requeue(task, priority);
+            } else {
+                i += 1;
             }
+        }
+        // Shutdown complete: intake closed, every worker exited (clean
+        // exits only happen once the queue is drained), nothing parked.
+        if s.queue.is_closed() && s.live == 0 && s.pending.is_empty() {
+            break;
+        }
+        let next_due = s.pending.iter().map(|(d, _)| *d).min();
+        let msg = match next_due {
+            Some(d) => match s
+                .rx
+                .recv_timeout(d.saturating_duration_since(Instant::now()))
+            {
+                Ok(m) => Some(m),
+                Err(RecvTimeoutError::Timeout) => None,
+                Err(RecvTimeoutError::Disconnected) => break,
+            },
+            // Nothing parked: block until a worker reports.
+            None => match s.rx.recv() {
+                Ok(m) => Some(m),
+                Err(_) => break,
+            },
         };
-        task.shared.complete(outcome);
+        match msg {
+            None => {} // a retry came due; the loop head fires it
+            Some(SupMsg::RetryAt { task, due }) => s.pending.push((due, task)),
+            Some(SupMsg::Exited { id, crashed }) => {
+                if let Some(h) = s.handles.remove(&id) {
+                    let _ = h.join();
+                }
+                s.live -= 1;
+                // Respawn after a crash while there is (or may be) work:
+                // anything queued, reserved, pending, or still accepting.
+                // Once the queue is fully drained post-shutdown, a
+                // replacement would exit immediately — skip it.
+                if crashed && (!s.queue.is_drained() || !s.pending.is_empty()) {
+                    let id = s.next_worker_id;
+                    s.next_worker_id += 1;
+                    s.metrics.workers_respawned.fetch_add(1, Ordering::Relaxed);
+                    s.handles
+                        .insert(id, spawn_worker(id, &s.queue, &s.metrics, s.cfg, &s.tx));
+                    s.live += 1;
+                }
+            }
+        }
+    }
+    // Defensive teardown: resolve anything still parked (unreachable in
+    // the normal protocol — the loop only exits with `pending` empty or
+    // on a disconnected channel, which cannot happen while workers hold
+    // senders) and join any stragglers.
+    for (_, task) in s.pending.drain(..) {
+        s.queue.unreserve();
+        task.shared.complete(JobOutcome::Failed(
+            "service shut down during retry backoff".into(),
+        ));
+    }
+    for (_, h) in s.handles.drain() {
+        let _ = h.join();
     }
 }
 
@@ -414,6 +852,10 @@ mod tests {
         }
         let m = svc.metrics();
         assert_eq!((m.accepted, m.completed), (1, 1));
+        assert_eq!(
+            (m.jobs_retried, m.jobs_poisoned, m.workers_respawned),
+            (0, 0, 0)
+        );
         assert!(m.stage_seconds.iter().any(|(n, _)| n == "tier1"));
     }
 
@@ -431,6 +873,23 @@ mod tests {
     }
 
     #[test]
+    fn health_reports_full_pool_and_ready() {
+        let svc = EncodeService::start(ServiceConfig {
+            pool_threads: 3,
+            ..ServiceConfig::default()
+        });
+        let h = svc.health();
+        assert_eq!(h.workers_alive, 3);
+        assert_eq!(h.pool_threads, 3);
+        assert_eq!(h.jobs_poisoned, 0);
+        assert!(h.accepting);
+        assert!(h.ready());
+        svc.begin_shutdown();
+        assert!(!svc.health().accepting);
+        assert!(!svc.health().ready());
+    }
+
+    #[test]
     fn metrics_json_shape() {
         let snap = MetricsSnapshot {
             queue_depth: 1,
@@ -441,11 +900,37 @@ mod tests {
             timed_out: 1,
             cancelled: 0,
             failed: 0,
+            jobs_retried: 4,
+            jobs_poisoned: 1,
+            workers_respawned: 2,
+            workers_alive: 2,
             stage_seconds: vec![("dwt".into(), 0.25)],
         };
         let j = snap.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
         assert!(j.contains("\"rejected\":2"));
+        assert!(j.contains("\"jobs_retried\":4"));
+        assert!(j.contains("\"jobs_poisoned\":1"));
+        assert!(j.contains("\"workers_respawned\":2"));
+        assert!(j.contains("\"workers_alive\":2"));
         assert!(j.contains("\"dwt\":0.250000"));
+    }
+
+    #[test]
+    fn health_json_shape() {
+        let h = HealthSnapshot {
+            workers_alive: 2,
+            pool_threads: 2,
+            workers_respawned: 1,
+            queue_depth: 0,
+            queue_capacity: 64,
+            jobs_retried: 1,
+            jobs_poisoned: 1,
+            accepting: true,
+        };
+        let j = h.to_json();
+        assert!(j.contains("\"workers_alive\":2"));
+        assert!(j.contains("\"jobs_poisoned\":1"));
+        assert!(j.contains("\"accepting\":true"));
     }
 }

@@ -24,6 +24,7 @@
 //! are cross-checked against the actual payload size before the pixel
 //! buffer is built.
 
+use crate::service::HealthSnapshot;
 use imgio::Image;
 use j2k_core::{Arithmetic, EncoderParams, Mode, VerticalVariant};
 use std::io::{Read, Write};
@@ -42,6 +43,7 @@ const TAG_ENCODE: u8 = 0x01;
 const TAG_METRICS: u8 = 0x02;
 const TAG_PING: u8 = 0x03;
 const TAG_SHUTDOWN: u8 = 0x04;
+const TAG_HEALTH: u8 = 0x05;
 const TAG_ENCODE_OK: u8 = 0x81;
 const TAG_REJECTED: u8 = 0x82;
 const TAG_TIMED_OUT: u8 = 0x83;
@@ -49,6 +51,8 @@ const TAG_CANCELLED: u8 = 0x84;
 const TAG_FAILED: u8 = 0x85;
 const TAG_METRICS_JSON: u8 = 0x86;
 const TAG_PONG: u8 = 0x87;
+const TAG_HEALTH_OK: u8 = 0x88;
+const TAG_POISONED: u8 = 0x89;
 
 /// Wire-level failures. Framing errors ([`Truncated`](Self::Truncated),
 /// [`BadMagic`](Self::BadMagic), [`Oversized`](Self::Oversized),
@@ -116,6 +120,10 @@ pub enum Request {
     Ping,
     /// Ask the daemon to drain and exit.
     Shutdown,
+    /// Readiness probe: fetch a
+    /// [`HealthSnapshot`](crate::service::HealthSnapshot) (live workers,
+    /// quarantine count, retry totals, queue depth).
+    Health,
 }
 
 /// Body of [`Request::Encode`].
@@ -148,6 +156,12 @@ pub enum Response {
     MetricsJson(String),
     /// Reply to [`Request::Ping`] and [`Request::Shutdown`].
     Pong,
+    /// Reply to [`Request::Health`]: binary snapshot of pool strength
+    /// and fault counters.
+    Health(HealthSnapshot),
+    /// The job crashed its worker past the retry budget and was
+    /// quarantined (see [`crate::service::JobOutcome::Poisoned`]).
+    Poisoned(String),
 }
 
 /// Why a job was refused.
@@ -177,6 +191,12 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
 
 /// Read one frame's payload, enforcing `max_payload` *before* allocating.
 pub fn read_frame(r: &mut impl Read, max_payload: usize) -> Result<Vec<u8>, WireError> {
+    // Failpoint `wire.read`: an injected error models the transport
+    // dying mid-frame (the caller must treat it like any I/O failure —
+    // close the connection, leak nothing); a delay models a slow peer.
+    if let Some(msg) = faultsim::eval("wire.read") {
+        return Err(WireError::Io(std::io::Error::other(msg)));
+    }
     let mut hdr = [0u8; HEADER_LEN];
     r.read_exact(&mut hdr)?;
     let magic = u16::from_be_bytes([hdr[0], hdr[1]]);
@@ -228,6 +248,10 @@ impl<'a> Rd<'a> {
     fn u32(&mut self) -> Result<u32, WireError> {
         let s = self.take(4)?;
         Ok(u32::from_be_bytes([s[0], s[1], s[2], s[3]]))
+    }
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let s = self.take(8)?;
+        Ok(u64::from_be_bytes(s.try_into().unwrap()))
     }
     fn f64(&mut self) -> Result<f64, WireError> {
         let s = self.take(8)?;
@@ -391,6 +415,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Request::Metrics => vec![TAG_METRICS],
         Request::Ping => vec![TAG_PING],
         Request::Shutdown => vec![TAG_SHUTDOWN],
+        Request::Health => vec![TAG_HEALTH],
     }
 }
 
@@ -416,6 +441,7 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, WireError> {
         TAG_METRICS => Request::Metrics,
         TAG_PING => Request::Ping,
         TAG_SHUTDOWN => Request::Shutdown,
+        TAG_HEALTH => Request::Health,
         t => {
             return Err(WireError::Malformed(format!(
                 "unknown request tag {t:#04x}"
@@ -455,6 +481,28 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             out
         }
         Response::Pong => vec![TAG_PONG],
+        Response::Health(h) => {
+            let mut out = Vec::with_capacity(1 + 7 * 8 + 1);
+            out.push(TAG_HEALTH_OK);
+            for v in [
+                h.workers_alive,
+                h.pool_threads,
+                h.workers_respawned,
+                h.queue_depth,
+                h.queue_capacity,
+                h.jobs_retried,
+                h.jobs_poisoned,
+            ] {
+                out.extend_from_slice(&v.to_be_bytes());
+            }
+            out.push(u8::from(h.accepting));
+            out
+        }
+        Response::Poisoned(m) => {
+            let mut out = vec![TAG_POISONED];
+            out.extend_from_slice(m.as_bytes());
+            out
+        }
     }
 }
 
@@ -496,6 +544,31 @@ pub fn parse_response(payload: &[u8]) -> Result<Response, WireError> {
             rd.done()?;
             Ok(Response::Pong)
         }
+        TAG_HEALTH_OK => {
+            let h = HealthSnapshot {
+                workers_alive: rd.u64()?,
+                pool_threads: rd.u64()?,
+                workers_respawned: rd.u64()?,
+                queue_depth: rd.u64()?,
+                queue_capacity: rd.u64()?,
+                jobs_retried: rd.u64()?,
+                jobs_poisoned: rd.u64()?,
+                accepting: match rd.u8()? {
+                    0 => false,
+                    1 => true,
+                    b => {
+                        return Err(WireError::Malformed(format!("bad accepting flag {b}")));
+                    }
+                },
+            };
+            rd.done()?;
+            Ok(Response::Health(h))
+        }
+        TAG_POISONED => {
+            let m = String::from_utf8(rd.take(rd.remaining())?.to_vec())
+                .map_err(|_| WireError::Malformed("non-utf8 poison message".into()))?;
+            Ok(Response::Poisoned(m))
+        }
         t => Err(WireError::Malformed(format!(
             "unknown response tag {t:#04x}"
         ))),
@@ -533,6 +606,7 @@ mod tests {
             Request::Metrics,
             Request::Ping,
             Request::Shutdown,
+            Request::Health,
         ] {
             assert_eq!(parse_request(&encode_request(&req)).unwrap(), req);
         }
@@ -549,6 +623,17 @@ mod tests {
             Response::Failed("boom".into()),
             Response::MetricsJson("{}".into()),
             Response::Pong,
+            Response::Health(HealthSnapshot {
+                workers_alive: 2,
+                pool_threads: 4,
+                workers_respawned: 3,
+                queue_depth: 1,
+                queue_capacity: 64,
+                jobs_retried: 5,
+                jobs_poisoned: 1,
+                accepting: true,
+            }),
+            Response::Poisoned("job 7 crashed its worker 2 times".into()),
         ] {
             assert_eq!(parse_response(&encode_response(&resp)).unwrap(), resp);
         }

@@ -51,7 +51,13 @@ encode options:
   --workers N        encode with N host threads via encode_parallel —
                      chunked sample stages + dynamic Tier-1 work queue;
                      output stays byte-identical to the sequential
-                     encoder (alias: --threads; default 1 = sequential)";
+                     encoder (alias: --threads; default 1 = sequential)
+  --failpoints SPEC  arm faultsim failpoints before encoding, e.g.
+                     `dwt.level=error@2` or `tier1.block=panic@3` —
+                     requires a build with `--features failpoints`; the
+                     codec failpoints live in the parallel driver, so
+                     combine with --workers >= 2 (chaos drills; see
+                     DESIGN.md §11)";
 
 fn read_image(path: &str) -> Image {
     let ext = Path::new(path)
@@ -97,6 +103,7 @@ struct Opt {
     resolution: usize,
     max_layers: usize,
     bypass: bool,
+    failpoints: Option<String>,
 }
 
 fn parse(args: &[String]) -> Opt {
@@ -114,6 +121,7 @@ fn parse(args: &[String]) -> Opt {
         resolution: 0,
         max_layers: usize::MAX,
         bypass: false,
+        failpoints: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -158,6 +166,10 @@ fn parse(args: &[String]) -> Opt {
             }
             "--max-layers" => {
                 o.max_layers = need(i).parse().unwrap_or_else(|_| die("--max-layers N"));
+                i += 2;
+            }
+            "--failpoints" => {
+                o.failpoints = Some(need(i).clone());
                 i += 2;
             }
             "--fixed" => {
@@ -220,6 +232,18 @@ fn main() {
         return;
     }
     let o = parse(rest);
+    if let Some(spec) = &o.failpoints {
+        if !faultsim::ENABLED {
+            die(
+                "--failpoints requires a build with `--features failpoints` \
+                 (this binary compiled the fault-injection layer out)",
+            );
+        }
+        let schedule =
+            faultsim::parse_schedule(spec).unwrap_or_else(|e| die(&format!("--failpoints: {e}")));
+        let n = faultsim::arm_schedule(&schedule);
+        eprintln!("j2kcell: armed {n} failpoint rule(s) from --failpoints");
+    }
     match cmd.as_str() {
         "encode" => {
             let [input, output] = o.positional.as_slice() else {

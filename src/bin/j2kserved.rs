@@ -5,6 +5,7 @@
 //! ```text
 //! j2kserved [--addr HOST:PORT] [--pool N] [--job-workers N]
 //!           [--queue N] [--timeout-ms N] [--max-frame-mb N]
+//!           [--max-crash-retries N] [--retry-backoff-ms N]
 //!
 //!   --addr HOST:PORT   listen address          (default 127.0.0.1:7201)
 //!   --pool N           pool threads draining the job queue (default 2)
@@ -13,6 +14,10 @@
 //!                      rejected as Overloaded                (default 64)
 //!   --timeout-ms N     default per-job deadline, 0 = none    (default 0)
 //!   --max-frame-mb N   per-frame payload ceiling in MiB      (default 256)
+//!   --max-crash-retries N  crash retries before a job is
+//!                      quarantined as Poisoned               (default 1)
+//!   --retry-backoff-ms N   base crash-retry backoff, doubled
+//!                      per crash                             (default 100)
 //! ```
 //!
 //! The daemon exits after a Shutdown request, draining queued and
@@ -30,7 +35,8 @@ fn die(msg: &str) -> ! {
 }
 
 const USAGE: &str = "usage: j2kserved [--addr HOST:PORT] [--pool N] [--job-workers N] \
-                     [--queue N] [--timeout-ms N] [--max-frame-mb N]";
+                     [--queue N] [--timeout-ms N] [--max-frame-mb N] \
+                     [--max-crash-retries N] [--retry-backoff-ms N]";
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -56,6 +62,17 @@ fn main() {
             }
             "--max-frame-mb" => {
                 max_frame_mb = need(i).parse().unwrap_or_else(|_| die("--max-frame-mb N"))
+            }
+            "--max-crash-retries" => {
+                cfg.max_crash_retries = need(i)
+                    .parse()
+                    .unwrap_or_else(|_| die("--max-crash-retries N"))
+            }
+            "--retry-backoff-ms" => {
+                let ms: u64 = need(i)
+                    .parse()
+                    .unwrap_or_else(|_| die("--retry-backoff-ms N"));
+                cfg.retry_backoff = Duration::from_millis(ms);
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
