@@ -9,8 +9,14 @@
 //! ```text
 //! serve_load [--addr HOST:PORT] [--jobs N] [--clients N] [--size N]
 //!            [--seed N] [--lossy RATE] [--timeout-ms N] [--verify]
-//!            [--retries N] [--backoff-ms N] [--probe] [--out PATH]
+//!            [--retries N] [--backoff-ms N] [--probe] [--trace]
+//!            [--out PATH]
 //! ```
+//!
+//! With `--trace` (daemon started with tracing on), the last finished
+//! job's Chrome trace is fetched over the wire and folded into a
+//! queue-wait vs. encode-time split in the report — where does a
+//! job's latency actually go under this load?
 //!
 //! Fault tolerance mirrors the server's own retry discipline:
 //! `Rejected(Overloaded)` is **not** a hard failure — the client retries
@@ -46,6 +52,7 @@ struct Opt {
     retries: u32,
     backoff_ms: u64,
     probe: bool,
+    trace: bool,
     out: String,
 }
 
@@ -67,6 +74,7 @@ fn parse_args() -> Opt {
         retries: 3,
         backoff_ms: 25,
         probe: false,
+        trace: false,
         out: "BENCH_serve.json".into(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -119,6 +127,10 @@ fn parse_args() -> Opt {
             }
             "--probe" => {
                 o.probe = true;
+                i += 1;
+            }
+            "--trace" => {
+                o.trace = true;
                 i += 1;
             }
             "--out" => {
@@ -177,6 +189,38 @@ fn probe_until_ready(o: &Opt) {
     die(&format!("daemon at {} never reported ready", o.addr));
 }
 
+/// Pull one integer field out of a specific histogram series inside the
+/// server's hand-rolled metrics JSON, e.g.
+/// `extract_hist_field(json, "queue_wait_us", "p999")`. Total: any shape
+/// mismatch yields `None`.
+fn extract_hist_field(metrics_json: &str, series: &str, field: &str) -> Option<u64> {
+    let start = metrics_json.find(&format!("\"{series}\":{{"))?;
+    let obj = &metrics_json[start..];
+    let end = obj.find('}')?;
+    let obj = &obj[..end];
+    let fpos = obj.find(&format!("\"{field}\":"))?;
+    let digits: String = obj[fpos + field.len() + 3..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// Fold a job's Chrome trace into a queue-wait vs. encode-time split:
+/// (queue_wait_ms, encode_ms) summed over complete events of those names.
+fn trace_split(trace_json: &str) -> Option<(f64, f64)> {
+    let events = obs::chrome::parse(trace_json).ok()?;
+    let sum_ms = |name: &str| -> f64 {
+        events
+            .iter()
+            .filter(|e| e.name == name)
+            .map(|e| e.dur_us)
+            .sum::<f64>()
+            / 1e3
+    };
+    Some((sum_ms("queue-wait"), sum_ms("encode")))
+}
+
 #[derive(Default)]
 struct Tally {
     completed: AtomicU64,
@@ -197,13 +241,14 @@ fn main() {
     }
     let tally = Tally::default();
     let latencies_ms: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(o.jobs));
+    let reconnect_ms: Mutex<Vec<f64>> = Mutex::new(Vec::new());
     let next_job = AtomicU64::new(0);
 
     let wall = Instant::now();
     std::thread::scope(|scope| {
         for _ in 0..o.clients.max(1) {
-            let (o, params, tally, latencies_ms, next_job) =
-                (&o, &params, &tally, &latencies_ms, &next_job);
+            let (o, params, tally, latencies_ms, reconnect_ms, next_job) =
+                (&o, &params, &tally, &latencies_ms, &reconnect_ms, &next_job);
             scope.spawn(move || {
                 let mut conn = match TcpStream::connect(&o.addr) {
                     Ok(c) => c,
@@ -285,8 +330,15 @@ fn main() {
                                     attempt,
                                     o.seed ^ j,
                                 ));
+                                let c0 = Instant::now();
                                 match TcpStream::connect(&o.addr) {
-                                    Ok(c) => conn = c,
+                                    Ok(c) => {
+                                        reconnect_ms
+                                            .lock()
+                                            .unwrap()
+                                            .push(c0.elapsed().as_secs_f64() * 1e3);
+                                        conn = c;
+                                    }
                                     Err(e) => {
                                         eprintln!("job {j}: reconnect failed: {e}");
                                         tally.failed.fetch_add(1, Ordering::Relaxed);
@@ -316,9 +368,40 @@ fn main() {
             _ => None,
         })
         .unwrap_or_else(|| "null".into());
+    // The server's own queue-wait tail, straight from its histogram.
+    let queue_wait_p999_us = extract_hist_field(&server_metrics, "queue_wait_us", "p999");
+
+    // Queue-wait vs. encode split of the last finished job's trace.
+    let trace_section = if o.trace {
+        let split = TcpStream::connect(&o.addr)
+            .ok()
+            .and_then(|mut c| call(&mut c, &Request::Trace(0), DEFAULT_MAX_FRAME).ok())
+            .and_then(|r| match r {
+                Response::TraceJson(j) => trace_split(&j),
+                _ => None,
+            });
+        match split {
+            Some((wait_ms, encode_ms)) => {
+                format!("{{\"queue_wait_ms\":{wait_ms:.3},\"encode_ms\":{encode_ms:.3}}}")
+            }
+            None => {
+                eprintln!("serve_load: --trace set but no trace retrieved (daemon tracing off?)");
+                "null".into()
+            }
+        }
+    } else {
+        "null".into()
+    };
 
     let mut lat = latencies_ms.into_inner().unwrap();
     lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mut recon = reconnect_ms.into_inner().unwrap();
+    recon.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let recon_mean = if recon.is_empty() {
+        0.0
+    } else {
+        recon.iter().sum::<f64>() / recon.len() as f64
+    };
     let completed = tally.completed.load(Ordering::Relaxed);
     let verify_failures = tally.verify_failures.load(Ordering::Relaxed);
     let mean = if lat.is_empty() {
@@ -332,7 +415,10 @@ fn main() {
          \"completed\":{},\"rejected\":{},\"timed_out\":{},\"failed\":{},\"poisoned\":{},\
          \"retries\":{},\"reconnects\":{},\
          \"wall_s\":{:.4},\"throughput_jobs_per_s\":{:.3},\
-         \"latency_ms\":{{\"mean\":{:.3},\"p50\":{:.3},\"p95\":{:.3},\"p99\":{:.3},\"max\":{:.3}}},\
+         \"latency_ms\":{{\"mean\":{:.3},\"p50\":{:.3},\"p95\":{:.3},\"p99\":{:.3},\"p999\":{:.3},\"max\":{:.3}}},\
+         \"queue_wait_p999_us\":{},\
+         \"reconnect_ms\":{{\"count\":{},\"mean\":{:.3},\"max\":{:.3}}},\
+         \"trace\":{},\
          \"verify_failures\":{},\"server_metrics\":{}}}",
         o.addr,
         o.jobs,
@@ -361,7 +447,13 @@ fn main() {
         percentile(&lat, 0.50),
         percentile(&lat, 0.95),
         percentile(&lat, 0.99),
+        percentile(&lat, 0.999),
         lat.last().copied().unwrap_or(0.0),
+        queue_wait_p999_us.map_or("null".into(), |v| v.to_string()),
+        recon.len(),
+        recon_mean,
+        recon.last().copied().unwrap_or(0.0),
+        trace_section,
         verify_failures,
         server_metrics,
     );
@@ -369,6 +461,20 @@ fn main() {
     if let Err(e) = std::fs::write(&o.out, format!("{json}\n")) {
         die(&format!("write {}: {e}", o.out));
     }
+    // Human summary, always printed in full: absent counters read as
+    // "not measured", so poisoned/retried/reconnects appear even at 0.
+    eprintln!(
+        "serve_load: {completed} completed, {} rejected, {} timed out, {} failed, \
+         {} poisoned, {} retried, {} reconnects ({} jobs in {wall_s:.2}s, p50 {:.1} ms)",
+        tally.rejected.load(Ordering::Relaxed),
+        tally.timed_out.load(Ordering::Relaxed),
+        tally.failed.load(Ordering::Relaxed),
+        tally.poisoned.load(Ordering::Relaxed),
+        tally.retries.load(Ordering::Relaxed),
+        tally.reconnects.load(Ordering::Relaxed),
+        o.jobs,
+        percentile(&lat, 0.50),
+    );
     if verify_failures > 0 {
         die(&format!("{verify_failures} verification failures"));
     }

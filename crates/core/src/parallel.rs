@@ -29,6 +29,7 @@ use crate::quant::{band_delta, quantize, StepSize, GUARD_BITS};
 use crate::{codestream::Quant, Arithmetic, CodecError, EncoderParams, Mode, WorkloadProfile};
 use ebcot::block::encode_block_opts;
 use imgio::Image;
+use obs::trace;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
@@ -134,6 +135,7 @@ pub fn encode_parallel_ctl(
     }
 
     // Tier-1 work queue: workers pull the next job index atomically.
+    let stage_span = trace::span("stage:tier1").cat("stage");
     let t1 = Instant::now();
     let cursor = AtomicUsize::new(0);
     // First injected `tier1.block` error, if the failpoint fires: the
@@ -144,6 +146,7 @@ pub fn encode_parallel_ctl(
     slots.resize_with(jobs.len(), || None);
     let slot_ptr = SlotVec(slots.as_mut_ptr());
     let njobs = jobs.len();
+    let parent_trace = trace::current();
     std::thread::scope(|scope| {
         for wi in 0..workers {
             let cursor = &cursor;
@@ -152,59 +155,65 @@ pub fn encode_parallel_ctl(
             let slot_ptr = &slot_ptr;
             let counts = &tier1_counts;
             let injected = &injected;
-            scope.spawn(move || loop {
-                if ctl.is_some_and(|c| c.is_stopped()) {
-                    break;
-                }
-                // Failpoint `tier1.block`: fires once per claimed code
-                // block. A panic here unwinds through the scope join (the
-                // service's catch_unwind lever); an error stops this
-                // worker and fails the whole encode after the barrier.
-                if let Some(msg) = faultsim::eval("tier1.block") {
-                    *injected.lock().unwrap_or_else(|e| e.into_inner()) = Some(msg);
-                    break;
-                }
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= njobs {
-                    break;
-                }
-                counts[wi].fetch_add(1, Ordering::Relaxed);
-                let j = &jobs[i];
-                let plane = &t.indices[j.comp];
-                let mut data = Vec::with_capacity(j.bw * j.bh);
-                for y in j.y0..j.y0 + j.bh {
-                    for x in j.x0..j.x0 + j.bw {
-                        data.push(plane.get(x, y));
+            scope.spawn(move || {
+                // Scoped threads don't inherit the TLS trace id.
+                trace::set_current(parent_trace);
+                loop {
+                    if ctl.is_some_and(|c| c.is_stopped()) {
+                        break;
+                    }
+                    // Failpoint `tier1.block`: fires once per claimed code
+                    // block. A panic here unwinds through the scope join (the
+                    // service's catch_unwind lever); an error stops this
+                    // worker and fails the whole encode after the barrier.
+                    if let Some(msg) = faultsim::eval("tier1.block") {
+                        *injected.lock().unwrap_or_else(|e| e.into_inner()) = Some(msg);
+                        break;
+                    }
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= njobs {
+                        break;
+                    }
+                    counts[wi].fetch_add(1, Ordering::Relaxed);
+                    let j = &jobs[i];
+                    let plane = &t.indices[j.comp];
+                    let mut data = Vec::with_capacity(j.bw * j.bh);
+                    for y in j.y0..j.y0 + j.bh {
+                        for x in j.x0..j.x0 + j.bw {
+                            data.push(plane.get(x, y));
+                        }
+                    }
+                    let enc = encode_block_opts(
+                        &data,
+                        j.bw,
+                        j.bh,
+                        band_kind(t.bands[j.band_idx].band),
+                        params.bypass,
+                    );
+                    let rec = BlockRecord {
+                        comp: j.comp,
+                        band_idx: j.band_idx,
+                        bx: j.bx,
+                        by: j.by,
+                        enc,
+                        weight: t.weights[j.band_idx],
+                    };
+                    // SAFETY: each index i is claimed by exactly one worker
+                    // (fetch_add), so no two threads write the same slot, and
+                    // the main thread only reads after the scope joins.
+                    unsafe {
+                        *slot_ptr.0.add(i) = Some(rec);
                     }
                 }
-                let enc = encode_block_opts(
-                    &data,
-                    j.bw,
-                    j.bh,
-                    band_kind(t.bands[j.band_idx].band),
-                    params.bypass,
-                );
-                let rec = BlockRecord {
-                    comp: j.comp,
-                    band_idx: j.band_idx,
-                    bx: j.bx,
-                    by: j.by,
-                    enc,
-                    weight: t.weights[j.band_idx],
-                };
-                // SAFETY: each index i is claimed by exactly one worker
-                // (fetch_add), so no two threads write the same slot, and
-                // the main thread only reads after the scope joins.
-                unsafe {
-                    *slot_ptr.0.add(i) = Some(rec);
-                }
+                // Flush before the closure returns: `thread::scope` only
+                // waits for closures, not TLS destructors, so the Drop
+                // flush could race the caller's trace drain.
+                trace::flush_thread();
             });
         }
     });
-    stage_times.push(StageTime {
-        name: "tier1",
-        seconds: t1.elapsed().as_secs_f64(),
-    });
+    drop(stage_span);
+    stage_times.push(StageTime::new("tier1", t1.elapsed().as_secs_f64()));
     let tier1_counts: Vec<u64> = tier1_counts.into_iter().map(|c| c.into_inner()).collect();
     accumulate(&mut worker_jobs, &tier1_counts);
     if let Some(c) = ctl {
@@ -221,13 +230,12 @@ pub fn encode_parallel_ctl(
         .into_iter()
         .map(|s| s.expect("every job completed"))
         .collect();
+    let rc_span = trace::span("stage:rate-control").cat("stage");
     let t2 = Instant::now();
     let raw = image.raw_bytes() as u64;
     let (bytes, rc_items) = rate_control_and_assemble(image, params, &t, &records, raw);
-    stage_times.push(StageTime {
-        name: "rate-control",
-        seconds: t2.elapsed().as_secs_f64(),
-    });
+    drop(rc_span);
+    stage_times.push(StageTime::new("rate-control", t2.elapsed().as_secs_f64()));
 
     let profile = build_profile(
         image,
@@ -316,6 +324,10 @@ fn plan_for(width: usize, workers: usize, opts: &ParallelOptions) -> Result<Chun
 struct ChunkJob {
     comp: usize,
     region: Region,
+    /// Dense chunk index within the stage (the plan's `ChunkDesc::id`
+    /// for column chunks, the band index for row bands); rides into
+    /// trace span args so a trace can be joined back to the plan.
+    chunk: usize,
 }
 
 /// Static job assignment for one stage: a list per spawned worker (the SPE
@@ -339,6 +351,7 @@ fn assign_columns(plan: &ChunkPlan, comps: usize, h: usize, workers: usize) -> A
                     w: c.width,
                     h,
                 },
+                chunk: c.id,
             };
             match c.owner {
                 Owner::Spe(i) => per_worker[i].push(job),
@@ -370,6 +383,7 @@ fn assign_rows(w: usize, h: usize, comps: usize, workers: usize) -> Assignment {
                     w,
                     h: bh,
                 },
+                chunk: wi,
             });
             y0 += bh;
             wi += 1;
@@ -386,21 +400,41 @@ impl Assignment {
     /// thread while the calling thread processes the remainder, then all
     /// threads join (a stage barrier). Returns per-worker job counts with
     /// the calling thread last.
-    fn run<F>(&self, f: F) -> Vec<u64>
+    ///
+    /// When tracing is enabled every job runs under a span named
+    /// `stage` (args: worker / chunk / comp), and spawned threads
+    /// inherit the caller's trace id explicitly (TLS doesn't cross
+    /// `thread::scope`). Each closure flushes its local trace buffer
+    /// before returning — the scope barrier waits for closures, not
+    /// TLS destructors, so the Drop flush alone would race the
+    /// caller's trace drain.
+    fn run<F>(&self, stage: &'static str, f: F) -> Vec<u64>
     where
         F: Fn(ChunkJob) + Sync,
     {
+        let parent_trace = trace::current();
+        let traced = |wi: usize, j: ChunkJob| {
+            let _sp = trace::span(stage)
+                .cat("chunk")
+                .arg("worker", wi as u64)
+                .arg("chunk", j.chunk as u64)
+                .arg("comp", j.comp as u64);
+            f(j);
+        };
         std::thread::scope(|scope| {
-            for list in &self.per_worker {
-                let f = &f;
+            for (wi, list) in self.per_worker.iter().enumerate() {
+                let traced = &traced;
                 scope.spawn(move || {
+                    trace::set_current(parent_trace);
                     for &j in list {
-                        f(j);
+                        traced(wi, j);
                     }
+                    trace::flush_thread();
                 });
             }
+            let calling_wi = self.per_worker.len();
             for &j in &self.calling {
-                f(j);
+                traced(calling_wi, j);
             }
         });
         let mut counts: Vec<u64> = self.per_worker.iter().map(|l| l.len() as u64).collect();
@@ -475,6 +509,7 @@ pub(crate) fn transform_samples_parallel_ctl(
     let mut worker_jobs = vec![0u64; workers + 1];
     let mut stage_times = Vec::new();
 
+    let cv_span = trace::span("stage:convert").cat("stage");
     let t0 = Instant::now();
     let mut int_planes: Vec<AlignedPlane<i32>> = image
         .planes
@@ -484,20 +519,34 @@ pub(crate) fn transform_samples_parallel_ctl(
             AlignedPlane::from_dense(w, h, &dense).map_err(|e| CodecError::Image(e.to_string()))
         })
         .collect::<Result<_, _>>()?;
-    stage_times.push(StageTime {
-        name: "convert",
-        seconds: t0.elapsed().as_secs_f64(),
-    });
+    drop(cv_span);
+    stage_times.push(StageTime::new("convert", t0.elapsed().as_secs_f64()));
     if let Some(c) = ctl {
         c.check()?;
     }
 
     let plan = plan_for(w, workers, opts)?;
+    if trace::enabled() {
+        // Record the column-chunk plan itself: one instant per chunk,
+        // dynamically named (`chunk-3`), so a trace can be read against
+        // the decomposition that produced it.
+        for c in plan.chunks() {
+            trace::instant(
+                c.label(),
+                &[
+                    ("x0", c.x0 as u64),
+                    ("w", c.width as u64),
+                    ("remainder", u64::from(c.is_remainder)),
+                ],
+            );
+        }
+    }
     let regions = wavelet::level_regions(w, h, params.levels);
 
     match params.mode {
         Mode::Lossless => {
             // Level shift + RCT, merged, by column chunk.
+            let mct_span = trace::span("stage:mct").cat("stage");
             let t1 = Instant::now();
             {
                 let shared: Vec<SharedPlane<i32>> =
@@ -506,7 +555,7 @@ pub(crate) fn transform_samples_parallel_ctl(
                 // SAFETY: plan chunks are pairwise disjoint column ranges
                 // and each job is executed by exactly one thread, so live
                 // views never overlap.
-                let counts = asg.run(|j| unsafe {
+                let counts = asg.run("mct", |j| unsafe {
                     if use_mct {
                         let mut ry = shared[0].rows(j.region);
                         let mut ru = shared[1].rows(j.region);
@@ -525,21 +574,20 @@ pub(crate) fn transform_samples_parallel_ctl(
                 });
                 accumulate(&mut worker_jobs, &counts);
             }
-            stage_times.push(StageTime {
-                name: "mct",
-                seconds: t1.elapsed().as_secs_f64(),
-            });
+            drop(mct_span);
+            stage_times.push(StageTime::new("mct", t1.elapsed().as_secs_f64()));
             if let Some(c) = ctl {
                 c.check()?;
             }
 
             // 5/3 DWT level by level: vertical by column chunk, then (after
             // the barrier) horizontal by row band.
+            let dwt_span = trace::span("stage:dwt").cat("stage");
             let t2 = Instant::now();
             {
                 let shared: Vec<SharedPlane<i32>> =
                     int_planes.iter_mut().map(SharedPlane::new).collect();
-                for r in &regions {
+                for (li, r) in regions.iter().enumerate() {
                     if let Some(c) = ctl {
                         c.check()?;
                     }
@@ -549,25 +597,28 @@ pub(crate) fn transform_samples_parallel_ctl(
                     if let Some(msg) = faultsim::eval("dwt.level") {
                         return Err(CodecError::Injected(msg));
                     }
+                    let _lvl = if trace::enabled() {
+                        trace::span(format!("dwt-level-{}", li + 1)).cat("stage")
+                    } else {
+                        trace::Span::disabled()
+                    };
                     let lplan = plan_for(r.w, workers, opts)?;
                     let vert = assign_columns(&lplan, comps, r.h, workers);
                     // SAFETY: disjoint column chunks, one thread per job.
-                    let counts = vert.run(|j| unsafe {
+                    let counts = vert.run("dwt", |j| unsafe {
                         vertical::fwd53_rows(shared[j.comp].rows(j.region), variant);
                     });
                     accumulate(&mut worker_jobs, &counts);
                     let horiz = assign_rows(r.w, r.h, comps, workers);
                     // SAFETY: disjoint row bands, one thread per job.
-                    let counts = horiz.run(|j| unsafe {
+                    let counts = horiz.run("dwt", |j| unsafe {
                         horizontal::fwd53_rows(shared[j.comp].rows(j.region));
                     });
                     accumulate(&mut worker_jobs, &counts);
                 }
             }
-            stage_times.push(StageTime {
-                name: "dwt",
-                seconds: t2.elapsed().as_secs_f64(),
-            });
+            drop(dwt_span);
+            stage_times.push(StageTime::new("dwt", t2.elapsed().as_secs_f64()));
 
             let depth_eff = depth + u8::from(use_mct);
             let exps: Vec<u8> = bands
@@ -601,6 +652,7 @@ pub(crate) fn transform_samples_parallel_ctl(
 
             // Level shift + ICT, merged, by column chunk, straight into the
             // arithmetic's working representation (f32 or Q13).
+            let mct_span = trace::span("stage:mct").cat("stage");
             let t1 = Instant::now();
             let fixed = params.arithmetic == Arithmetic::FixedQ13;
             let mut fp: Vec<AlignedPlane<f32>> = if fixed {
@@ -624,7 +676,7 @@ pub(crate) fn transform_samples_parallel_ctl(
                 let asg = assign_columns(&plan, if use_mct { 1 } else { comps }, h, workers);
                 // SAFETY: disjoint column chunks, one thread per job; the
                 // int planes are only read (shared borrows).
-                let counts = asg.run(|j| unsafe {
+                let counts = asg.run("mct", |j| unsafe {
                     let (x0, cw) = (j.region.x0, j.region.w);
                     let mut ybuf = vec![0f32; cw];
                     let mut cbuf = vec![0f32; cw];
@@ -663,21 +715,20 @@ pub(crate) fn transform_samples_parallel_ctl(
                 });
                 accumulate(&mut worker_jobs, &counts);
             }
-            stage_times.push(StageTime {
-                name: "mct",
-                seconds: t1.elapsed().as_secs_f64(),
-            });
+            drop(mct_span);
+            stage_times.push(StageTime::new("mct", t1.elapsed().as_secs_f64()));
             if let Some(c) = ctl {
                 c.check()?;
             }
 
             // 9/7 DWT level by level, vertical chunks then horizontal bands.
+            let dwt_span = trace::span("stage:dwt").cat("stage");
             let t2 = Instant::now();
             {
                 let shared_f: Vec<SharedPlane<f32>> = fp.iter_mut().map(SharedPlane::new).collect();
                 let shared_q: Vec<SharedPlane<i32>> =
                     q13.iter_mut().map(SharedPlane::new).collect();
-                for r in &regions {
+                for (li, r) in regions.iter().enumerate() {
                     if let Some(c) = ctl {
                         c.check()?;
                     }
@@ -687,10 +738,15 @@ pub(crate) fn transform_samples_parallel_ctl(
                     if let Some(msg) = faultsim::eval("dwt.level") {
                         return Err(CodecError::Injected(msg));
                     }
+                    let _lvl = if trace::enabled() {
+                        trace::span(format!("dwt-level-{}", li + 1)).cat("stage")
+                    } else {
+                        trace::Span::disabled()
+                    };
                     let lplan = plan_for(r.w, workers, opts)?;
                     let vert = assign_columns(&lplan, comps, r.h, workers);
                     // SAFETY: disjoint column chunks, one thread per job.
-                    let counts = vert.run(|j| unsafe {
+                    let counts = vert.run("dwt", |j| unsafe {
                         if fixed {
                             vertical::fwd97_rows(shared_q[j.comp].rows(j.region), variant);
                         } else {
@@ -700,7 +756,7 @@ pub(crate) fn transform_samples_parallel_ctl(
                     accumulate(&mut worker_jobs, &counts);
                     let horiz = assign_rows(r.w, r.h, comps, workers);
                     // SAFETY: disjoint row bands, one thread per job.
-                    let counts = horiz.run(|j| unsafe {
+                    let counts = horiz.run("dwt", |j| unsafe {
                         if fixed {
                             horizontal::fwd97_fixed_rows(shared_q[j.comp].rows(j.region));
                         } else {
@@ -710,10 +766,8 @@ pub(crate) fn transform_samples_parallel_ctl(
                     accumulate(&mut worker_jobs, &counts);
                 }
             }
-            stage_times.push(StageTime {
-                name: "dwt",
-                seconds: t2.elapsed().as_secs_f64(),
-            });
+            drop(dwt_span);
+            stage_times.push(StageTime::new("dwt", t2.elapsed().as_secs_f64()));
             if let Some(c) = ctl {
                 c.check()?;
             }
@@ -737,6 +791,7 @@ pub(crate) fn transform_samples_parallel_ctl(
 
             // Quantize by column chunk (elementwise over band rectangles;
             // Q13 coefficients drop back to f32 exactly as sequentially).
+            let q_span = trace::span("stage:quantize").cat("stage");
             let t3 = Instant::now();
             let mut indices: Vec<AlignedPlane<i32>> = (0..comps)
                 .map(|_| AlignedPlane::new(w, h).expect("geometry"))
@@ -750,7 +805,7 @@ pub(crate) fn transform_samples_parallel_ctl(
                 let asg = assign_columns(&plan, comps, h, workers);
                 // SAFETY: disjoint column chunks, one thread per job; the
                 // coefficient planes are only read.
-                let counts = asg.run(|j| unsafe {
+                let counts = asg.run("quantize", |j| unsafe {
                     let (x0, cw) = (j.region.x0, j.region.w);
                     let mut rows = out[j.comp].rows(j.region);
                     for (bi, b) in bands.iter().enumerate() {
@@ -778,10 +833,8 @@ pub(crate) fn transform_samples_parallel_ctl(
                 });
                 accumulate(&mut worker_jobs, &counts);
             }
-            stage_times.push(StageTime {
-                name: "quantize",
-                seconds: t3.elapsed().as_secs_f64(),
-            });
+            drop(q_span);
+            stage_times.push(StageTime::new("quantize", t3.elapsed().as_secs_f64()));
 
             let max_planes: Vec<u8> = steps.iter().map(|s| GUARD_BITS + s.exponent - 1).collect();
             Ok((
@@ -918,6 +971,48 @@ mod tests {
     }
 
     #[test]
+    fn traced_encode_is_byte_identical_and_covers_stages() {
+        let im = synth::natural_rgb(96, 64, 11);
+        let params = EncoderParams::lossy(0.25);
+        let seq = crate::encode(&im, &params).unwrap();
+        trace::set_enabled(true);
+        let id = trace::next_trace_id();
+        trace::set_current(id);
+        let par = encode_parallel(&im, &params, 3).unwrap();
+        trace::set_current(0);
+        let events = trace::take_job(id);
+        trace::set_enabled(false);
+        assert_eq!(par, seq, "tracing must not perturb the codestream");
+        for name in [
+            "mct",
+            "dwt",
+            "quantize",
+            "tier1",
+            "dwt-level-1",
+            "chunk-0",
+            "stage:rate-control",
+        ] {
+            assert!(
+                events.iter().any(|e| e.name == name),
+                "missing event {name} in {:?}",
+                events.iter().map(|e| e.name.clone()).collect::<Vec<_>>()
+            );
+        }
+        // Chunk spans fan out: more than one distinct worker arg.
+        let mut workers: Vec<u64> = events
+            .iter()
+            .filter(|e| e.name == "mct")
+            .filter_map(|e| e.args.iter().find(|(k, _)| *k == "worker").map(|&(_, v)| v))
+            .collect();
+        workers.sort_unstable();
+        workers.dedup();
+        assert!(
+            workers.len() >= 2,
+            "mct chunk spans on one worker only: {workers:?}"
+        );
+    }
+
+    #[test]
     fn profile_reports_multi_worker_jobs_and_stages() {
         let im = synth::natural_rgb(256, 64, 3);
         let workers = 4;
@@ -933,7 +1028,7 @@ mod tests {
             "sample stages did not fan out: {:?}",
             prof.worker_jobs
         );
-        let names: Vec<&str> = prof.stage_times.iter().map(|s| s.name).collect();
+        let names: Vec<&str> = prof.stage_times.iter().map(|s| s.name.as_ref()).collect();
         for want in ["convert", "mct", "dwt", "tier1", "rate-control"] {
             assert!(names.contains(&want), "missing stage {want} in {names:?}");
         }

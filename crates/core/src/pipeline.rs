@@ -409,29 +409,26 @@ pub fn encode_with_profile(
     image
         .validate()
         .map_err(|e| CodecError::Image(e.to_string()))?;
+    let tr_span = obs::trace::span("stage:transform").cat("stage");
     let t0 = std::time::Instant::now();
     let t = transform_samples(image, params)?;
     let transform_secs = t0.elapsed().as_secs_f64();
+    drop(tr_span);
+    let t1_span = obs::trace::span("stage:tier1").cat("stage");
     let t1 = std::time::Instant::now();
     let records = tier1_all(&t, params);
     let tier1_secs = t1.elapsed().as_secs_f64();
+    drop(t1_span);
+    let rc_span = obs::trace::span("stage:rate-control").cat("stage");
     let t2 = std::time::Instant::now();
     let raw = image.raw_bytes() as u64;
     let (bytes, rc_items) = rate_control_and_assemble(image, params, &t, &records, raw);
     let rc_secs = t2.elapsed().as_secs_f64();
+    drop(rc_span);
     let stage_times = vec![
-        StageTime {
-            name: "transform",
-            seconds: transform_secs,
-        },
-        StageTime {
-            name: "tier1",
-            seconds: tier1_secs,
-        },
-        StageTime {
-            name: "rate-control",
-            seconds: rc_secs,
-        },
+        StageTime::new("transform", transform_secs),
+        StageTime::new("tier1", tier1_secs),
+        StageTime::new("rate-control", rc_secs),
     ];
     let profile = build_profile(
         image,

@@ -10,6 +10,7 @@
 //! needs a dynamic work queue).
 
 use crate::EncoderParams;
+use std::borrow::Cow;
 
 /// Per-code-block Tier-1 work.
 #[derive(Debug, Clone, Copy)]
@@ -29,10 +30,22 @@ pub struct BlockWork {
 /// produced the profile.
 #[derive(Debug, Clone)]
 pub struct StageTime {
-    /// Stage name (e.g. "mct", "dwt", "quantize", "tier1").
-    pub name: &'static str,
+    /// Stage name (e.g. "mct", "dwt", "quantize", "tier1"). `Cow` so
+    /// dynamically named stages (`chunk-3`, `dwt-level-2`) don't force
+    /// a `String` leak to obtain `'static` lifetime.
+    pub name: Cow<'static, str>,
     /// Elapsed wall time in seconds.
     pub seconds: f64,
+}
+
+impl StageTime {
+    /// Build from any static or owned name.
+    pub fn new(name: impl Into<Cow<'static, str>>, seconds: f64) -> StageTime {
+        StageTime {
+            name: name.into(),
+            seconds,
+        }
+    }
 }
 
 /// One DWT level's geometry (the region the level transforms).

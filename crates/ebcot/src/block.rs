@@ -205,6 +205,13 @@ pub fn encode_block_opts(
     bypass: bool,
 ) -> EncodedBlock {
     assert_eq!(data.len(), w * h, "block data size");
+    // Per-code-block trace span: free (one atomic load) while tracing
+    // is disabled; Tier-1 cost is data dependent, so these spans are
+    // the ground truth behind the dynamic work queue's utilization.
+    let mut span = obs::trace::span("tier1")
+        .cat("block")
+        .arg("w", w as u64)
+        .arg("h", h as u64);
     let mags: Vec<u32> = data.iter().map(|&v| v.unsigned_abs()).collect();
     let num_planes = num_planes_of(&mags);
     let mut blk = EncodedBlock {
@@ -216,6 +223,7 @@ pub fn encode_block_opts(
         h,
     };
     if num_planes == 0 {
+        span.set_arg("symbols", 0);
         return blk;
     }
     let mut grid = Grid::new(w, h);
@@ -277,6 +285,7 @@ pub fn encode_block_opts(
             });
         }
     }
+    span.set_arg("symbols", blk.total_symbols());
     blk
 }
 

@@ -237,17 +237,39 @@ mod registry {
     pub fn eval(name: &str) -> Option<String> {
         // Decide the action under the lock, act after dropping it: a
         // firing Panic or Delay must never hold (or poison) the registry.
-        let action = {
+        let (action, hit) = {
             let mut g = lock();
             let st = g.entry(name.to_string()).or_default();
             st.hits += 1;
             let hit = st.hits;
-            st.specs
+            let action = st
+                .specs
                 .iter()
                 .find(|s| s.fires_on(hit))
-                .map(|s| s.action.clone())
+                .map(|s| s.action.clone());
+            (action, hit)
         };
-        match action? {
+        let action = action?;
+        // Record the armed hit *before* the action runs, so panics and
+        // delays show up in traces too. Written straight to the global
+        // sink (`instant_for`), not the thread-local buffer: a Panic
+        // unwinds past any later flush, and the crash handler may
+        // export the job's trace before this thread's TLS destructor
+        // runs — the direct write makes the hit deterministically
+        // visible to whoever drains next.
+        if obs::trace::enabled() {
+            let kind = match &action {
+                FaultAction::Error(_) => 0u64,
+                FaultAction::Panic(_) => 1,
+                FaultAction::Delay(_) => 2,
+            };
+            obs::trace::instant_for(
+                obs::trace::current(),
+                format!("failpoint:{name}"),
+                &[("hit", hit), ("kind", kind)],
+            );
+        }
+        match action {
             FaultAction::Error(msg) => Some(msg),
             FaultAction::Panic(msg) => panic!("{msg}"),
             FaultAction::Delay(d) => {

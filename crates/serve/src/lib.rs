@@ -35,11 +35,13 @@
 //! returns is **byte-identical** to sequential [`j2k_core::encode`] for
 //! the same input — scheduling decisions never touch the output.
 
+pub mod metrics_http;
 pub mod queue;
 pub mod server;
 pub mod service;
 pub mod wire;
 
+pub use metrics_http::{render_prometheus, serve_metrics};
 pub use queue::{JobQueue, PushError};
 pub use server::{serve, ServerConfig};
 pub use service::{

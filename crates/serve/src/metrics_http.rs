@@ -1,0 +1,205 @@
+//! Prometheus text exposition over a trivial HTTP/1.1 responder.
+//!
+//! Deliberately minimal (std::net only, no HTTP library): every request —
+//! whatever its path or method — is answered with the current metrics in
+//! Prometheus text exposition format 0.0.4 and the connection is closed.
+//! That is all a scrape loop (`curl`, Prometheus itself) needs, and it
+//! keeps the attack surface of the side port near zero: the reader is
+//! bounded, nothing in the request is parsed beyond discarding the
+//! header block, and the responder never writes anything derived from
+//! request bytes.
+//!
+//! Exposition invariant (checked by `obs::prom::validate` and the
+//! `observe` CI job): every histogram's `+Inf` bucket equals its
+//! `_count`, and `j2k_job_e2e_us` only ever observes *completed* jobs —
+//! so `j2k_job_e2e_us_bucket{le="+Inf"}` equals
+//! `j2k_jobs_completed_total`.
+
+use crate::service::EncodeService;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+/// Render the service's counters, gauges, and histogram series as
+/// Prometheus text exposition format.
+pub fn render_prometheus(svc: &EncodeService) -> String {
+    let m = svc.metrics();
+    let mut out = String::with_capacity(4096);
+    obs::prom::counter(
+        &mut out,
+        "j2k_jobs_accepted_total",
+        "Jobs admitted since start.",
+        m.accepted,
+    );
+    obs::prom::counter(
+        &mut out,
+        "j2k_jobs_rejected_total",
+        "Jobs refused by admission control.",
+        m.rejected,
+    );
+    obs::prom::counter(
+        &mut out,
+        "j2k_jobs_completed_total",
+        "Jobs that returned a codestream.",
+        m.completed,
+    );
+    obs::prom::counter(
+        &mut out,
+        "j2k_jobs_timed_out_total",
+        "Jobs stopped by their deadline.",
+        m.timed_out,
+    );
+    obs::prom::counter(
+        &mut out,
+        "j2k_jobs_cancelled_total",
+        "Jobs cancelled by their submitter.",
+        m.cancelled,
+    );
+    obs::prom::counter(
+        &mut out,
+        "j2k_jobs_failed_total",
+        "Jobs the encoder refused or failed.",
+        m.failed,
+    );
+    obs::prom::counter(
+        &mut out,
+        "j2k_jobs_retried_total",
+        "Crash retries scheduled.",
+        m.jobs_retried,
+    );
+    obs::prom::counter(
+        &mut out,
+        "j2k_jobs_poisoned_total",
+        "Jobs quarantined after exhausting the crash-retry budget.",
+        m.jobs_poisoned,
+    );
+    obs::prom::counter(
+        &mut out,
+        "j2k_workers_respawned_total",
+        "Worker threads respawned after a crash.",
+        m.workers_respawned,
+    );
+    obs::prom::gauge(
+        &mut out,
+        "j2k_workers_alive",
+        "Worker threads currently live.",
+        m.workers_alive,
+    );
+    obs::prom::gauge(
+        &mut out,
+        "j2k_queue_depth",
+        "Jobs queued right now.",
+        m.queue_depth as u64,
+    );
+    obs::prom::gauge(
+        &mut out,
+        "j2k_queue_capacity",
+        "The admission bound.",
+        m.queue_capacity as u64,
+    );
+    for (name, snap) in svc.histogram_snapshots() {
+        let help = match name.as_str() {
+            "queue_wait_us" => "Microseconds a job waited queued before a worker claimed it.",
+            "job_e2e_us" => {
+                "End-to-end latency of completed jobs, microseconds (submit to codestream)."
+            }
+            "tier1_symbols_per_sec" => "Per-job Tier-1 coding-pass symbol throughput.",
+            _ => "Per-stage encode wall time, microseconds.",
+        };
+        obs::prom::histogram(&mut out, &format!("j2k_{name}"), help, &snap);
+    }
+    out
+}
+
+/// Serve `render_prometheus` on `listener` until the service shuts down
+/// or the listener errors. One request per connection; blocking reads.
+/// Run this on a dedicated thread.
+pub fn serve_metrics(listener: TcpListener, svc: Arc<EncodeService>) {
+    for conn in listener.incoming() {
+        let Ok(stream) = conn else { continue };
+        let _ = respond(stream, &svc);
+        if !svc.health().accepting {
+            return;
+        }
+    }
+}
+
+fn respond(mut stream: TcpStream, svc: &EncodeService) -> std::io::Result<()> {
+    // Drain (and ignore) the request head. Bounded: stop at the blank
+    // line or after 8 KiB, whichever comes first.
+    let mut buf = [0u8; 1024];
+    let mut seen = 0usize;
+    loop {
+        let n = stream.read(&mut buf)?;
+        seen += n;
+        if n == 0 || seen >= 8192 || buf[..n].windows(4).any(|w| w == b"\r\n\r\n") {
+            break;
+        }
+    }
+    let body = render_prometheus(svc);
+    let head = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{EncodeJob, JobOutcome, ServiceConfig};
+    use j2k_core::EncoderParams;
+
+    #[test]
+    fn exposition_is_valid_and_ties_e2e_to_completed() {
+        let svc = EncodeService::start(ServiceConfig {
+            pool_threads: 1,
+            ..ServiceConfig::default()
+        });
+        for _ in 0..3 {
+            let im = imgio::synth::natural(32, 32, 1);
+            let h = svc
+                .submit(EncodeJob::new(im, EncoderParams::lossless()))
+                .unwrap();
+            assert!(matches!(h.wait(), JobOutcome::Completed { .. }));
+        }
+        let text = render_prometheus(&svc);
+        let series = obs::prom::validate(&text).expect("exposition must validate");
+        assert!(
+            series >= 10,
+            "expected a full exposition, got {series} series"
+        );
+        assert!(text.contains("j2k_jobs_completed_total 3"));
+        assert!(text.contains("j2k_job_e2e_us_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("j2k_job_e2e_us_count 3"));
+        assert!(text.contains("j2k_stage_tier1_us_count 3"));
+    }
+
+    #[test]
+    fn http_responder_answers_one_scrape() {
+        let svc = Arc::new(EncodeService::start(ServiceConfig {
+            pool_threads: 1,
+            ..ServiceConfig::default()
+        }));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let svc2 = Arc::clone(&svc);
+        let t = std::thread::spawn(move || serve_metrics(listener, svc2));
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut resp = String::new();
+        stream.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 200 OK"));
+        let body = resp.split("\r\n\r\n").nth(1).unwrap();
+        obs::prom::validate(body).expect("scraped body must validate");
+        // Unblock and stop the responder thread.
+        svc.begin_shutdown();
+        let _ = TcpStream::connect(addr).map(|mut s| s.write_all(b"GET / HTTP/1.1\r\n\r\n"));
+        let _ = t.join();
+    }
+}

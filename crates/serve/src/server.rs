@@ -102,6 +102,12 @@ fn handle_conn(stream: TcpStream, service: &EncodeService, cfg: ServerConfig) ->
             Request::Ping => Response::Pong,
             Request::Metrics => Response::MetricsJson(service.metrics().to_json()),
             Request::Health => Response::Health(service.health()),
+            Request::Trace(job_id) => match service.trace_json(job_id) {
+                Some(j) => Response::TraceJson(j),
+                None => Response::Failed(format!(
+                    "no retained trace for job {job_id} (is the daemon tracing?)"
+                )),
+            },
             Request::Shutdown => {
                 let _ = respond(&mut writer, &Response::Pong);
                 return ConnExit::Shutdown;

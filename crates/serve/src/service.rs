@@ -54,8 +54,11 @@
 use crate::queue::{JobQueue, PushError};
 use imgio::Image;
 use j2k_core::{encode_parallel_ctl, CodecError, EncodeControl, EncoderParams, ParallelOptions};
-use std::collections::{BTreeMap, HashMap};
+use obs::hist::{HistogramSnapshot, HistogramStats};
+use obs::trace;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Condvar, Mutex};
@@ -199,11 +202,19 @@ struct Task {
     priority: u8,
     /// Times this job has crashed a worker.
     crashes: AtomicU32,
+    /// Submission time, for the queue-wait histogram.
+    submitted: Instant,
+    /// Submission time on the trace clock (ns since trace epoch), so the
+    /// cross-thread queue-wait span has an explicit start timestamp.
+    submitted_ns: u64,
+    /// Trace correlation id minted at submit; every span and instant the
+    /// job produces — on any thread — carries it.
+    trace_id: u64,
     shared: Arc<JobShared>,
 }
 
 /// Tuning of an [`EncodeService`].
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServiceConfig {
     /// Bounded queue capacity; submissions beyond it are
     /// [`SubmitError::Overloaded`].
@@ -223,6 +234,14 @@ pub struct ServiceConfig {
     /// Base backoff before a crash retry re-enters the queue; doubles per
     /// crash (`base << (crashes-1)`). Zero retries immediately.
     pub retry_backoff: Duration,
+    /// When set (and tracing is enabled), each finished job's trace is
+    /// also written to `DIR/trace-job-<id>.json`, keeping at most
+    /// [`trace_keep`](Self::trace_keep) files.
+    pub trace_dir: Option<PathBuf>,
+    /// How many per-job traces the service retains — both in memory (for
+    /// the wire `Trace` request) and on disk under
+    /// [`trace_dir`](Self::trace_dir).
+    pub trace_keep: usize,
 }
 
 impl Default for ServiceConfig {
@@ -234,6 +253,8 @@ impl Default for ServiceConfig {
             default_timeout: None,
             max_crash_retries: 1,
             retry_backoff: Duration::from_millis(100),
+            trace_dir: None,
+            trace_keep: 16,
         }
     }
 }
@@ -252,9 +273,17 @@ struct Metrics {
     workers_alive: AtomicU64,
     /// Accumulated per-stage encode wall time (name -> seconds) and
     /// completed-job latency samples, both fed from finished jobs.
-    stage_seconds: Mutex<BTreeMap<&'static str, f64>>,
+    stage_seconds: Mutex<BTreeMap<String, f64>>,
     /// Most recent quarantined job ids (bounded at [`QUARANTINE_KEEP`]).
     quarantine: Mutex<Vec<u64>>,
+    /// Latency / throughput distributions: queue-wait, per-stage, whole
+    /// job, Tier-1 symbol throughput. Recording is lock-free.
+    hist: obs::Registry,
+    /// Retained per-job Chrome traces, newest last, bounded at
+    /// `trace_keep` (wire `Trace(job_id)` serves from here).
+    traces: Mutex<VecDeque<(u64, String)>>,
+    /// Trace files written under `trace_dir`, oldest first, for pruning.
+    trace_files: Mutex<VecDeque<PathBuf>>,
 }
 
 /// Point-in-time counters of a service, JSON-serializable for the wire.
@@ -292,21 +321,43 @@ pub struct MetricsSnapshot {
     /// Accumulated encode wall time per pipeline stage, seconds
     /// (stage names from [`j2k_core::WorkloadProfile::stage_times`]).
     pub stage_seconds: Vec<(String, f64)>,
+    /// Percentile summaries per histogram series (`queue_wait_us`,
+    /// `job_e2e_us`, `stage_*_us`, `tier1_symbols_per_sec`), sorted by
+    /// series name.
+    pub histograms: Vec<(String, HistogramStats)>,
 }
 
 impl MetricsSnapshot {
     /// Hand-rolled JSON (the workspace builds offline, without serde).
+    /// Keys are a stable schema (golden-file tested); dynamic names —
+    /// stage and series names — are JSON-escaped.
     pub fn to_json(&self) -> String {
         let stages: Vec<String> = self
             .stage_seconds
             .iter()
-            .map(|(n, s)| format!("\"{n}\":{s:.6}"))
+            .map(|(n, s)| format!("\"{}\":{s:.6}", obs::json_escape(n)))
+            .collect();
+        let hists: Vec<String> = self
+            .histograms
+            .iter()
+            .map(|(n, h)| {
+                format!(
+                    "\"{}\":{{\"count\":{},\"p50\":{},\"p95\":{},\"p99\":{},\"p999\":{},\"max\":{}}}",
+                    obs::json_escape(n),
+                    h.count,
+                    h.p50,
+                    h.p95,
+                    h.p99,
+                    h.p999,
+                    h.max
+                )
+            })
             .collect();
         format!(
             "{{\"queue_depth\":{},\"queue_capacity\":{},\"accepted\":{},\"rejected\":{},\
              \"completed\":{},\"timed_out\":{},\"cancelled\":{},\"failed\":{},\
              \"jobs_retried\":{},\"jobs_poisoned\":{},\"workers_respawned\":{},\
-             \"workers_alive\":{},\"stage_seconds\":{{{}}}}}",
+             \"workers_alive\":{},\"stage_seconds\":{{{}}},\"histograms\":{{{}}}}}",
             self.queue_depth,
             self.queue_capacity,
             self.accepted,
@@ -319,7 +370,8 @@ impl MetricsSnapshot {
             self.jobs_poisoned,
             self.workers_respawned,
             self.workers_alive,
-            stages.join(",")
+            stages.join(","),
+            hists.join(",")
         )
     }
 }
@@ -401,11 +453,12 @@ impl EncodeService {
         let mut handles = HashMap::new();
         let pool = cfg.pool_threads.max(1) as u64;
         for id in 0..pool {
-            handles.insert(id, spawn_worker(id, &queue, &metrics, cfg, &tx));
+            handles.insert(id, spawn_worker(id, &queue, &metrics, &cfg, &tx));
         }
         let supervisor = {
             let queue = Arc::clone(&queue);
             let metrics = Arc::clone(&metrics);
+            let cfg = cfg.clone();
             std::thread::spawn(move || {
                 supervisor_main(Supervisor {
                     rx,
@@ -443,16 +496,26 @@ impl EncodeService {
             outcome: Mutex::new(None),
             cv: Condvar::new(),
         });
+        let trace_id = trace::next_trace_id();
         let task = Arc::new(Task {
             image: job.image,
             params: job.params,
             priority: job.priority,
             crashes: AtomicU32::new(0),
+            submitted: Instant::now(),
+            submitted_ns: trace::now_ns(),
+            trace_id,
             shared: Arc::clone(&shared),
         });
+        let (id, priority) = (shared.id, job.priority);
         match self.queue.try_push(task, job.priority) {
             Ok(()) => {
                 self.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+                trace::instant_for(
+                    trace_id,
+                    "queue-push",
+                    &[("job", id), ("priority", u64::from(priority))],
+                );
                 Ok(JobHandle { shared })
             }
             Err((_, PushError::Full { capacity })) => {
@@ -500,9 +563,38 @@ impl EncodeService {
                 .lock()
                 .unwrap_or_else(|e| e.into_inner())
                 .iter()
-                .map(|(&n, &s)| (n.to_string(), s))
+                .map(|(n, &s)| (n.clone(), s))
+                .collect(),
+            histograms: m
+                .hist
+                .snapshot()
+                .into_iter()
+                .map(|(n, h)| (n, h.stats()))
                 .collect(),
         }
+    }
+
+    /// Full (bucketed) histogram snapshots, for Prometheus exposition.
+    pub fn histogram_snapshots(&self) -> Vec<(String, HistogramSnapshot)> {
+        self.metrics.hist.snapshot()
+    }
+
+    /// Retained Chrome trace JSON for `job_id`, or — with `job_id == 0` —
+    /// the most recently finished traced job. `None` when tracing is off,
+    /// the job is unknown, or its trace has been evicted.
+    pub fn trace_json(&self, job_id: u64) -> Option<String> {
+        let t = self
+            .metrics
+            .traces
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        if job_id == 0 {
+            return t.back().map(|(_, j)| j.clone());
+        }
+        t.iter()
+            .rev()
+            .find(|(id, _)| *id == job_id)
+            .map(|(_, j)| j.clone())
     }
 
     /// Readiness probe: pool strength, quarantine count, queue depth.
@@ -567,7 +659,7 @@ fn spawn_worker(
     id: u64,
     queue: &Arc<JobQueue<Arc<Task>>>,
     metrics: &Arc<Metrics>,
-    cfg: ServiceConfig,
+    cfg: &ServiceConfig,
     tx: &Sender<SupMsg>,
 ) -> JoinHandle<()> {
     // Counted on the spawning side so `workers_alive` never transiently
@@ -575,6 +667,7 @@ fn spawn_worker(
     metrics.workers_alive.fetch_add(1, Ordering::Relaxed);
     let queue = Arc::clone(queue);
     let metrics = Arc::clone(metrics);
+    let cfg = cfg.clone();
     let tx = tx.clone();
     std::thread::spawn(move || worker_main(id, &queue, &metrics, &cfg, &tx))
 }
@@ -608,6 +701,12 @@ fn worker_main(
                 // (fresh stack and state beat an unwound one); the
                 // supervisor replaces it. Its claimed job, if any, goes
                 // through the retry/quarantine state machine first.
+                // Flush this thread's span buffer *before* the crash
+                // handler so the crash/backoff instants land after the
+                // events already recorded — and so a terminal outcome's
+                // trace export sees them.
+                trace::flush_thread();
+                trace::set_current(0);
                 let task = current.lock().unwrap_or_else(|e| e.into_inner()).take();
                 if let Some(task) = task {
                     handle_crash(task, queue, metrics, cfg, tx);
@@ -632,50 +731,145 @@ fn worker_iteration(
         return false;
     };
     *current.lock().unwrap_or_else(|e| e.into_inner()) = Some(Arc::clone(&task));
+    let wait = task.submitted.elapsed();
+    metrics
+        .hist
+        .histogram("queue_wait_us")
+        .record(wait.as_micros() as u64);
+    trace::set_current(task.trace_id);
+    if trace::enabled() {
+        // Cross-thread span: the push timestamp was captured at submit,
+        // the popping worker emits the complete event.
+        trace::complete_with(
+            task.trace_id,
+            "queue-wait",
+            "queue",
+            task.submitted_ns,
+            wait.as_nanos() as u64,
+            &[("job", task.shared.id)],
+        );
+        trace::instant("queue-pop", &[("job", task.shared.id)]);
+    }
     // Failpoint `worker.job_start`: between claim and encode. A panic
     // here crashes the worker while it holds a claimed job — the
     // narrowest reproduction of "worker dies mid-job".
-    if let Some(msg) = faultsim::eval("worker.job_start") {
-        current.lock().unwrap_or_else(|e| e.into_inner()).take();
+    let outcome = if let Some(msg) = faultsim::eval("worker.job_start") {
         metrics.failed.fetch_add(1, Ordering::Relaxed);
-        task.shared
-            .complete(JobOutcome::Failed(format!("injected fault: {msg}")));
-        return true;
-    }
-    let outcome = match encode_parallel_ctl(
-        &task.image,
-        &task.params,
-        cfg.workers_per_job,
-        &ParallelOptions::default(),
-        Some(&task.shared.ctl),
-    ) {
-        Ok((codestream, profile)) => {
-            metrics.completed.fetch_add(1, Ordering::Relaxed);
-            let mut stages = metrics
-                .stage_seconds
-                .lock()
-                .unwrap_or_else(|e| e.into_inner());
-            for st in &profile.stage_times {
-                *stages.entry(st.name).or_insert(0.0) += st.seconds;
+        JobOutcome::Failed(format!("injected fault: {msg}"))
+    } else {
+        let encode_span = trace::span("encode")
+            .cat("job")
+            .arg("job", task.shared.id)
+            .arg("crashes", u64::from(task.crashes.load(Ordering::Relaxed)));
+        let started = Instant::now();
+        let outcome = match encode_parallel_ctl(
+            &task.image,
+            &task.params,
+            cfg.workers_per_job,
+            &ParallelOptions::default(),
+            Some(&task.shared.ctl),
+        ) {
+            Ok((codestream, profile)) => {
+                metrics.completed.fetch_add(1, Ordering::Relaxed);
+                let mut tier1_secs = 0.0f64;
+                {
+                    let mut stages = metrics
+                        .stage_seconds
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner());
+                    for st in &profile.stage_times {
+                        *stages.entry(st.name.to_string()).or_insert(0.0) += st.seconds;
+                    }
+                }
+                for st in &profile.stage_times {
+                    if st.name == "tier1" {
+                        tier1_secs += st.seconds;
+                    }
+                    // Series name: dashes to underscores so the name is a
+                    // legal Prometheus identifier (`stage_rate_control_us`).
+                    let series = format!("stage_{}_us", st.name.replace('-', "_"));
+                    metrics
+                        .hist
+                        .histogram(&series)
+                        .record((st.seconds * 1e6) as u64);
+                }
+                if tier1_secs > 0.0 {
+                    let symbols = profile.tier1_symbols();
+                    metrics
+                        .hist
+                        .histogram("tier1_symbols_per_sec")
+                        .record((symbols as f64 / tier1_secs) as u64);
+                }
+                // Only completed jobs feed the e2e series, so its +Inf
+                // bucket count equals the completed-jobs counter (the
+                // acceptance tie checked by the `observe` CI job).
+                metrics
+                    .hist
+                    .histogram("job_e2e_us")
+                    .record((wait + started.elapsed()).as_micros() as u64);
+                JobOutcome::Completed { codestream }
             }
-            JobOutcome::Completed { codestream }
-        }
-        Err(CodecError::Deadline) => {
-            metrics.timed_out.fetch_add(1, Ordering::Relaxed);
-            JobOutcome::TimedOut
-        }
-        Err(CodecError::Cancelled) => {
-            metrics.cancelled.fetch_add(1, Ordering::Relaxed);
-            JobOutcome::Cancelled
-        }
-        Err(e) => {
-            metrics.failed.fetch_add(1, Ordering::Relaxed);
-            JobOutcome::Failed(e.to_string())
-        }
+            Err(CodecError::Deadline) => {
+                metrics.timed_out.fetch_add(1, Ordering::Relaxed);
+                JobOutcome::TimedOut
+            }
+            Err(CodecError::Cancelled) => {
+                metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+                JobOutcome::Cancelled
+            }
+            Err(e) => {
+                metrics.failed.fetch_add(1, Ordering::Relaxed);
+                JobOutcome::Failed(e.to_string())
+            }
+        };
+        drop(encode_span);
+        outcome
     };
+    export_trace(&task, metrics, cfg);
+    trace::set_current(0);
     current.lock().unwrap_or_else(|e| e.into_inner()).take();
     task.shared.complete(outcome);
     true
+}
+
+/// Collect the finished (or terminally failed) job's events into a Chrome
+/// trace, retain it in the in-memory ring, and optionally persist it under
+/// `cfg.trace_dir`. No-op while tracing is disabled.
+fn export_trace(task: &Task, metrics: &Metrics, cfg: &ServiceConfig) {
+    if !trace::enabled() {
+        return;
+    }
+    // The encode's scoped threads flushed their buffers when they exited;
+    // flush this worker's own buffer so take_job sees everything.
+    trace::flush_thread();
+    let events = trace::take_job(task.trace_id);
+    if events.is_empty() {
+        return;
+    }
+    let json = obs::chrome::render(&events);
+    let keep = cfg.trace_keep.max(1);
+    {
+        let mut t = metrics.traces.lock().unwrap_or_else(|e| e.into_inner());
+        t.push_back((task.shared.id, json.clone()));
+        while t.len() > keep {
+            t.pop_front();
+        }
+    }
+    if let Some(dir) = &cfg.trace_dir {
+        let path = dir.join(format!("trace-job-{}.json", task.shared.id));
+        if std::fs::create_dir_all(dir).is_ok() && std::fs::write(&path, &json).is_ok() {
+            let mut f = metrics
+                .trace_files
+                .lock()
+                .unwrap_or_else(|e| e.into_inner());
+            f.push_back(path);
+            while f.len() > keep {
+                if let Some(old) = f.pop_front() {
+                    let _ = std::fs::remove_file(old);
+                }
+            }
+        }
+    }
 }
 
 /// The retry/quarantine state machine, run by a dying worker for the job
@@ -696,6 +890,11 @@ fn handle_crash(
 ) {
     let crashes = task.crashes.fetch_add(1, Ordering::Relaxed) + 1;
     let id = task.shared.id;
+    trace::instant_for(
+        task.trace_id,
+        "worker-crash",
+        &[("job", id), ("crashes", u64::from(crashes))],
+    );
     if crashes > cfg.max_crash_retries {
         metrics.poisoned.fetch_add(1, Ordering::Relaxed);
         {
@@ -706,6 +905,7 @@ fn handle_crash(
                 q.drain(..excess);
             }
         }
+        export_trace(&task, metrics, cfg);
         task.shared.complete(JobOutcome::Poisoned {
             message: format!(
                 "job {id} crashed its worker {crashes} times (budget {}); quarantined",
@@ -725,13 +925,20 @@ fn handle_crash(
     if let Some(d) = task.shared.ctl.deadline() {
         if d <= due {
             metrics.timed_out.fetch_add(1, Ordering::Relaxed);
+            export_trace(&task, metrics, cfg);
             task.shared.complete(JobOutcome::TimedOut);
             return;
         }
     }
     metrics.retried.fetch_add(1, Ordering::Relaxed);
+    trace::instant_for(
+        task.trace_id,
+        "retry-backoff",
+        &[("job", id), ("backoff_ms", backoff.as_millis() as u64)],
+    );
     let priority = task.priority;
     if backoff.is_zero() {
+        trace::instant_for(task.trace_id, "queue-requeue", &[("job", id)]);
         queue.requeue(task, priority);
         return;
     }
@@ -769,6 +976,7 @@ fn supervisor_main(mut s: Supervisor) {
             if s.pending[i].0 <= now {
                 let (_, task) = s.pending.swap_remove(i);
                 let priority = task.priority;
+                trace::instant_for(task.trace_id, "queue-requeue", &[("job", task.shared.id)]);
                 s.queue.requeue(task, priority);
             } else {
                 i += 1;
@@ -811,8 +1019,9 @@ fn supervisor_main(mut s: Supervisor) {
                     let id = s.next_worker_id;
                     s.next_worker_id += 1;
                     s.metrics.workers_respawned.fetch_add(1, Ordering::Relaxed);
+                    trace::instant_for(0, "worker-respawn", &[("worker", id)]);
                     s.handles
-                        .insert(id, spawn_worker(id, &s.queue, &s.metrics, s.cfg, &s.tx));
+                        .insert(id, spawn_worker(id, &s.queue, &s.metrics, &s.cfg, &s.tx));
                     s.live += 1;
                 }
             }
@@ -905,6 +1114,17 @@ mod tests {
             workers_respawned: 2,
             workers_alive: 2,
             stage_seconds: vec![("dwt".into(), 0.25)],
+            histograms: vec![(
+                "job_e2e_us".into(),
+                HistogramStats {
+                    count: 3,
+                    p50: 100,
+                    p95: 200,
+                    p99: 200,
+                    p999: 200,
+                    max: 180,
+                },
+            )],
         };
         let j = snap.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
@@ -914,6 +1134,7 @@ mod tests {
         assert!(j.contains("\"workers_respawned\":2"));
         assert!(j.contains("\"workers_alive\":2"));
         assert!(j.contains("\"dwt\":0.250000"));
+        assert!(j.contains("\"histograms\":{\"job_e2e_us\":{\"count\":3,\"p50\":100"));
     }
 
     #[test]

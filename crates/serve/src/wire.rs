@@ -44,6 +44,7 @@ const TAG_METRICS: u8 = 0x02;
 const TAG_PING: u8 = 0x03;
 const TAG_SHUTDOWN: u8 = 0x04;
 const TAG_HEALTH: u8 = 0x05;
+const TAG_TRACE: u8 = 0x06;
 const TAG_ENCODE_OK: u8 = 0x81;
 const TAG_REJECTED: u8 = 0x82;
 const TAG_TIMED_OUT: u8 = 0x83;
@@ -53,6 +54,7 @@ const TAG_METRICS_JSON: u8 = 0x86;
 const TAG_PONG: u8 = 0x87;
 const TAG_HEALTH_OK: u8 = 0x88;
 const TAG_POISONED: u8 = 0x89;
+const TAG_TRACE_JSON: u8 = 0x8A;
 
 /// Wire-level failures. Framing errors ([`Truncated`](Self::Truncated),
 /// [`BadMagic`](Self::BadMagic), [`Oversized`](Self::Oversized),
@@ -124,6 +126,11 @@ pub enum Request {
     /// [`HealthSnapshot`](crate::service::HealthSnapshot) (live workers,
     /// quarantine count, retry totals, queue depth).
     Health,
+    /// Fetch a finished job's Chrome trace JSON by job id (0 = the most
+    /// recently finished traced job). Requires the daemon to run with
+    /// tracing enabled; answered with [`Response::TraceJson`] or, when no
+    /// such trace is retained, [`Response::Failed`].
+    Trace(u64),
 }
 
 /// Body of [`Request::Encode`].
@@ -162,6 +169,8 @@ pub enum Response {
     /// The job crashed its worker past the retry budget and was
     /// quarantined (see [`crate::service::JobOutcome::Poisoned`]).
     Poisoned(String),
+    /// Reply to [`Request::Trace`]: one job's Chrome trace-event JSON.
+    TraceJson(String),
 }
 
 /// Why a job was refused.
@@ -416,6 +425,11 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         Request::Ping => vec![TAG_PING],
         Request::Shutdown => vec![TAG_SHUTDOWN],
         Request::Health => vec![TAG_HEALTH],
+        Request::Trace(job_id) => {
+            let mut out = vec![TAG_TRACE];
+            out.extend_from_slice(&job_id.to_be_bytes());
+            out
+        }
     }
 }
 
@@ -442,6 +456,7 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, WireError> {
         TAG_PING => Request::Ping,
         TAG_SHUTDOWN => Request::Shutdown,
         TAG_HEALTH => Request::Health,
+        TAG_TRACE => Request::Trace(rd.u64()?),
         t => {
             return Err(WireError::Malformed(format!(
                 "unknown request tag {t:#04x}"
@@ -501,6 +516,11 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         Response::Poisoned(m) => {
             let mut out = vec![TAG_POISONED];
             out.extend_from_slice(m.as_bytes());
+            out
+        }
+        Response::TraceJson(j) => {
+            let mut out = vec![TAG_TRACE_JSON];
+            out.extend_from_slice(j.as_bytes());
             out
         }
     }
@@ -569,6 +589,11 @@ pub fn parse_response(payload: &[u8]) -> Result<Response, WireError> {
                 .map_err(|_| WireError::Malformed("non-utf8 poison message".into()))?;
             Ok(Response::Poisoned(m))
         }
+        TAG_TRACE_JSON => {
+            let j = String::from_utf8(rd.take(rd.remaining())?.to_vec())
+                .map_err(|_| WireError::Malformed("non-utf8 trace json".into()))?;
+            Ok(Response::TraceJson(j))
+        }
         t => Err(WireError::Malformed(format!(
             "unknown response tag {t:#04x}"
         ))),
@@ -607,6 +632,8 @@ mod tests {
             Request::Ping,
             Request::Shutdown,
             Request::Health,
+            Request::Trace(0),
+            Request::Trace(42),
         ] {
             assert_eq!(parse_request(&encode_request(&req)).unwrap(), req);
         }
@@ -634,6 +661,7 @@ mod tests {
                 accepting: true,
             }),
             Response::Poisoned("job 7 crashed its worker 2 times".into()),
+            Response::TraceJson("{\"traceEvents\":[]}".into()),
         ] {
             assert_eq!(parse_response(&encode_response(&resp)).unwrap(), resp);
         }

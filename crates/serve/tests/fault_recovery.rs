@@ -55,6 +55,7 @@ fn one_worker_cfg() -> ServiceConfig {
         default_timeout: None,
         max_crash_retries: 1,
         retry_backoff: Duration::ZERO,
+        ..ServiceConfig::default()
     }
 }
 
@@ -279,6 +280,88 @@ fn wire_read_fault_drops_connection_cleanly() {
     server.join().unwrap();
 }
 
+/// Observability satellite: a traced, failpoint-crashed, retried job
+/// yields **one** retained trace that tells the whole story — the armed
+/// failpoint firing, the worker crash, the retry backoff instant, the
+/// requeue — and the retried result is still byte-identical. No sleeps:
+/// zero backoff sequences every event through the single worker.
+#[test]
+fn traced_crash_retry_trace_tells_the_story_and_stays_byte_identical() {
+    let _g = FaultGuard::take();
+    // The trace sink is process-global like the failpoint registry; the
+    // FaultGuard lock already serializes this binary's tests around it.
+    obs::trace::reset();
+    obs::trace::set_enabled(true);
+    struct TraceOff;
+    impl Drop for TraceOff {
+        fn drop(&mut self) {
+            obs::trace::set_enabled(false);
+            obs::trace::reset();
+        }
+    }
+    let _t = TraceOff;
+    faultsim::arm(
+        "tier1.block",
+        FaultSpec::once(FaultAction::Panic("traced tier1 chaos".into())),
+    );
+    let svc = EncodeService::start(one_worker_cfg());
+    let im = image(7);
+    let params = EncoderParams::lossless();
+    let h = svc.submit(EncodeJob::new(im.clone(), params)).unwrap();
+    let id = h.id();
+    match h.wait() {
+        JobOutcome::Completed { codestream } => {
+            assert_eq!(
+                codestream,
+                sequential(&im, &params),
+                "traced retry must stay byte-identical"
+            );
+        }
+        other => panic!("expected Completed after respawn+retry, got {other:?}"),
+    }
+    let json = svc
+        .trace_json(id)
+        .expect("a traced completed job retains its trace");
+    assert_eq!(
+        svc.trace_json(0).as_deref(),
+        Some(json.as_str()),
+        "job 0 aliases the most recent trace"
+    );
+    let events = obs::chrome::check(
+        &json,
+        &[
+            "queue-push",
+            "queue-pop",
+            "queue-wait",
+            "failpoint:tier1.block",
+            "worker-crash",
+            "retry-backoff",
+            "queue-requeue",
+            "encode",
+            "tier1",
+        ],
+    )
+    .expect("trace must parse as Chrome JSON with the full crash story");
+    // One trace, one story: every event belongs to this job's trace id,
+    // and the crash precedes the backoff which precedes the requeue.
+    let tid = events
+        .iter()
+        .find_map(|e| e.trace_id())
+        .expect("events carry the trace id");
+    assert!(events.iter().all(|e| e.trace_id() == Some(tid)));
+    let ts_of = |name: &str| {
+        events
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| e.ts_us)
+            .unwrap()
+    };
+    assert!(ts_of("failpoint:tier1.block") <= ts_of("worker-crash"));
+    assert!(ts_of("worker-crash") <= ts_of("retry-backoff"));
+    assert!(ts_of("retry-backoff") <= ts_of("queue-requeue"));
+    svc.shutdown();
+}
+
 /// Seeded chaos: a random schedule over every service-level failpoint.
 /// Every job must reach a terminal outcome, completed jobs must stay
 /// byte-identical, and shutdown must drain — whatever the faults did.
@@ -309,6 +392,7 @@ fn seeded_chaos_schedule_resolves_every_job() {
         default_timeout: None,
         max_crash_retries: 2,
         retry_backoff: Duration::ZERO,
+        ..ServiceConfig::default()
     });
     let jobs: Vec<(Image, EncoderParams)> = (0..8)
         .map(|i| {

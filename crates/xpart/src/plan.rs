@@ -36,6 +36,13 @@ pub struct ChunkDesc {
 }
 
 impl ChunkDesc {
+    /// Stable human-readable label (`chunk-3`) used for trace events
+    /// and diagnostics; dense ids make labels line up with the plan's
+    /// left-to-right chunk order.
+    pub fn label(&self) -> String {
+        format!("chunk-{}", self.id)
+    }
+
     /// Number of elements covered.
     #[inline]
     pub fn elems(&self) -> usize {

@@ -8,6 +8,7 @@
 //! j2kcell decode  input.j2c output.{bmp,pgm,ppm} [--resolution N] [--max-layers N]
 //! j2kcell simulate input.{bmp,pgm,ppm} [--lossy RATE] [--spes N] [--ppes N]
 //! j2kcell info    input.j2c
+//! j2kcell synth   output.{bmp,pgm,ppm} [--size N] [--seed N] [--gray]
 //! ```
 //!
 //! `--workers N` (alias `--threads`) dispatches the encode to
@@ -38,6 +39,9 @@ usage:
   j2kcell decode  INPUT.{j2c,jp2} OUTPUT.{bmp,pgm,ppm} [--resolution N] [--max-layers N]
   j2kcell simulate INPUT.{bmp,pgm,ppm} [--lossy RATE] [--spes N] [--ppes N]
   j2kcell info    INPUT.{j2c,jp2}
+  j2kcell synth   OUTPUT.{bmp,pgm,ppm} [--size N] [--seed N] [--gray]
+                  write a deterministic natural-statistics test image
+                  (N x N, default 256; --gray for single component)
 
 encode options:
   --lossy RATE       irreversible 9/7 path at RATE output bits per input
@@ -57,7 +61,12 @@ encode options:
                      requires a build with `--features failpoints`; the
                      codec failpoints live in the parallel driver, so
                      combine with --workers >= 2 (chaos drills; see
-                     DESIGN.md §11)";
+                     DESIGN.md §11)
+  --trace-out FILE   record the encode as Chrome trace-event JSON and
+                     write it to FILE (load in Perfetto / about:tracing);
+                     routes the encode through the parallel driver so
+                     per-stage and per-chunk spans exist even at
+                     --workers 1 — output bytes are unchanged";
 
 fn read_image(path: &str) -> Image {
     let ext = Path::new(path)
@@ -104,6 +113,10 @@ struct Opt {
     max_layers: usize,
     bypass: bool,
     failpoints: Option<String>,
+    trace_out: Option<String>,
+    size: usize,
+    seed: u64,
+    gray: bool,
 }
 
 fn parse(args: &[String]) -> Opt {
@@ -122,6 +135,10 @@ fn parse(args: &[String]) -> Opt {
         max_layers: usize::MAX,
         bypass: false,
         failpoints: None,
+        trace_out: None,
+        size: 256,
+        seed: 7,
+        gray: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -171,6 +188,22 @@ fn parse(args: &[String]) -> Opt {
             "--failpoints" => {
                 o.failpoints = Some(need(i).clone());
                 i += 2;
+            }
+            "--trace-out" => {
+                o.trace_out = Some(need(i).clone());
+                i += 2;
+            }
+            "--size" => {
+                o.size = need(i).parse().unwrap_or_else(|_| die("--size N"));
+                i += 2;
+            }
+            "--seed" => {
+                o.seed = need(i).parse().unwrap_or_else(|_| die("--seed N"));
+                i += 2;
+            }
+            "--gray" => {
+                o.gray = true;
+                i += 1;
             }
             "--fixed" => {
                 o.fixed = true;
@@ -251,13 +284,36 @@ fn main() {
             };
             let im = read_image(input);
             let params = params_of(&o);
+            if o.trace_out.is_some() {
+                obs::trace::set_enabled(true);
+                obs::trace::set_current(obs::trace::next_trace_id());
+            }
             let t0 = std::time::Instant::now();
-            let bytes = if o.workers > 1 {
-                jpeg2000_cell::codec::parallel::encode_parallel(&im, &params, o.workers)
+            // --trace-out routes through the parallel driver even at 1
+            // worker: the stage/chunk spans live there, and the output
+            // is byte-identical either way.
+            let bytes = if o.workers > 1 || o.trace_out.is_some() {
+                jpeg2000_cell::codec::parallel::encode_parallel(&im, &params, o.workers.max(1))
                     .unwrap_or_else(|e| die(&e.to_string()))
             } else {
                 jpeg2000_cell::codec::encode(&im, &params).unwrap_or_else(|e| die(&e.to_string()))
             };
+            if let Some(trace_path) = &o.trace_out {
+                obs::trace::flush_thread();
+                let events = obs::trace::drain_all();
+                let json = obs::chrome::render(&events);
+                std::fs::write(trace_path, &json)
+                    .unwrap_or_else(|e| die(&format!("cannot write {trace_path}: {e}")));
+                eprintln!(
+                    "j2kcell: wrote {} trace events to {trace_path}{}",
+                    events.len(),
+                    if obs::trace::dropped() > 0 {
+                        " (sink overflow: some events dropped)"
+                    } else {
+                        ""
+                    }
+                );
+            }
             let bytes = if output.ends_with(".jp2") {
                 jpeg2000_cell::codec::jp2::wrap(&bytes).unwrap_or_else(|e| die(&e.to_string()))
             } else {
@@ -362,6 +418,28 @@ fn main() {
                 "{} coded blocks, {} codestream bytes",
                 parsed.blocks.len(),
                 cs.len()
+            );
+        }
+        "synth" => {
+            let [output] = o.positional.as_slice() else {
+                die("synth needs an OUTPUT image path");
+            };
+            if o.size == 0 {
+                die("--size must be positive");
+            }
+            let im = if o.gray {
+                jpeg2000_cell::images::synth::natural(o.size, o.size, o.seed)
+            } else {
+                jpeg2000_cell::images::synth::natural_rgb(o.size, o.size, o.seed)
+            };
+            write_image(output, &im);
+            println!(
+                "{}: {}x{} x{} synthetic image (seed {})",
+                output,
+                im.width,
+                im.height,
+                im.comps(),
+                o.seed
             );
         }
         other => die(&format!("unknown command {other}")),

@@ -6,6 +6,8 @@
 //! j2kserved [--addr HOST:PORT] [--pool N] [--job-workers N]
 //!           [--queue N] [--timeout-ms N] [--max-frame-mb N]
 //!           [--max-crash-retries N] [--retry-backoff-ms N]
+//!           [--trace] [--trace-dir DIR] [--trace-keep N]
+//!           [--metrics-addr HOST:PORT]
 //!
 //!   --addr HOST:PORT   listen address          (default 127.0.0.1:7201)
 //!   --pool N           pool threads draining the job queue (default 2)
@@ -18,12 +20,21 @@
 //!                      quarantined as Poisoned               (default 1)
 //!   --retry-backoff-ms N   base crash-retry backoff, doubled
 //!                      per crash                             (default 100)
+//!   --trace            enable per-job tracing; finished jobs'
+//!                      Chrome traces are retained for the wire
+//!                      Trace(job_id) request
+//!   --trace-dir DIR    also write each trace to
+//!                      DIR/trace-job-<id>.json (implies --trace)
+//!   --trace-keep N     traces retained, in memory and on disk
+//!                      (default 16)
+//!   --metrics-addr HOST:PORT  serve Prometheus text exposition on a
+//!                      side port (GET anything returns the scrape)
 //! ```
 //!
 //! The daemon exits after a Shutdown request, draining queued and
 //! in-flight jobs first.
 
-use j2k_serve::{serve, EncodeService, ServerConfig, ServiceConfig};
+use j2k_serve::{serve, serve_metrics, EncodeService, ServerConfig, ServiceConfig};
 use std::net::TcpListener;
 use std::process::exit;
 use std::sync::Arc;
@@ -36,13 +47,17 @@ fn die(msg: &str) -> ! {
 
 const USAGE: &str = "usage: j2kserved [--addr HOST:PORT] [--pool N] [--job-workers N] \
                      [--queue N] [--timeout-ms N] [--max-frame-mb N] \
-                     [--max-crash-retries N] [--retry-backoff-ms N]";
+                     [--max-crash-retries N] [--retry-backoff-ms N] \
+                     [--trace] [--trace-dir DIR] [--trace-keep N] \
+                     [--metrics-addr HOST:PORT]";
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut addr = "127.0.0.1:7201".to_string();
     let mut cfg = ServiceConfig::default();
     let mut max_frame_mb: usize = 256;
+    let mut trace_on = false;
+    let mut metrics_addr: Option<String> = None;
     let mut i = 0;
     while i < argv.len() {
         let need = |i: usize| -> &String {
@@ -50,6 +65,19 @@ fn main() {
                 .unwrap_or_else(|| die(&format!("missing value after {}", argv[i])))
         };
         match argv[i].as_str() {
+            "--trace" => {
+                trace_on = true;
+                i += 1;
+                continue;
+            }
+            "--trace-dir" => {
+                trace_on = true;
+                cfg.trace_dir = Some(need(i).into());
+            }
+            "--trace-keep" => {
+                cfg.trace_keep = need(i).parse().unwrap_or_else(|_| die("--trace-keep N"))
+            }
+            "--metrics-addr" => metrics_addr = Some(need(i).clone()),
             "--addr" => addr = need(i).clone(),
             "--pool" => cfg.pool_threads = need(i).parse().unwrap_or_else(|_| die("--pool N")),
             "--job-workers" => {
@@ -83,16 +111,30 @@ fn main() {
         i += 2;
     }
 
+    if trace_on {
+        obs::trace::set_enabled(true);
+    }
     let listener = TcpListener::bind(&addr).unwrap_or_else(|e| die(&format!("bind {addr}: {e}")));
-    let service = Arc::new(EncodeService::start(cfg));
     println!(
-        "j2kserved listening on {} (pool {}, {} workers/job, queue {}, default timeout {:?})",
+        "j2kserved listening on {} (pool {}, {} workers/job, queue {}, default timeout {:?}{})",
         listener.local_addr().map_or(addr, |a| a.to_string()),
         cfg.pool_threads,
         cfg.workers_per_job,
         cfg.queue_capacity,
         cfg.default_timeout,
+        if trace_on { ", tracing" } else { "" },
     );
+    let service = Arc::new(EncodeService::start(cfg));
+    if let Some(maddr) = metrics_addr {
+        let mlistener =
+            TcpListener::bind(&maddr).unwrap_or_else(|e| die(&format!("bind {maddr}: {e}")));
+        println!(
+            "j2kserved metrics on http://{}/metrics",
+            mlistener.local_addr().map_or(maddr, |a| a.to_string())
+        );
+        let msvc = Arc::clone(&service);
+        std::thread::spawn(move || serve_metrics(mlistener, msvc));
+    }
     let server_cfg = ServerConfig {
         max_frame: max_frame_mb << 20,
     };

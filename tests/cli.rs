@@ -157,6 +157,91 @@ fn workers_flag_is_byte_identical_to_sequential() {
 }
 
 #[test]
+fn trace_out_writes_valid_chrome_trace_and_identical_bytes() {
+    let src = tmp("in7.ppm");
+    let seq = tmp("seq7.j2c");
+    let traced = tmp("traced7.j2c");
+    let trace = tmp("trace7.json");
+    write_test_ppm(&src, 96, 64);
+    // Lossy: the reversible 5/3 path has no quantize stage, and this
+    // test wants every pipeline span name to appear.
+    assert!(Command::new(bin())
+        .args(["encode"])
+        .arg(&src)
+        .arg(&seq)
+        .args(["--lossy", "0.5"])
+        .status()
+        .unwrap()
+        .success());
+    assert!(Command::new(bin())
+        .args(["encode"])
+        .arg(&src)
+        .arg(&traced)
+        .args(["--lossy", "0.5", "--workers", "3", "--trace-out"])
+        .arg(&trace)
+        .status()
+        .unwrap()
+        .success());
+    assert_eq!(
+        std::fs::read(&traced).unwrap(),
+        std::fs::read(&seq).unwrap(),
+        "tracing must not change output bytes"
+    );
+    let json = std::fs::read_to_string(&trace).unwrap();
+    let events = obs::chrome::check(
+        &json,
+        &[
+            "stage:mct",
+            "stage:dwt",
+            "stage:quantize",
+            "stage:tier1",
+            "mct",
+            "dwt",
+            "quantize",
+            "tier1",
+            "dwt-level-1",
+            "chunk-0",
+        ],
+    )
+    .expect("trace must parse with all pipeline span names");
+    // Chunk spans carry worker attribution for the utilization report.
+    let workers: std::collections::BTreeSet<u64> = events
+        .iter()
+        .filter(|e| e.name == "mct" || e.name == "dwt")
+        .filter_map(|e| {
+            e.args
+                .iter()
+                .find(|(k, _)| k == "worker")
+                .map(|(_, v)| *v as u64)
+        })
+        .collect();
+    assert!(
+        workers.len() >= 2,
+        "expected chunk spans from >= 2 workers, saw {workers:?}"
+    );
+}
+
+#[test]
+fn trace_out_works_at_one_worker() {
+    let src = tmp("in8.ppm");
+    let out = tmp("out8.j2c");
+    let trace = tmp("trace8.json");
+    write_test_ppm(&src, 48, 48);
+    assert!(Command::new(bin())
+        .args(["encode"])
+        .arg(&src)
+        .arg(&out)
+        .args(["--trace-out"])
+        .arg(&trace)
+        .status()
+        .unwrap()
+        .success());
+    let json = std::fs::read_to_string(&trace).unwrap();
+    obs::chrome::check(&json, &["stage:tier1", "tier1", "mct"])
+        .expect("single-worker trace still routes through the parallel driver");
+}
+
+#[test]
 fn help_documents_workers() {
     let out = Command::new(bin()).args(["--help"]).output().unwrap();
     assert!(out.status.success());
