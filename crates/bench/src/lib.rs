@@ -44,6 +44,8 @@ pub struct Args {
     pub levels: usize,
     /// Emit CSV instead of a table.
     pub csv: bool,
+    /// Optional JSON output path (binaries that emit a `BENCH_*.json`).
+    pub out: Option<String>,
 }
 
 impl Default for Args {
@@ -54,6 +56,7 @@ impl Default for Args {
             spes: vec![1, 2, 4, 8, 16],
             levels: 5,
             csv: false,
+            out: None,
         }
     }
 }
@@ -94,9 +97,14 @@ pub fn parse_args() -> Args {
                 a.csv = true;
                 i += 1;
             }
+            "--out" => {
+                a.out = Some(need(i).clone());
+                i += 2;
+            }
             other => {
                 eprintln!(
-                    "unknown flag {other}; usage: --size N --seed N --spes a,b,c --levels N --csv"
+                    "unknown flag {other}; usage: --size N --seed N --spes a,b,c --levels N \
+                     --csv --out FILE"
                 );
                 std::process::exit(2);
             }

@@ -126,9 +126,31 @@ fn grid(n: usize, cb: usize) -> usize {
     n.div_ceil(cb)
 }
 
-/// Serialize the complete codestream.
-#[allow(clippy::needless_range_loop)] // comp/band indices are semantic
+/// Serialize the complete codestream (single-threaded). Panics only if a
+/// `tier2.precinct` fault is injected while calling this infallible entry
+/// point directly — drivers that enable failpoints go through
+/// [`write_workers`].
 pub fn write(hdr: &MainHeader, blocks: &[BlockStream]) -> Vec<u8> {
+    write_workers(hdr, blocks, 1).expect("infallible without injected faults")
+}
+
+/// Serialize the complete codestream, forming Tier-2 packets in parallel.
+///
+/// Each (component, subband) pair owns an independent [`PrecinctState`]
+/// chain across layers, so packet formation decomposes per pair: every
+/// unit produces its per-layer header+body buffers on whichever worker
+/// runs it, and the merge concatenates them in the codestream's fixed
+/// layer → component → subband order. The bytes are identical to the
+/// sequential writer for every worker count because no state crosses a
+/// unit boundary and the merge order is the sequential emission order.
+///
+/// The only error is an injected `tier2.precinct` fault (one evaluation
+/// per unit).
+pub fn write_workers(
+    hdr: &MainHeader,
+    blocks: &[BlockStream],
+    workers: usize,
+) -> Result<Vec<u8>, String> {
     let mut out = Vec::new();
     put_u16(&mut out, SOC);
 
@@ -207,66 +229,95 @@ pub fn write(hdr: &MainHeader, blocks: &[BlockStream]) -> Vec<u8> {
     out.push(1); // TNsot
     put_u16(&mut out, SOD);
 
-    // Packets.
+    // Packets: one independent unit per (component, subband). Grouping the
+    // blocks up front also kills the old per-layer × per-band scan over
+    // the whole block list.
     let bands = hdr.bands();
-    let mut states: Vec<Vec<PrecinctState>> = (0..hdr.comps)
-        .map(|_| {
-            bands
-                .iter()
-                .map(|b| PrecinctState::new(grid(b.w, hdr.cb_size), grid(b.h, hdr.cb_size)))
-                .collect()
-        })
-        .collect();
-    // Initialize encoder tag-tree values.
-    for c in 0..hdr.comps {
-        for (bi, b) in bands.iter().enumerate() {
-            let (gw, gh) = (grid(b.w, hdr.cb_size), grid(b.h, hdr.cb_size));
-            let mut first = vec![u32::MAX; gw * gh];
-            let mut zbp = vec![0u32; gw * gh];
-            for blk in blocks.iter().filter(|k| k.comp == c && k.band_idx == bi) {
-                let i = blk.by * gw + blk.bx;
-                zbp[i] = blk.zero_planes;
-                first[i] = blk
-                    .layer_passes
-                    .iter()
-                    .position(|&p| p > 0)
-                    .map(|l| l as u32)
-                    .unwrap_or(u32::MAX);
-            }
-            states[c][bi].set_encoder_values(&first, &zbp);
-        }
+    let units: Vec<usize> = (0..hdr.comps * bands.len()).collect();
+    let mut unit_blocks: Vec<Vec<&BlockStream>> = vec![Vec::new(); units.len()];
+    for blk in blocks {
+        unit_blocks[blk.comp * bands.len() + blk.band_idx].push(blk);
     }
 
-    for layer in 0..hdr.layers {
-        for c in 0..hdr.comps {
-            for (bi, b) in bands.iter().enumerate() {
-                let (gw, gh) = (grid(b.w, hdr.cb_size), grid(b.h, hdr.cb_size));
-                let mut contribs = vec![Contribution::default(); gw * gh];
-                let mut body: Vec<u8> = Vec::new();
-                for blk in blocks.iter().filter(|k| k.comp == c && k.band_idx == bi) {
-                    let prev = if layer == 0 {
-                        0
-                    } else {
-                        blk.layer_passes[layer - 1]
+    // Per-unit packet formation: the unit's full layer chain, in order
+    // (the PrecinctState is unit-local, so layers must stay sequential
+    // *within* a unit while units run concurrently).
+    let injected: std::sync::Mutex<Option<String>> = std::sync::Mutex::new(None);
+    let form_unit = |&u: &usize| -> Option<Vec<Vec<u8>>> {
+        // Failpoint `tier2.precinct`: fires once per (comp, band) unit.
+        if let Some(msg) = faultsim::eval("tier2.precinct") {
+            *injected.lock().unwrap_or_else(|e| e.into_inner()) = Some(msg);
+            return None;
+        }
+        let bi = u % bands.len();
+        let _sp = obs::trace::span("tier2.unit")
+            .cat("chunk")
+            .arg("comp", (u / bands.len()) as u64)
+            .arg("band", bi as u64);
+        let b = &bands[bi];
+        let (gw, gh) = (grid(b.w, hdr.cb_size), grid(b.h, hdr.cb_size));
+        let mut state = PrecinctState::new(gw, gh);
+        let mut first = vec![u32::MAX; gw * gh];
+        let mut zbp = vec![0u32; gw * gh];
+        for blk in &unit_blocks[u] {
+            let i = blk.by * gw + blk.bx;
+            zbp[i] = blk.zero_planes;
+            first[i] = blk
+                .layer_passes
+                .iter()
+                .position(|&p| p > 0)
+                .map(|l| l as u32)
+                .unwrap_or(u32::MAX);
+        }
+        state.set_encoder_values(&first, &zbp);
+        let mut per_layer = Vec::with_capacity(hdr.layers);
+        for layer in 0..hdr.layers {
+            let mut contribs = vec![Contribution::default(); gw * gh];
+            let mut body: Vec<u8> = Vec::new();
+            for blk in &unit_blocks[u] {
+                let prev = if layer == 0 {
+                    0
+                } else {
+                    blk.layer_passes[layer - 1]
+                };
+                let cur = blk.layer_passes[layer];
+                if cur > prev {
+                    let i = blk.by * gw + blk.bx;
+                    let lens = blk.pass_lens[prev..cur].to_vec();
+                    let start: usize = blk.pass_lens[..prev].iter().sum();
+                    let len: usize = lens.iter().sum();
+                    contribs[i] = Contribution {
+                        num_passes: cur - prev,
+                        pass_lens: lens,
+                        zero_planes: blk.zero_planes,
                     };
-                    let cur = blk.layer_passes[layer];
-                    if cur > prev {
-                        let i = blk.by * gw + blk.bx;
-                        let lens = blk.pass_lens[prev..cur].to_vec();
-                        let start: usize = blk.pass_lens[..prev].iter().sum();
-                        let len: usize = lens.iter().sum();
-                        contribs[i] = Contribution {
-                            num_passes: cur - prev,
-                            pass_lens: lens,
-                            zero_planes: blk.zero_planes,
-                        };
-                        body.extend_from_slice(&blk.data[start..start + len]);
-                    }
+                    body.extend_from_slice(&blk.data[start..start + len]);
                 }
-                let header = encode_packet(&mut states[c][bi], layer as u32, &contribs);
-                out.extend_from_slice(&header);
-                out.extend_from_slice(&body);
             }
+            let mut buf = encode_packet(&mut state, layer as u32, &contribs);
+            buf.extend_from_slice(&body);
+            per_layer.push(buf);
+        }
+        Some(per_layer)
+    };
+
+    let formed = crate::pipeline::fan_out_map(&units, workers, "tier2", form_unit);
+    let formed = match formed {
+        Some(f) => f,
+        None => {
+            return Err(injected
+                .into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .unwrap_or_else(|| "tier2.precinct".into()))
+        }
+    };
+
+    // Deterministic ordered merge: the sequential emission order is
+    // layer-major over units, and each unit's buffers are already in
+    // layer order.
+    for layer in 0..hdr.layers {
+        for per_layer in &formed {
+            out.extend_from_slice(&per_layer[layer]);
         }
     }
 
@@ -275,7 +326,7 @@ pub fn write(hdr: &MainHeader, blocks: &[BlockStream]) -> Vec<u8> {
     let psot = (out.len() - (psot_pos - 6)) as u32;
     out[psot_pos..psot_pos + 4].copy_from_slice(&psot.to_be_bytes());
     put_u16(&mut out, EOC);
-    out
+    Ok(out)
 }
 
 struct Reader<'a> {

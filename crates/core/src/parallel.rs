@@ -190,14 +190,17 @@ pub fn encode_parallel_ctl(
                         band_kind(t.bands[j.band_idx].band),
                         params.bypass,
                     );
-                    let rec = BlockRecord {
-                        comp: j.comp,
-                        band_idx: j.band_idx,
-                        bx: j.bx,
-                        by: j.by,
+                    // R-D preparation (truncation rates/distortions + convex
+                    // hull) runs here, on the worker that coded the block —
+                    // the post-pass slice of rate control rides the queue.
+                    let rec = BlockRecord::new(
+                        j.comp,
+                        j.band_idx,
+                        j.bx,
+                        j.by,
                         enc,
-                        weight: t.weights[j.band_idx],
-                    };
+                        t.weights[j.band_idx],
+                    );
                     // SAFETY: each index i is claimed by exactly one worker
                     // (fetch_add), so no two threads write the same slot, and
                     // the main thread only reads after the scope joins.
@@ -231,22 +234,14 @@ pub fn encode_parallel_ctl(
         .map(|s| s.expect("every job completed"))
         .collect();
     let rc_span = trace::span("stage:rate-control").cat("stage");
-    let t2 = Instant::now();
     let raw = image.raw_bytes() as u64;
-    let (bytes, rc_items) = rate_control_and_assemble(image, params, &t, &records, raw);
+    let out = rate_control_and_assemble(image, params, &t, &records, raw, workers)?;
     drop(rc_span);
-    stage_times.push(StageTime::new("rate-control", t2.elapsed().as_secs_f64()));
+    stage_times.push(StageTime::new("rate-control", out.alloc_secs));
+    stage_times.push(StageTime::new("tier2", out.tier2_secs));
 
-    let profile = build_profile(
-        image,
-        params,
-        &records,
-        rc_items,
-        bytes.len(),
-        stage_times,
-        worker_jobs,
-    );
-    Ok((bytes, profile))
+    let profile = build_profile(image, params, &records, &out, stage_times, worker_jobs);
+    Ok((out.bytes, profile))
 }
 
 /// Dense quantizer-index planes from the *chunk-parallel* sample stages.

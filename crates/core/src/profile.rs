@@ -78,6 +78,12 @@ pub struct WorkloadProfile {
     pub blocks: Vec<BlockWork>,
     /// Coding passes examined by the PCRD search (0 when lossless).
     pub rate_control_items: u64,
+    /// Budget-shrink retries the lossy rate loop took (0 when the first
+    /// assembly fit, and always 0 for lossless).
+    pub rate_retries: u64,
+    /// Whether the final stream met the lossy byte budget before the
+    /// retry loop gave up (always true for lossless).
+    pub rate_converged: bool,
     /// Output codestream bytes.
     pub output_bytes: u64,
     /// Measured per-stage wall times, in pipeline order.
@@ -135,6 +141,8 @@ mod tests {
                 },
             ],
             rate_control_items: 0,
+            rate_retries: 0,
+            rate_converged: true,
             output_bytes: 32,
             stage_times: Vec::new(),
             worker_jobs: Vec::new(),

@@ -5,10 +5,29 @@
 //! distortion subject to a byte budget. Classic two-step algorithm:
 //! restrict candidates to the convex hull of each block's R-D curve, then
 //! find the Lagrangian slope λ whose induced truncations meet the budget
-//! (bisection). This stage is inherently sequential — it needs *all*
-//! blocks' statistics — which is why the paper's lossy encode stops scaling
-//! ("the sequential rate allocation stage ... takes around 60% of the total
-//! execution time in the 16 SPE + 2 PPE case").
+//! (bisection). Only the λ *search* is inherently sequential — it needs
+//! *all* blocks' statistics — which is why the paper's lossy encode stops
+//! scaling ("the sequential rate allocation stage ... takes around 60% of
+//! the total execution time in the 16 SPE + 2 PPE case").
+//!
+//! To attack that tail, the stage is factored into three pieces with
+//! distinct parallelism profiles:
+//!
+//! 1. **Per-block preparation** ([`BlockSummary::from_block`] +
+//!    [`PreparedBlock::new`]): accumulate the weighted distortion curve
+//!    and compute the convex hull. Embarrassingly parallel — the drivers
+//!    run it inside the Tier-1 work queue as each block finishes.
+//! 2. **Threshold search** ([`search_threshold`]): bisect for λ over the
+//!    precomputed hulls. Global, cheap, stays sequential.
+//! 3. **Truncation application** ([`Threshold::apply`]): per-block, given
+//!    λ. Embarrassingly parallel again — fanned out by the drivers.
+//!
+//! [`allocate`] composes the three and is bit-for-bit equivalent to the
+//! historical single-shot implementation (same bisection, same
+//! `passes_examined` accounting), so every caller — sequential or
+//! parallel — produces the same truncations.
+
+use crate::block::EncodedBlock;
 
 /// Per-block rate-distortion summary (cumulative over passes).
 #[derive(Debug, Clone, Default)]
@@ -21,6 +40,24 @@ pub struct BlockSummary {
 }
 
 impl BlockSummary {
+    /// Build the summary straight from a Tier-1-coded block: cumulative
+    /// pass rates plus the distortion curve scaled into the image domain
+    /// by `weight` ((step × basis norm)²). The accumulation is a strictly
+    /// sequential scan *within* the block, so it is deterministic no
+    /// matter which worker runs it.
+    pub fn from_block(enc: &EncodedBlock, weight: f64) -> BlockSummary {
+        BlockSummary {
+            rates: enc.pass_ends.clone(),
+            dists: enc
+                .passes
+                .iter()
+                .scan(0.0, |acc, p| {
+                    *acc += p.dist_reduction * weight;
+                    Some(*acc)
+                })
+                .collect(),
+        }
+    }
     /// Indices of passes on the convex hull of the R-D curve (strictly
     /// decreasing slopes), always candidates for truncation.
     pub fn hull(&self) -> Vec<usize> {
@@ -87,6 +124,110 @@ impl BlockSummary {
     }
 }
 
+/// A block's R-D summary with its convex hull precomputed. This is the
+/// per-block piece of rate control that the drivers hoist into the Tier-1
+/// work queue: the hull depends only on the block's own curve, so it can
+/// be finalized the moment the block's coding passes exist.
+#[derive(Debug, Clone, Default)]
+pub struct PreparedBlock {
+    /// The R-D curve.
+    pub summary: BlockSummary,
+    /// Hull pass indices ([`BlockSummary::hull`] of `summary`).
+    pub hull: Vec<usize>,
+}
+
+impl PreparedBlock {
+    /// Compute the hull for `summary`.
+    pub fn new(summary: BlockSummary) -> PreparedBlock {
+        let hull = summary.hull();
+        PreparedBlock { summary, hull }
+    }
+
+    /// Truncation chosen at slope threshold `lambda`.
+    pub fn truncation_at(&self, lambda: f64) -> usize {
+        self.summary.truncation_at(&self.hull, lambda)
+    }
+
+    /// Payload bytes of the first `n` passes.
+    pub fn bytes_for(&self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            self.summary.rates[n - 1]
+        }
+    }
+}
+
+/// Outcome of the global λ search: either "keep everything" (the full
+/// stream fits the budget) or the bisected slope threshold. Applying a
+/// threshold to a block ([`Threshold::apply`]) is pure and per-block, so
+/// the application fans out over workers without changing a single byte.
+#[derive(Debug, Clone, Copy)]
+pub struct Threshold {
+    /// `None` = no truncation needed; `Some(λ)` = keep hull passes with
+    /// incremental slope ≥ λ.
+    pub lambda: Option<f64>,
+    /// Coding passes examined by this search (work items for the
+    /// sequential rate-control stage in the machine model).
+    pub passes_examined: u64,
+}
+
+impl Threshold {
+    /// Truncation this threshold induces on one block.
+    pub fn apply(&self, block: &PreparedBlock) -> usize {
+        match self.lambda {
+            None => block.summary.rates.len(),
+            Some(l) => block.truncation_at(l),
+        }
+    }
+}
+
+/// The sequential half of PCRD: bisect for the slope threshold λ whose
+/// induced truncations fit `budget_bytes` of block payload (headers
+/// excluded). A budget of `usize::MAX` keeps everything. The bisection
+/// and its `passes_examined` accounting are identical to the historical
+/// single-shot [`allocate`], so `allocate(s, b)` ≡ search + apply.
+pub fn search_threshold(blocks: &[&PreparedBlock], budget_bytes: usize) -> Threshold {
+    let mut examined: u64 = blocks.iter().map(|b| b.summary.rates.len() as u64).sum();
+
+    let full_bytes: usize = blocks
+        .iter()
+        .map(|b| b.summary.rates.last().copied().unwrap_or(0))
+        .sum();
+    if full_bytes <= budget_bytes {
+        return Threshold {
+            lambda: None,
+            passes_examined: examined,
+        };
+    }
+
+    let bytes_at = |lambda: f64, examined: &mut u64| -> usize {
+        let mut total = 0usize;
+        for b in blocks {
+            *examined += b.hull.len() as u64;
+            total += b.bytes_for(b.truncation_at(lambda));
+        }
+        total
+    };
+
+    // Bisect on log-lambda. High lambda -> keep little; low -> keep all.
+    let (mut lo, mut hi) = (1e-12f64, 1e12f64);
+    // Most aggressive truncation is the fallback if no mid is feasible.
+    bytes_at(hi, &mut examined);
+    for _ in 0..60 {
+        let mid = (lo * hi).sqrt();
+        if bytes_at(mid, &mut examined) <= budget_bytes {
+            hi = mid; // feasible: try keeping more (smaller lambda)
+        } else {
+            lo = mid;
+        }
+    }
+    Threshold {
+        lambda: Some(hi),
+        passes_examined: examined,
+    }
+}
+
 /// Result of [`allocate`].
 #[derive(Debug, Clone)]
 pub struct Allocation {
@@ -101,55 +242,22 @@ pub struct Allocation {
 
 /// Choose per-block truncations to fit `budget_bytes` of block payload
 /// (headers excluded), minimizing distortion. A budget of `usize::MAX`
-/// keeps everything (lossless / no rate limit).
+/// keeps everything (lossless / no rate limit). Composition of
+/// [`PreparedBlock::new`], [`search_threshold`], and [`Threshold::apply`];
+/// kept for callers that don't stage the pieces across workers.
 pub fn allocate(blocks: &[BlockSummary], budget_bytes: usize) -> Allocation {
-    let hulls: Vec<Vec<usize>> = blocks.iter().map(BlockSummary::hull).collect();
-    let mut examined: u64 = blocks.iter().map(|b| b.rates.len() as u64).sum();
-
-    let all: Vec<usize> = blocks.iter().map(|b| b.rates.len()).collect();
-    let full_bytes: usize = blocks
+    let prepared: Vec<PreparedBlock> = blocks
         .iter()
-        .map(|b| b.rates.last().copied().unwrap_or(0))
-        .sum();
-    if full_bytes <= budget_bytes {
-        return Allocation {
-            passes: all,
-            total_bytes: full_bytes,
-            passes_examined: examined,
-        };
-    }
-
-    let bytes_at = |lambda: f64, examined: &mut u64| -> (Vec<usize>, usize) {
-        let mut total = 0usize;
-        let mut passes = Vec::with_capacity(blocks.len());
-        for (b, hull) in blocks.iter().zip(&hulls) {
-            *examined += hull.len() as u64;
-            let n = b.truncation_at(hull, lambda);
-            if n > 0 {
-                total += b.rates[n - 1];
-            }
-            passes.push(n);
-        }
-        (passes, total)
-    };
-
-    // Bisect on log-lambda. High lambda -> keep little; low -> keep all.
-    let (mut lo, mut hi) = (1e-12f64, 1e12f64);
-    let mut best = bytes_at(hi, &mut examined); // most aggressive truncation
-    for _ in 0..60 {
-        let mid = (lo * hi).sqrt();
-        let cand = bytes_at(mid, &mut examined);
-        if cand.1 <= budget_bytes {
-            best = cand;
-            hi = mid; // feasible: try keeping more (smaller lambda)
-        } else {
-            lo = mid;
-        }
-    }
+        .map(|b| PreparedBlock::new(b.clone()))
+        .collect();
+    let refs: Vec<&PreparedBlock> = prepared.iter().collect();
+    let th = search_threshold(&refs, budget_bytes);
+    let passes: Vec<usize> = refs.iter().map(|b| th.apply(b)).collect();
+    let total_bytes = refs.iter().zip(&passes).map(|(b, &n)| b.bytes_for(n)).sum();
     Allocation {
-        passes: best.0,
-        total_bytes: best.1,
-        passes_examined: examined,
+        passes,
+        total_bytes,
+        passes_examined: th.passes_examined,
     }
 }
 

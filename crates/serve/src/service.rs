@@ -1066,6 +1066,15 @@ mod tests {
             (0, 0, 0)
         );
         assert!(m.stage_seconds.iter().any(|(n, _)| n == "tier1"));
+        // Stage names flow dynamically from the encoder's profile: the
+        // parallel rate-control/Tier-2 tail reports both of its stages.
+        for want in ["rate-control", "tier2"] {
+            assert!(
+                m.stage_seconds.iter().any(|(n, _)| n == want),
+                "missing stage {want} in {:?}",
+                m.stage_seconds
+            );
+        }
     }
 
     #[test]

@@ -5,8 +5,8 @@
 use jpeg2000_cell::codec::cell::SimOptions;
 use jpeg2000_cell::codec::parallel::encode_parallel;
 use jpeg2000_cell::codec::{
-    decode, encode, encode_on_cell, transform_coefficients, transform_coefficients_parallel,
-    EncoderParams, ParallelOptions,
+    decode, encode, encode_on_cell, encode_with_profile, transform_coefficients,
+    transform_coefficients_parallel, EncoderParams, ParallelOptions,
 };
 use jpeg2000_cell::decomposition::CACHE_LINE;
 use jpeg2000_cell::images::Image;
@@ -191,5 +191,56 @@ proptest! {
         bytes[pos] = val as u8;
         let cut = ((bytes.len() as f64) * cut_frac) as usize;
         let _ = decode(&bytes[..cut]);
+    }
+
+    #[test]
+    fn lossy_parallel_identity_with_rate_control_active(
+        im in image_strategy(),
+        workers in 1usize..=8,
+        rate in 0.05f64..0.6,
+        layers in 1usize..4,
+    ) {
+        // The PCRD search, the budget-shrink retry loop, and Tier-2
+        // packet assembly all run on the parallel tail here; the result
+        // must equal the sequential driver byte for byte at every worker
+        // count — even when the loop retries or gives up.
+        let params = EncoderParams {
+            levels: 2,
+            layers,
+            ..EncoderParams::lossy(rate)
+        };
+        let seq = encode(&im, &params).unwrap();
+        let par = encode_parallel(&im, &params, workers).unwrap();
+        prop_assert_eq!(&par, &seq);
+    }
+
+    #[test]
+    fn lossy_budget_respected_whenever_shrink_loop_converges(
+        im in image_strategy(),
+        rate in 0.02f64..0.7,
+        layers in 1usize..5,
+    ) {
+        // Unconditional budget assertions need a floor fudge for tiny
+        // images (see lossy_never_errors_and_respects_rate); but whenever
+        // the encoder itself reports the shrink loop converged, the hard
+        // budget holds with no allowance at all.
+        let params = EncoderParams {
+            levels: 2,
+            layers,
+            ..EncoderParams::lossy(rate)
+        };
+        let (bytes, prof) = encode_with_profile(&im, &params).unwrap();
+        if prof.rate_converged {
+            let limit = (rate * im.raw_bytes() as f64) as usize;
+            prop_assert!(
+                bytes.len() <= limit,
+                "converged but {} > limit {} (retries {})",
+                bytes.len(),
+                limit,
+                prof.rate_retries
+            );
+        }
+        // Either way the stream decodes.
+        let _ = decode(&bytes).unwrap();
     }
 }

@@ -1,0 +1,211 @@
+//! Golden codestream corpus: byte-exact fixtures under `tests/golden/`
+//! that pin the encoder's output — header syntax, rate allocation, and
+//! Tier-2 packet bytes — across refactors of the rate-control/Tier-2
+//! tail. Any intentional format or R-D change must re-bless the corpus:
+//!
+//! ```text
+//! GOLDEN_BLESS=1 cargo test --release --test golden_vectors
+//! ```
+//!
+//! Every case is also encoded through `encode_parallel` (several worker
+//! counts) and `encode_on_cell`, so the corpus simultaneously proves the
+//! cross-driver byte-identity invariant on fixed inputs, and every lossy
+//! case carries a decoder round-trip PSNR floor so a rate-control change
+//! that silently trades quality for rate is caught even when the bytes
+//! are re-blessed.
+
+use jpeg2000_cell::codec::cell::SimOptions;
+use jpeg2000_cell::codec::parallel::encode_parallel;
+use jpeg2000_cell::codec::{decode, encode, encode_on_cell, Arithmetic, EncoderParams};
+use jpeg2000_cell::images::Image;
+use jpeg2000_cell::machine::MachineConfig;
+use std::path::PathBuf;
+
+struct Case {
+    /// Fixture file stem under `tests/golden/`.
+    name: &'static str,
+    image: fn() -> Image,
+    params: EncoderParams,
+    /// Decoder round-trip PSNR floor in dB; `None` for lossless cases
+    /// (those must reconstruct exactly).
+    psnr_floor: Option<f64>,
+}
+
+fn synth() -> Vec<Case> {
+    use jpeg2000_cell::images::synth::*;
+    // Geometry notes: 57 and 100 are not multiples of the column-chunk
+    // width, 31x47 is odd in both axes, and the 100x1 / 129x1 cases are
+    // the 1-pixel-tall degenerate strips.
+    vec![
+        Case {
+            name: "lossless_gray_64x64",
+            image: || natural(64, 64, 7),
+            params: EncoderParams::lossless(),
+            psnr_floor: None,
+        },
+        Case {
+            name: "lossless_rgb_57x33",
+            image: || natural_rgb(57, 33, 4),
+            params: EncoderParams {
+                levels: 3,
+                cb_size: 32,
+                ..EncoderParams::lossless()
+            },
+            psnr_floor: None,
+        },
+        Case {
+            name: "lossless_strip_100x1",
+            image: || natural(100, 1, 3),
+            params: EncoderParams {
+                levels: 2,
+                ..EncoderParams::lossless()
+            },
+            psnr_floor: None,
+        },
+        Case {
+            name: "lossless_noise_bypass_31x47",
+            image: || noise(31, 47, 9),
+            params: EncoderParams {
+                bypass: true,
+                ..EncoderParams::lossless()
+            },
+            psnr_floor: None,
+        },
+        Case {
+            name: "lossy_gray_96x96_r25",
+            image: || natural(96, 96, 11),
+            params: EncoderParams::lossy(0.25),
+            psnr_floor: Some(30.0),
+        },
+        Case {
+            name: "lossy_rgb_100x40_r40_l3",
+            image: || natural_rgb(100, 40, 8),
+            params: EncoderParams {
+                layers: 3,
+                ..EncoderParams::lossy(0.4)
+            },
+            psnr_floor: Some(30.0),
+        },
+        Case {
+            name: "lossy_fixed_64x64_r30",
+            image: || natural(64, 64, 2),
+            params: EncoderParams {
+                arithmetic: Arithmetic::FixedQ13,
+                ..EncoderParams::lossy(0.3)
+            },
+            psnr_floor: Some(30.0),
+        },
+        Case {
+            name: "lossy_strip_129x1_r50",
+            image: || natural(129, 1, 5),
+            params: EncoderParams {
+                levels: 1,
+                ..EncoderParams::lossy(0.5)
+            },
+            // Degenerate budget: 50% of a 129-byte strip is mostly marker
+            // overhead, so reconstruction quality is inherently low. The
+            // case pins codestream shape, not fidelity (measured ~10.8 dB).
+            psnr_floor: Some(9.5),
+        },
+        Case {
+            name: "lossy_rgb_bypass_72x56_r20",
+            image: || natural_rgb(72, 56, 5),
+            params: EncoderParams {
+                bypass: true,
+                ..EncoderParams::lossy(0.2)
+            },
+            psnr_floor: Some(27.0),
+        },
+    ]
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.j2c"))
+}
+
+fn blessing() -> bool {
+    std::env::var_os("GOLDEN_BLESS").is_some_and(|v| v == "1")
+}
+
+/// Byte-diff every corpus case against its fixture, through every
+/// encoder driver. With `GOLDEN_BLESS=1` the fixtures are rewritten from
+/// the sequential encoder instead (the drivers are still cross-checked).
+#[test]
+fn corpus_is_byte_exact_across_drivers() {
+    let mut blessed = 0;
+    for case in synth() {
+        let im = (case.image)();
+        let seq = encode(&im, &case.params).expect(case.name);
+        for workers in [2usize, 5] {
+            let par = encode_parallel(&im, &case.params, workers).expect(case.name);
+            assert_eq!(par, seq, "{}: parallel({workers}) differs", case.name);
+        }
+        let (cell, _, _) = encode_on_cell(
+            &im,
+            &case.params,
+            &MachineConfig::qs20_single(),
+            &SimOptions::default(),
+        )
+        .expect(case.name);
+        assert_eq!(cell, seq, "{}: cell-sim differs", case.name);
+
+        let path = fixture_path(case.name);
+        if blessing() {
+            std::fs::write(&path, &seq).expect(case.name);
+            blessed += 1;
+            continue;
+        }
+        let golden = std::fs::read(&path).unwrap_or_else(|e| {
+            panic!(
+                "{}: missing fixture {} ({e}); regenerate with GOLDEN_BLESS=1",
+                case.name,
+                path.display()
+            )
+        });
+        assert_eq!(
+            seq,
+            golden,
+            "{}: codestream diverged from golden fixture (lengths {} vs {}); if \
+             intentional, re-bless with GOLDEN_BLESS=1",
+            case.name,
+            seq.len(),
+            golden.len()
+        );
+    }
+    if blessing() {
+        panic!("blessed {blessed} fixtures; rerun without GOLDEN_BLESS to verify");
+    }
+}
+
+/// Decode every lossy fixture from its *on-disk bytes* (not a fresh
+/// encode) and hold the reconstruction to a PSNR floor. Lossless
+/// fixtures must reconstruct the input exactly.
+#[test]
+fn fixtures_decode_within_quality_floor() {
+    if blessing() {
+        return; // fixtures are being rewritten in the sibling test
+    }
+    for case in synth() {
+        let im = (case.image)();
+        let golden = std::fs::read(fixture_path(case.name)).unwrap_or_else(|e| {
+            panic!(
+                "{}: missing fixture ({e}); regenerate with GOLDEN_BLESS=1",
+                case.name
+            )
+        });
+        let back = decode(&golden).expect(case.name);
+        match case.psnr_floor {
+            None => assert_eq!(back, im, "{}: lossless fixture not exact", case.name),
+            Some(floor) => {
+                let p = jpeg2000_cell::images::psnr(&im, &back).expect(case.name);
+                assert!(
+                    p >= floor,
+                    "{}: PSNR {p:.2} dB below floor {floor} dB",
+                    case.name
+                );
+            }
+        }
+    }
+}
