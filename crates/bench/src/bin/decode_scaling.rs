@@ -1,0 +1,129 @@
+//! Decode throughput: sweep image sizes over the lossless and lossy
+//! paper workloads, measure full-pipeline decode wall time, and close the
+//! loop on every row — lossless rows assert bit-exact reconstruction,
+//! lossy rows report the measured PSNR/SSIM (via `j2k-metrics`) so a
+//! decoder speedup can never silently come from skipped reconstruction
+//! work.
+//!
+//! `--size N` sets the largest edge; the sweep runs N/4, N/2, and N.
+//! Prints a table (or `--csv`) and, with `--out FILE`, writes the
+//! machine-readable `BENCH_decode.json` consumed by CI.
+
+use j2k_bench::{lossless_params, lossy_params, ms, parse_args, row};
+use j2k_core::decode;
+
+struct Row {
+    mode: &'static str,
+    size: usize,
+    bytes: usize,
+    decode_s: f64,
+    psnr: f64,
+    ssim: f64,
+}
+
+fn main() {
+    let args = parse_args();
+    let sizes: Vec<usize> = [args.size / 4, args.size / 2, args.size]
+        .into_iter()
+        .filter(|&s| s >= 8)
+        .collect();
+
+    println!(
+        "decode throughput (RGB natural workload, levels {})",
+        args.levels
+    );
+    row(
+        args.csv,
+        &[
+            "mode".into(),
+            "size".into(),
+            "stream_kb".into(),
+            "decode_ms".into(),
+            "mpix/s".into(),
+            "psnr_db".into(),
+            "ssim".into(),
+        ],
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &size in &sizes {
+        let im = imgio::synth::natural_rgb(size, size, args.seed);
+        for (mode, params) in [
+            ("lossless", lossless_params(args.levels)),
+            ("lossy", lossy_params(args.levels)),
+        ] {
+            let bytes = j2k_core::encode(&im, &params).expect("encode");
+            let t0 = std::time::Instant::now();
+            let back = decode(&bytes).expect("decode");
+            let decode_s = t0.elapsed().as_secs_f64();
+            let c = j2k_metrics::compare(&im, &back).expect("comparable geometry");
+            if mode == "lossless" {
+                assert!(c.identical, "lossless decode must be bit-exact at {size}");
+            }
+            let mpix = (size * size) as f64 / 1e6 / decode_s.max(1e-12);
+            row(
+                args.csv,
+                &[
+                    mode.into(),
+                    size.to_string(),
+                    format!("{:.1}", bytes.len() as f64 / 1024.0),
+                    ms(decode_s),
+                    format!("{mpix:.2}"),
+                    if c.psnr.is_finite() {
+                        format!("{:.2}", c.psnr)
+                    } else {
+                        "inf".into()
+                    },
+                    format!("{:.4}", c.ssim),
+                ],
+            );
+            rows.push(Row {
+                mode,
+                size,
+                bytes: bytes.len(),
+                decode_s,
+                psnr: c.psnr,
+                ssim: c.ssim,
+            });
+        }
+    }
+
+    if let Some(path) = &args.out {
+        let body: Vec<String> = rows
+            .iter()
+            .map(|r| {
+                let psnr = if r.psnr.is_finite() {
+                    format!("{:.3}", r.psnr)
+                } else {
+                    "null".into()
+                };
+                format!(
+                    "{{\"mode\":\"{}\",\"size\":{},\"stream_bytes\":{},\
+                     \"decode_ms\":{:.3},\"mpix_per_s\":{:.3},\"psnr_db\":{psnr},\
+                     \"ssim\":{:.5}}}",
+                    r.mode,
+                    r.size,
+                    r.bytes,
+                    r.decode_s * 1e3,
+                    (r.size * r.size) as f64 / 1e6 / r.decode_s.max(1e-12),
+                    r.ssim,
+                )
+            })
+            .collect();
+        let json = format!(
+            "{{\"config\":{{\"sizes\":[{}],\"seed\":{},\"levels\":{},\
+             \"host_cores\":{}}},\"rows\":[{}]}}",
+            sizes
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<Vec<_>>()
+                .join(","),
+            args.seed,
+            args.levels,
+            std::thread::available_parallelism().map_or(0, |n| n.get()),
+            body.join(",")
+        );
+        std::fs::write(path, &json).expect("write --out file");
+        println!("wrote {path}");
+    }
+}

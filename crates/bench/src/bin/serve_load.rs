@@ -9,8 +9,8 @@
 //! ```text
 //! serve_load [--addr HOST:PORT] [--jobs N] [--clients N] [--size N]
 //!            [--seed N] [--lossy RATE] [--timeout-ms N] [--verify]
-//!            [--retries N] [--backoff-ms N] [--probe] [--trace]
-//!            [--out PATH]
+//!            [--decode] [--retries N] [--backoff-ms N] [--probe]
+//!            [--trace] [--out PATH]
 //! ```
 //!
 //! With `--trace` (daemon started with tracing on), the last finished
@@ -30,11 +30,17 @@
 //! With `--verify`, every returned codestream is checked **byte-identical**
 //! to the local sequential `j2k_core::encode` of the same input and
 //! decoded back to the original image — the service must never trade
-//! correctness for throughput. The exit code is nonzero if verification
-//! fails or nothing completes.
+//! correctness for throughput. With `--decode`, each returned codestream
+//! is additionally sent back through the daemon's `Decode` request and
+//! (in lossless mode) the server-reconstructed image must equal the
+//! input — the round trip closes without the client ever running the
+//! codec. The exit code is nonzero if verification fails or nothing
+//! completes.
 
 use j2k_core::EncoderParams;
-use j2k_serve::wire::{call, EncodeRequest, RejectReason, Request, Response, DEFAULT_MAX_FRAME};
+use j2k_serve::wire::{
+    call, DecodeRequest, EncodeRequest, RejectReason, Request, Response, DEFAULT_MAX_FRAME,
+};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -49,6 +55,7 @@ struct Opt {
     lossy: Option<f64>,
     timeout_ms: u32,
     verify: bool,
+    decode: bool,
     retries: u32,
     backoff_ms: u64,
     probe: bool,
@@ -71,6 +78,7 @@ fn parse_args() -> Opt {
         lossy: None,
         timeout_ms: 0,
         verify: false,
+        decode: false,
         retries: 3,
         backoff_ms: 25,
         probe: false,
@@ -115,6 +123,10 @@ fn parse_args() -> Opt {
             }
             "--verify" => {
                 o.verify = true;
+                i += 1;
+            }
+            "--decode" => {
+                o.decode = true;
                 i += 1;
             }
             "--retries" => {
@@ -231,6 +243,7 @@ struct Tally {
     retries: AtomicU64,
     reconnects: AtomicU64,
     verify_failures: AtomicU64,
+    decode_failures: AtomicU64,
 }
 
 fn main() {
@@ -281,6 +294,35 @@ fn main() {
                                     if cs != seq || !decoded_ok {
                                         eprintln!("job {j}: VERIFY FAILED (identical={}, decodes={decoded_ok})", cs == seq);
                                         tally.verify_failures.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                                if o.decode {
+                                    // Round-trip through the daemon: the
+                                    // server decodes its own codestream;
+                                    // lossless must reconstruct the input
+                                    // exactly.
+                                    let dreq = Request::Decode(DecodeRequest {
+                                        max_layers: 0,
+                                        discard_levels: 0,
+                                        codestream: cs,
+                                    });
+                                    let ok = match call(&mut conn, &dreq, DEFAULT_MAX_FRAME) {
+                                        Ok(Response::DecodeOk(back)) => {
+                                            if o.lossy.is_some() {
+                                                (back.width, back.height, back.comps())
+                                                    == (image.width, image.height, image.comps())
+                                            } else {
+                                                back == image
+                                            }
+                                        }
+                                        other => {
+                                            eprintln!("job {j}: server decode: {other:?}");
+                                            false
+                                        }
+                                    };
+                                    if !ok {
+                                        eprintln!("job {j}: SERVER DECODE ROUND-TRIP FAILED");
+                                        tally.decode_failures.fetch_add(1, Ordering::Relaxed);
                                     }
                                 }
                                 break;
@@ -404,6 +446,7 @@ fn main() {
     };
     let completed = tally.completed.load(Ordering::Relaxed);
     let verify_failures = tally.verify_failures.load(Ordering::Relaxed);
+    let decode_failures = tally.decode_failures.load(Ordering::Relaxed);
     let mean = if lat.is_empty() {
         0.0
     } else {
@@ -419,7 +462,7 @@ fn main() {
          \"queue_wait_p999_us\":{},\
          \"reconnect_ms\":{{\"count\":{},\"mean\":{:.3},\"max\":{:.3}}},\
          \"trace\":{},\
-         \"verify_failures\":{},\"server_metrics\":{}}}",
+         \"verify_failures\":{},\"decode_failures\":{},\"server_metrics\":{}}}",
         o.addr,
         o.jobs,
         o.clients,
@@ -455,6 +498,7 @@ fn main() {
         recon.last().copied().unwrap_or(0.0),
         trace_section,
         verify_failures,
+        decode_failures,
         server_metrics,
     );
     println!("{json}");
@@ -477,6 +521,11 @@ fn main() {
     );
     if verify_failures > 0 {
         die(&format!("{verify_failures} verification failures"));
+    }
+    if decode_failures > 0 {
+        die(&format!(
+            "{decode_failures} server decode round-trip failures"
+        ));
     }
     if completed == 0 {
         die("no jobs completed");

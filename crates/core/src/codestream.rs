@@ -370,9 +370,30 @@ pub struct Parsed {
     pub blocks: Vec<BlockStream>,
 }
 
-/// Parse a codestream produced by [`write()`].
-#[allow(clippy::needless_range_loop)] // comp/band indices are semantic
+/// Parse a codestream produced by [`write()`]. Strict: any truncation or
+/// corruption anywhere in the packet stream is an error.
 pub fn parse(data: &[u8]) -> Result<Parsed, CodecError> {
+    parse_opts(data, false).map(|(p, _)| p)
+}
+
+/// Best-effort prefix parse for truncated or damaged streams: the main
+/// header must be intact (typed error otherwise), but the packet walk
+/// stops at the first packet that is truncated or fails to decode, and
+/// only **whole layers** are committed — a packet body cut mid-stream
+/// never leaks half a layer into the result. Returns the parse plus the
+/// number of complete layers recovered (0 ⇒ header-only: the decoder
+/// reconstructs the flat level-shift midpoint image).
+///
+/// This is what makes the fuzz corpus semantically checkable: a
+/// progressive stream cut at byte N either yields a degraded-but-
+/// measurable image or a typed [`CodecError`], never a panic and never
+/// garbage-without-signal.
+pub fn parse_prefix(data: &[u8]) -> Result<(Parsed, usize), CodecError> {
+    parse_opts(data, true)
+}
+
+#[allow(clippy::needless_range_loop)] // comp/band indices are semantic
+fn parse_opts(data: &[u8], lenient: bool) -> Result<(Parsed, usize), CodecError> {
     let mut r = Reader { d: data, p: 0 };
     if r.u16()? != SOC {
         return Err(CodecError::Codestream("missing SOC".into()));
@@ -553,61 +574,104 @@ pub fn parse(data: &[u8]) -> Result<Parsed, CodecError> {
     let mut blocks: std::collections::HashMap<(usize, usize, usize, usize), BlockStream> =
         std::collections::HashMap::new();
 
-    for layer in 0..layers {
+    // One contribution a fully-parsed layer hands over for commit: block
+    // key, the header-decoded contribution, and the body byte range.
+    struct Update {
+        key: (usize, usize, usize, usize),
+        con: Contribution,
+        body: std::ops::Range<usize>,
+    }
+
+    let mut complete_layers = 0usize;
+    'layers: for layer in 0..layers {
+        // Stage the whole layer before touching `blocks`: a packet that
+        // dies mid-layer must not leave half a layer committed (the
+        // lenient path rolls the stream back to the last whole layer).
+        let mut updates: Vec<Update> = Vec::new();
         for c in 0..comps {
             for (bi, b) in bands.iter().enumerate() {
+                // Failpoint `decode.packet`: one evaluation per packet,
+                // so `@nth` schedules pin any packet in the walk.
+                if let Some(msg) = faultsim::eval("decode.packet") {
+                    if lenient {
+                        break 'layers;
+                    }
+                    return Err(CodecError::Injected(msg));
+                }
                 let (gw, gh) = (grid(b.w, cb_size), grid(b.h, cb_size));
                 let st = &mut states[c][bi];
-                let (contribs, used) = decode_packet(st, layer as u32, &data[r.p..])
-                    .map_err(|e| CodecError::Codestream(e.to_string()))?;
+                let (contribs, used) = match decode_packet(st, layer as u32, &data[r.p..]) {
+                    Ok(v) => v,
+                    Err(_) if lenient => break 'layers,
+                    Err(e) => return Err(CodecError::Codestream(e.to_string())),
+                };
+                // A truncated packet header "parses" against the raw
+                // decoder's 1-bit end padding and reports more bytes
+                // consumed than the stream holds — that is the truncation
+                // signal for the lenient walk.
+                if lenient && used > data.len() - r.p {
+                    break 'layers;
+                }
                 r.skip(used)?;
                 for by in 0..gh {
                     for bx in 0..gw {
-                        let con = &contribs[by * gw + bx];
+                        let con = contribs[by * gw + bx].clone();
                         if con.num_passes == 0 {
-                            // Still record layer boundary for existing blocks.
-                            if let Some(blk) = blocks.get_mut(&(c, bi, by, bx)) {
-                                let last = *blk.layer_passes.last().unwrap_or(&0);
-                                while blk.layer_passes.len() <= layer {
-                                    blk.layer_passes.push(last);
-                                }
-                            }
                             continue;
                         }
                         let body_len: usize = con.pass_lens.iter().sum();
                         if r.p + body_len > data.len() {
+                            if lenient {
+                                break 'layers;
+                            }
                             return Err(CodecError::Codestream("packet body truncated".into()));
                         }
-                        let blk = blocks
-                            .entry((c, bi, by, bx))
-                            .or_insert_with(|| BlockStream {
-                                comp: c,
-                                band_idx: bi,
-                                bx,
-                                by,
-                                zero_planes: con.zero_planes,
-                                layer_passes: vec![0; layer],
-                                pass_lens: Vec::new(),
-                                data: Vec::new(),
-                            });
-                        blk.pass_lens.extend_from_slice(&con.pass_lens);
-                        blk.data.extend_from_slice(&data[r.p..r.p + body_len]);
-                        let total: usize = blk.pass_lens.len();
-                        while blk.layer_passes.len() < layer {
-                            let last = *blk.layer_passes.last().unwrap_or(&0);
-                            blk.layer_passes.push(last);
-                        }
-                        blk.layer_passes.push(total);
+                        updates.push(Update {
+                            key: (c, bi, by, bx),
+                            con,
+                            body: r.p..r.p + body_len,
+                        });
                         r.p += body_len;
                     }
                 }
             }
         }
+        // Commit: the layer parsed end to end.
+        for u in updates {
+            let (c, bi, by, bx) = u.key;
+            let blk = blocks.entry(u.key).or_insert_with(|| BlockStream {
+                comp: c,
+                band_idx: bi,
+                bx,
+                by,
+                zero_planes: u.con.zero_planes,
+                layer_passes: vec![0; layer],
+                pass_lens: Vec::new(),
+                data: Vec::new(),
+            });
+            blk.pass_lens.extend_from_slice(&u.con.pass_lens);
+            blk.data.extend_from_slice(&data[u.body]);
+            let total: usize = blk.pass_lens.len();
+            while blk.layer_passes.len() < layer {
+                let last = *blk.layer_passes.last().unwrap_or(&0);
+                blk.layer_passes.push(last);
+            }
+            blk.layer_passes.push(total);
+        }
+        // Blocks without a contribution this layer still record the
+        // layer boundary.
+        for blk in blocks.values_mut() {
+            let last = *blk.layer_passes.last().unwrap_or(&0);
+            while blk.layer_passes.len() <= layer {
+                blk.layer_passes.push(last);
+            }
+        }
+        complete_layers = layer + 1;
     }
 
     let mut blocks: Vec<BlockStream> = blocks.into_values().collect();
     blocks.sort_by_key(|b| (b.comp, b.band_idx, b.by, b.bx));
-    Ok(Parsed { header, blocks })
+    Ok((Parsed { header, blocks }, complete_layers))
 }
 
 #[cfg(test)]
@@ -731,6 +795,58 @@ mod tests {
         let hdr = header(true);
         // Band 0 (LL): eps = 8 + 0, guard 3 -> M = 10.
         assert_eq!(hdr.max_planes(0), 10);
+    }
+
+    #[test]
+    fn prefix_parse_of_full_stream_matches_strict() {
+        let hdr = header(true);
+        let bytes = write(&hdr, &sample_blocks());
+        let strict = parse(&bytes).unwrap();
+        let (lenient, layers) = parse_prefix(&bytes).unwrap();
+        assert_eq!(layers, hdr.layers);
+        assert_eq!(lenient.header, strict.header);
+        assert_eq!(lenient.blocks.len(), strict.blocks.len());
+        for (a, b) in lenient.blocks.iter().zip(&strict.blocks) {
+            assert_eq!(a.layer_passes, b.layer_passes);
+            assert_eq!(a.pass_lens, b.pass_lens);
+            assert_eq!(a.data, b.data);
+        }
+    }
+
+    #[test]
+    fn prefix_parse_never_commits_a_partial_layer() {
+        let hdr = header(true);
+        let bytes = write(&hdr, &sample_blocks());
+        // Chop off the tail so layer 1's packet bodies are gone but the
+        // header and layer 0 survive.
+        let (parsed, layers) = parse_prefix(&bytes[..bytes.len() - 12]).unwrap();
+        assert!(layers < hdr.layers, "truncation must drop a layer");
+        for blk in &parsed.blocks {
+            assert!(
+                blk.layer_passes.len() <= layers,
+                "block records {} layers but only {layers} are complete",
+                blk.layer_passes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn prefix_layers_are_monotone_in_prefix_length() {
+        let hdr = header(true);
+        let bytes = write(&hdr, &sample_blocks());
+        let mut last = 0usize;
+        for cut in 0..=bytes.len() {
+            match parse_prefix(&bytes[..cut]) {
+                // Header damage stays a typed error.
+                Err(_) => assert_eq!(last, 0, "errors only before the packet walk"),
+                Ok((_, layers)) => {
+                    assert!(layers >= last, "layers regressed at cut {cut}");
+                    assert!(layers <= hdr.layers);
+                    last = layers;
+                }
+            }
+        }
+        assert_eq!(last, hdr.layers, "full stream recovers every layer");
     }
 
     #[test]

@@ -37,7 +37,8 @@ pub use parallel::{
     transform_coefficients_parallel, ParallelOptions,
 };
 pub use pipeline::{
-    decode, decode_layers, decode_resolution, encode, encode_with_profile, transform_coefficients,
+    decode, decode_layers, decode_opts, decode_prefix, decode_resolution, encode,
+    encode_with_profile, transform_coefficients,
 };
 pub use profile::{StageTime, WorkloadProfile};
 

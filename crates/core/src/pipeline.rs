@@ -686,12 +686,47 @@ pub fn decode_resolution(data: &[u8], discard_levels: usize) -> Result<Image, Co
     decode_inner(data, usize::MAX, discard_levels)
 }
 
+/// Decode with both progressive controls at once: keep only the first
+/// `max_layers` quality layers (`usize::MAX` = all) *and* discard the
+/// `discard_levels` finest resolution levels. The plumbing entry point
+/// for the CLI and the serve-level `Decode` request.
+pub fn decode_opts(
+    data: &[u8],
+    max_layers: usize,
+    discard_levels: usize,
+) -> Result<Image, CodecError> {
+    decode_inner(data, max_layers, discard_levels)
+}
+
+/// Best-effort decode of a (possibly truncated) codestream prefix.
+///
+/// The main header must be intact — header damage is unrecoverable and
+/// returns the usual typed [`CodecError`]. The packet walk, however, is
+/// lenient: parsing stops at the first truncated or undecodable packet,
+/// whole quality layers parsed before that point are kept, and the image
+/// is reconstructed from them. Returns the image plus the number of
+/// complete layers recovered (`0..=layers`); zero recovered layers still
+/// yields a valid (flat) image of the right geometry, so the caller can
+/// always measure it.
+pub fn decode_prefix(data: &[u8]) -> Result<(Image, usize), CodecError> {
+    let (parsed, complete_layers) = codestream::parse_prefix(data)?;
+    let img = decode_parsed(parsed, usize::MAX, 0)?;
+    Ok((img, complete_layers))
+}
+
 fn decode_inner(
     data: &[u8],
     max_layers: usize,
     discard_levels: usize,
 ) -> Result<Image, CodecError> {
-    let parsed = codestream::parse(data)?;
+    decode_parsed(codestream::parse(data)?, max_layers, discard_levels)
+}
+
+fn decode_parsed(
+    parsed: codestream::Parsed,
+    max_layers: usize,
+    discard_levels: usize,
+) -> Result<Image, CodecError> {
     let hdr = &parsed.header;
     let (w, h) = (hdr.width, hdr.height);
     let bands = hdr.bands();
@@ -991,6 +1026,52 @@ mod tests {
         // Full decode equals decode of all layers.
         assert_eq!(decode(&bytes).unwrap(), decode_layers(&bytes, 4).unwrap());
         assert!(prev > 25.0, "final quality {prev}");
+    }
+
+    #[test]
+    fn prefix_decode_of_full_stream_is_exact() {
+        let im = synth::natural(64, 48, 21);
+        let params = EncoderParams {
+            layers: 3,
+            ..EncoderParams::lossy(0.4)
+        };
+        let bytes = encode(&im, &params).unwrap();
+        let (prefix, layers) = decode_prefix(&bytes).unwrap();
+        assert_eq!(layers, 3);
+        assert_eq!(prefix, decode(&bytes).unwrap());
+    }
+
+    #[test]
+    fn prefix_decode_of_truncated_stream_degrades_monotonically() {
+        let im = synth::natural(80, 64, 33);
+        let params = EncoderParams {
+            layers: 4,
+            ..EncoderParams::lossy(0.5)
+        };
+        let bytes = encode(&im, &params).unwrap();
+        // Walk prefixes from nothing to everything: every successful
+        // decode is geometrically valid, layer recovery is monotone, and
+        // quality at each recovered layer count matches decode_layers.
+        let mut last_layers = 0usize;
+        let mut any_partial = false;
+        for cut in (0..=bytes.len()).step_by(97) {
+            match decode_prefix(&bytes[..cut]) {
+                Err(_) => assert_eq!(last_layers, 0, "typed errors only before packets"),
+                Ok((img, layers)) => {
+                    assert_eq!((img.width, img.height, img.comps()), (80, 64, 1));
+                    assert!(layers >= last_layers, "cut {cut}: layer count regressed");
+                    if layers > 0 && layers < 4 {
+                        any_partial = true;
+                        assert_eq!(img, decode_layers(&bytes, layers).unwrap());
+                    }
+                    last_layers = layers;
+                }
+            }
+        }
+        let (full, layers) = decode_prefix(&bytes).unwrap();
+        assert_eq!(layers, 4);
+        assert_eq!(full, decode(&bytes).unwrap());
+        assert!(any_partial, "truncation walk never hit a partial stream");
     }
 
     #[test]

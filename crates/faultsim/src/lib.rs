@@ -1,8 +1,9 @@
 //! Deterministic fault injection for the encode pipeline and service.
 //!
 //! A **failpoint** is a named callsite (`"dwt.level"`, `"tier1.block"`,
-//! `"rate.block"`, `"tier2.precinct"`, `"queue.pop"`, `"wire.read"`,
-//! `"worker.job_start"`) that production code evaluates on every pass. A test (or an operator running a chaos
+//! `"rate.block"`, `"tier2.precinct"`, `"decode.packet"`, `"queue.pop"`,
+//! `"wire.read"`, `"worker.job_start"`) that production code evaluates on
+//! every pass. A test (or an operator running a chaos
 //! drill) **arms** a failpoint with a [`FaultSpec`] — *fire action A
 //! starting at the Nth hit, T times* — and the callsite then observes an
 //! injected error, an injected delay, or a panic at exactly the scheduled

@@ -1,0 +1,264 @@
+//! A/B image comparator: the full metric battery in one call.
+//!
+//! [`compare`] is what the closed-loop consumers use — `j2kcell compare`,
+//! the golden-corpus conformance suite, and the decode bench — so its
+//! output carries everything at once: aggregate and per-component MSE /
+//! PSNR / SSIM, the worst absolute sample error, and an `identical` flag
+//! that makes the lossless bit-exactness oracle a field read. JSON is
+//! hand-rolled in the workspace house style (no serde); infinite PSNR
+//! (identical planes) serializes as `null`.
+
+use crate::psnr::{max_abs_err, mse_plane, psnr_from_mse};
+use crate::ssim::ssim_plane;
+use imgio::Image;
+
+/// Typed metric failures. Nothing in this crate panics on valid
+/// [`Image`]s; the only failure mode is comparing incomparable
+/// geometries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricsError {
+    /// The two images differ in width, height, or component count.
+    Geometry(String),
+}
+
+impl std::fmt::Display for MetricsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MetricsError::Geometry(m) => write!(f, "incomparable geometry: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MetricsError {}
+
+/// One component plane's quality readings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlaneQuality {
+    /// Mean squared error.
+    pub mse: f64,
+    /// PSNR in dB (`f64::INFINITY` for identical planes).
+    pub psnr: f64,
+    /// SSIM in `[-1, 1]`.
+    pub ssim: f64,
+    /// Largest absolute sample difference.
+    pub max_abs_err: u16,
+}
+
+/// Full A/B comparison result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Shared width.
+    pub width: usize,
+    /// Shared height.
+    pub height: usize,
+    /// Shared component count.
+    pub comps: usize,
+    /// Peak sample value (from the reference image's bit depth).
+    pub peak: u16,
+    /// Aggregate mean squared error across components.
+    pub mse: f64,
+    /// Aggregate PSNR in dB (`f64::INFINITY` when identical).
+    pub psnr: f64,
+    /// Aggregate SSIM (mean of per-plane scores).
+    pub ssim: f64,
+    /// Worst absolute sample difference anywhere.
+    pub max_abs_err: u16,
+    /// Bit-exact equality — the lossless round-trip oracle.
+    pub identical: bool,
+    /// Per-component readings, in plane order.
+    pub planes: Vec<PlaneQuality>,
+}
+
+/// Compare reference `a` against candidate `b`.
+pub fn compare(a: &Image, b: &Image) -> Result<Comparison, MetricsError> {
+    crate::check_geometry(a, b)?;
+    let peak = a.max_value();
+    let mut planes = Vec::with_capacity(a.comps());
+    let mut mse_acc = 0.0;
+    let mut ssim_acc = 0.0;
+    for c in 0..a.comps() {
+        let m = mse_plane(a, b, c)?;
+        let s = ssim_plane(a, b, c)?;
+        let worst = a.planes[c]
+            .iter()
+            .zip(&b.planes[c])
+            .map(|(&va, &vb)| va.abs_diff(vb))
+            .max()
+            .unwrap_or(0);
+        mse_acc += m;
+        ssim_acc += s;
+        planes.push(PlaneQuality {
+            mse: m,
+            psnr: psnr_from_mse(m, peak),
+            ssim: s,
+            max_abs_err: worst,
+        });
+    }
+    let mse = mse_acc / a.comps() as f64;
+    let worst = max_abs_err(a, b)?;
+    Ok(Comparison {
+        width: a.width,
+        height: a.height,
+        comps: a.comps(),
+        peak,
+        mse,
+        psnr: psnr_from_mse(mse, peak),
+        ssim: ssim_acc / a.comps() as f64,
+        max_abs_err: worst,
+        identical: worst == 0,
+        planes,
+    })
+}
+
+/// A float as JSON: finite values verbatim, infinities as `null` (JSON
+/// has no Infinity literal).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".into()
+    }
+}
+
+impl Comparison {
+    /// Hand-rolled JSON in the workspace house style.
+    pub fn to_json(&self) -> String {
+        let planes: Vec<String> = self
+            .planes
+            .iter()
+            .map(|p| {
+                format!(
+                    "{{\"mse\":{},\"psnr\":{},\"ssim\":{},\"max_abs_err\":{}}}",
+                    json_f64(p.mse),
+                    json_f64(p.psnr),
+                    json_f64(p.ssim),
+                    p.max_abs_err
+                )
+            })
+            .collect();
+        format!(
+            "{{\"width\":{},\"height\":{},\"comps\":{},\"peak\":{},\"identical\":{},\
+             \"mse\":{},\"psnr\":{},\"ssim\":{},\"max_abs_err\":{},\"planes\":[{}]}}",
+            self.width,
+            self.height,
+            self.comps,
+            self.peak,
+            self.identical,
+            json_f64(self.mse),
+            json_f64(self.psnr),
+            json_f64(self.ssim),
+            self.max_abs_err,
+            planes.join(",")
+        )
+    }
+}
+
+impl std::fmt::Display for Comparison {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{}x{} x{} @ peak {}{}",
+            self.width,
+            self.height,
+            self.comps,
+            self.peak,
+            if self.identical { "  (bit-exact)" } else { "" }
+        )?;
+        let db = |v: f64| {
+            if v.is_finite() {
+                format!("{v:7.2} dB")
+            } else {
+                "     inf".into()
+            }
+        };
+        writeln!(
+            f,
+            "  all: PSNR {}  SSIM {:.4}  MSE {:.3}  max|err| {}",
+            db(self.psnr),
+            self.ssim,
+            self.mse,
+            self.max_abs_err
+        )?;
+        if self.comps > 1 {
+            for (c, p) in self.planes.iter().enumerate() {
+                writeln!(
+                    f,
+                    "  c{c}:  PSNR {}  SSIM {:.4}  MSE {:.3}  max|err| {}",
+                    db(p.psnr),
+                    p.ssim,
+                    p.mse,
+                    p.max_abs_err
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imgio::synth;
+
+    #[test]
+    fn identical_comparison_is_exact() {
+        let im = synth::natural_rgb(24, 18, 4);
+        let c = compare(&im, &im).unwrap();
+        assert!(c.identical);
+        assert_eq!(c.psnr, f64::INFINITY);
+        assert_eq!(c.max_abs_err, 0);
+        assert!((c.ssim - 1.0).abs() < 1e-12);
+        assert_eq!(c.planes.len(), 3);
+        let j = c.to_json();
+        assert!(j.contains("\"identical\":true"));
+        assert!(j.contains("\"psnr\":null"), "{j}");
+        assert!(j.contains("\"max_abs_err\":0"));
+    }
+
+    #[test]
+    fn damage_is_reported_and_localized() {
+        let a = synth::natural_rgb(32, 32, 8);
+        let mut b = a.clone();
+        for v in &mut b.planes[1] {
+            *v = v.saturating_add(12);
+        }
+        let c = compare(&a, &b).unwrap();
+        assert!(!c.identical);
+        assert_eq!(c.max_abs_err, 12);
+        assert!(c.psnr.is_finite());
+        assert_eq!(c.planes[0].max_abs_err, 0);
+        assert_eq!(c.planes[2].max_abs_err, 0);
+        assert_eq!(c.planes[1].max_abs_err, 12);
+        assert!(c.planes[1].psnr < c.planes[0].psnr);
+        let j = c.to_json();
+        assert!(j.contains("\"identical\":false"));
+        assert!(!j.contains("inf"), "no raw infinities in JSON: {j}");
+        // The human rendering carries every section.
+        let text = c.to_string();
+        assert!(text.contains("PSNR"), "{text}");
+        assert!(text.contains("c1:"), "{text}");
+    }
+
+    #[test]
+    fn geometry_mismatch_is_typed_not_a_panic() {
+        let a = synth::flat(8, 8, 0);
+        let b = synth::flat(9, 8, 0);
+        let e = compare(&a, &b).unwrap_err();
+        assert!(matches!(e, MetricsError::Geometry(_)));
+        assert!(e.to_string().contains("8x8"));
+    }
+
+    #[test]
+    fn aggregate_is_mean_of_planes() {
+        let a = synth::natural_rgb(16, 16, 3);
+        let mut b = a.clone();
+        for v in &mut b.planes[0] {
+            *v = v.saturating_add(6);
+        }
+        let c = compare(&a, &b).unwrap();
+        let mean_mse = c.planes.iter().map(|p| p.mse).sum::<f64>() / 3.0;
+        assert!((c.mse - mean_mse).abs() < 1e-12);
+        let mean_ssim = c.planes.iter().map(|p| p.ssim).sum::<f64>() / 3.0;
+        assert!((c.ssim - mean_ssim).abs() < 1e-12);
+    }
+}

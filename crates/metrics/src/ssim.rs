@@ -1,0 +1,176 @@
+//! Structural similarity (SSIM), Wang et al. 2004.
+//!
+//! The reference formulation: an 11×11 Gaussian window (σ = 1.5) slides
+//! over every fully-interior position ("valid" mode), local weighted
+//! means/variances/covariance feed the per-window index
+//!
+//! ```text
+//! SSIM = (2·μa·μb + C1)(2·σab + C2) / ((μa² + μb² + C1)(σa² + σb² + C2))
+//! ```
+//!
+//! and the score is the plain mean over windows. `C1 = (0.01·L)²`,
+//! `C2 = (0.03·L)²` with `L` the reference image's peak value. Images
+//! smaller than the window shrink the window to the image (down to a
+//! single luminance-only window for a 1×1 image), so every valid
+//! geometry scores without panicking — the comparator sits behind
+//! fuzzed decoder output.
+
+use crate::comparator::MetricsError;
+use imgio::Image;
+
+const K1: f64 = 0.01;
+const K2: f64 = 0.03;
+const WINDOW: usize = 11;
+const SIGMA: f64 = 1.5;
+
+/// Normalized 1-D Gaussian taps for a window of `n` samples.
+fn gaussian(n: usize) -> Vec<f64> {
+    let c = (n as f64 - 1.0) / 2.0;
+    let mut k: Vec<f64> = (0..n)
+        .map(|i| (-(i as f64 - c) * (i as f64 - c) / (2.0 * SIGMA * SIGMA)).exp())
+        .collect();
+    let s: f64 = k.iter().sum();
+    for v in &mut k {
+        *v /= s;
+    }
+    k
+}
+
+/// SSIM of one component plane pair, in `[-1, 1]` (1 = identical).
+pub fn ssim_plane(a: &Image, b: &Image, comp: usize) -> Result<f64, MetricsError> {
+    crate::check_geometry(a, b)?;
+    let (w, h) = (a.width, a.height);
+    let wx = WINDOW.min(w);
+    let wy = WINDOW.min(h);
+    let kx = gaussian(wx);
+    let ky = gaussian(wy);
+    let peak = a.max_value() as f64;
+    let c1 = (K1 * peak) * (K1 * peak);
+    let c2 = (K2 * peak) * (K2 * peak);
+    let pa = &a.planes[comp];
+    let pb = &b.planes[comp];
+
+    let mut acc = 0.0;
+    let mut windows = 0u64;
+    for y0 in 0..=(h - wy) {
+        for x0 in 0..=(w - wx) {
+            let (mut ma, mut mb) = (0.0f64, 0.0f64);
+            for (j, &wyj) in ky.iter().enumerate() {
+                let row = (y0 + j) * w + x0;
+                for (i, &wxi) in kx.iter().enumerate() {
+                    let wgt = wyj * wxi;
+                    ma += wgt * pa[row + i] as f64;
+                    mb += wgt * pb[row + i] as f64;
+                }
+            }
+            let (mut va, mut vb, mut cov) = (0.0f64, 0.0f64, 0.0f64);
+            for (j, &wyj) in ky.iter().enumerate() {
+                let row = (y0 + j) * w + x0;
+                for (i, &wxi) in kx.iter().enumerate() {
+                    let wgt = wyj * wxi;
+                    let da = pa[row + i] as f64 - ma;
+                    let db = pb[row + i] as f64 - mb;
+                    va += wgt * da * da;
+                    vb += wgt * db * db;
+                    cov += wgt * da * db;
+                }
+            }
+            acc += ((2.0 * ma * mb + c1) * (2.0 * cov + c2))
+                / ((ma * ma + mb * mb + c1) * (va + vb + c2));
+            windows += 1;
+        }
+    }
+    Ok(acc / windows as f64)
+}
+
+/// SSIM across all components: the mean of the per-plane scores.
+pub fn ssim(a: &Image, b: &Image) -> Result<f64, MetricsError> {
+    crate::check_geometry(a, b)?;
+    let mut acc = 0.0;
+    for c in 0..a.comps() {
+        acc += ssim_plane(a, b, c)?;
+    }
+    Ok(acc / a.comps() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imgio::synth;
+
+    #[test]
+    fn identical_images_score_one() {
+        for im in [synth::natural(32, 24, 3), synth::natural_rgb(16, 16, 5)] {
+            let s = ssim(&im, &im).unwrap();
+            assert!((s - 1.0).abs() < 1e-12, "{s}");
+        }
+    }
+
+    #[test]
+    fn scores_stay_in_range_and_order_by_damage() {
+        let a = synth::natural(48, 48, 9);
+        let mut light = a.clone();
+        let mut heavy = a.clone();
+        let mut x = 1u32;
+        for i in 0..light.planes[0].len() {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            let n = (x >> 28) as i32; // 0..16
+            light.planes[0][i] = (light.planes[0][i] as i32 + n % 4).clamp(0, 255) as u16;
+            heavy.planes[0][i] = (heavy.planes[0][i] as i32 + n * 8 - 64).clamp(0, 255) as u16;
+        }
+        let sl = ssim(&a, &light).unwrap();
+        let sh = ssim(&a, &heavy).unwrap();
+        assert!(sl > sh, "light {sl} <= heavy {sh}");
+        for s in [sl, sh] {
+            assert!((-1.0..=1.0).contains(&s), "{s}");
+        }
+        assert!(sl > 0.9, "mild noise should stay close to 1: {sl}");
+    }
+
+    #[test]
+    fn structure_loss_hurts_more_than_psnr_equivalent_bias() {
+        // A constant +10 bias keeps structure (SSIM stays high); shuffling
+        // the same energy into structured damage does not.
+        let a = synth::natural(40, 40, 2);
+        let mut bias = a.clone();
+        for v in &mut bias.planes[0] {
+            *v = (*v + 10).min(255);
+        }
+        let mut scramble = a.clone();
+        for (i, v) in scramble.planes[0].iter_mut().enumerate() {
+            if (i / 4) % 2 == 0 {
+                *v = v.saturating_sub(14);
+            } else {
+                *v = (*v + 14).min(255);
+            }
+        }
+        let sb = ssim(&a, &bias).unwrap();
+        let ss = ssim(&a, &scramble).unwrap();
+        assert!(sb > ss, "bias {sb} <= scramble {ss}");
+    }
+
+    #[test]
+    fn tiny_images_score_without_panicking() {
+        for (w, h) in [(1usize, 1usize), (2, 2), (1, 17), (16, 1), (5, 5)] {
+            let mut a = imgio::Image::new(w, h, 1, 8).unwrap();
+            for (i, v) in a.planes[0].iter_mut().enumerate() {
+                *v = ((i * 37) % 256) as u16;
+            }
+            let s = ssim(&a, &a).unwrap();
+            assert!((s - 1.0).abs() < 1e-12, "{w}x{h}: {s}");
+            let mut b = a.clone();
+            b.planes[0][0] = 255 - b.planes[0][0];
+            let s = ssim(&a, &b).unwrap();
+            assert!((-1.0..1.0).contains(&s), "{w}x{h}: {s}");
+        }
+    }
+
+    #[test]
+    fn geometry_mismatch_is_typed() {
+        let a = synth::flat(8, 8, 0);
+        assert!(matches!(
+            ssim(&a, &synth::flat(8, 9, 0)),
+            Err(MetricsError::Geometry(_))
+        ));
+    }
+}

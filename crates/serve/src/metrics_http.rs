@@ -75,6 +75,18 @@ pub fn render_prometheus(svc: &EncodeService) -> String {
     );
     obs::prom::counter(
         &mut out,
+        "j2k_decoded_total",
+        "Decode requests answered with an image.",
+        m.decoded,
+    );
+    obs::prom::counter(
+        &mut out,
+        "j2k_decode_failed_total",
+        "Decode requests refused with a typed error.",
+        m.decode_failed,
+    );
+    obs::prom::counter(
+        &mut out,
         "j2k_workers_respawned_total",
         "Worker threads respawned after a crash.",
         m.workers_respawned,
@@ -173,6 +185,7 @@ mod tests {
             "expected a full exposition, got {series} series"
         );
         assert!(text.contains("j2k_jobs_completed_total 3"));
+        assert!(text.contains("j2k_decoded_total 0"));
         assert!(text.contains("j2k_job_e2e_us_bucket{le=\"+Inf\"} 3"));
         assert!(text.contains("j2k_job_e2e_us_count 3"));
         assert!(text.contains("j2k_stage_tier1_us_count 3"));

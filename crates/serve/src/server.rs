@@ -112,6 +112,17 @@ fn handle_conn(stream: TcpStream, service: &EncodeService, cfg: ServerConfig) ->
                 let _ = respond(&mut writer, &Response::Pong);
                 return ConnExit::Shutdown;
             }
+            Request::Decode(d) => {
+                let max_layers = if d.max_layers == 0 {
+                    usize::MAX
+                } else {
+                    d.max_layers as usize
+                };
+                match service.decode(&d.codestream, max_layers, usize::from(d.discard_levels)) {
+                    Ok(image) => Response::DecodeOk(image),
+                    Err(e) => Response::Failed(e.to_string()),
+                }
+            }
             Request::Encode(e) => {
                 let job = EncodeJob {
                     image: e.image,

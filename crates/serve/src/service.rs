@@ -269,6 +269,8 @@ struct Metrics {
     failed: AtomicU64,
     retried: AtomicU64,
     poisoned: AtomicU64,
+    decoded: AtomicU64,
+    decode_failed: AtomicU64,
     workers_respawned: AtomicU64,
     workers_alive: AtomicU64,
     /// Accumulated per-stage encode wall time (name -> seconds) and
@@ -314,6 +316,10 @@ pub struct MetricsSnapshot {
     pub jobs_retried: u64,
     /// Jobs quarantined after exhausting the crash-retry budget.
     pub jobs_poisoned: u64,
+    /// Decode requests that returned an image.
+    pub decoded: u64,
+    /// Decode requests the decoder rejected.
+    pub decode_failed: u64,
     /// Worker threads respawned after a crash.
     pub workers_respawned: u64,
     /// Worker threads currently live.
@@ -356,7 +362,8 @@ impl MetricsSnapshot {
         format!(
             "{{\"queue_depth\":{},\"queue_capacity\":{},\"accepted\":{},\"rejected\":{},\
              \"completed\":{},\"timed_out\":{},\"cancelled\":{},\"failed\":{},\
-             \"jobs_retried\":{},\"jobs_poisoned\":{},\"workers_respawned\":{},\
+             \"jobs_retried\":{},\"jobs_poisoned\":{},\"decoded\":{},\"decode_failed\":{},\
+             \"workers_respawned\":{},\
              \"workers_alive\":{},\"stage_seconds\":{{{}}},\"histograms\":{{{}}}}}",
             self.queue_depth,
             self.queue_capacity,
@@ -368,6 +375,8 @@ impl MetricsSnapshot {
             self.failed,
             self.jobs_retried,
             self.jobs_poisoned,
+            self.decoded,
+            self.decode_failed,
             self.workers_respawned,
             self.workers_alive,
             stages.join(","),
@@ -531,6 +540,28 @@ impl EncodeService {
         self.queue.len()
     }
 
+    /// Decode a codestream inline on the calling thread — decode carries
+    /// no shared rate-control state and is cheap next to an encode, so it
+    /// bypasses the queue, admission control, and the crash-retry
+    /// machinery. `max_layers == usize::MAX` keeps every quality layer;
+    /// `discard_levels` drops the finest resolution levels. Outcomes land
+    /// in [`MetricsSnapshot::decoded`] /
+    /// [`MetricsSnapshot::decode_failed`].
+    pub fn decode(
+        &self,
+        data: &[u8],
+        max_layers: usize,
+        discard_levels: usize,
+    ) -> Result<Image, CodecError> {
+        let r = j2k_core::decode_opts(data, max_layers, discard_levels);
+        let ctr = match r {
+            Ok(_) => &self.metrics.decoded,
+            Err(_) => &self.metrics.decode_failed,
+        };
+        ctr.fetch_add(1, Ordering::Relaxed);
+        r
+    }
+
     /// Hold the pool at the queue: claimed jobs finish, queued jobs wait.
     /// Operational drain hook; also makes queue-state tests deterministic.
     pub fn pause(&self) {
@@ -556,6 +587,8 @@ impl EncodeService {
             failed: m.failed.load(Ordering::Relaxed),
             jobs_retried: m.retried.load(Ordering::Relaxed),
             jobs_poisoned: m.poisoned.load(Ordering::Relaxed),
+            decoded: m.decoded.load(Ordering::Relaxed),
+            decode_failed: m.decode_failed.load(Ordering::Relaxed),
             workers_respawned: m.workers_respawned.load(Ordering::Relaxed),
             workers_alive: m.workers_alive.load(Ordering::Relaxed),
             stage_seconds: m
@@ -1120,6 +1153,8 @@ mod tests {
             failed: 0,
             jobs_retried: 4,
             jobs_poisoned: 1,
+            decoded: 6,
+            decode_failed: 2,
             workers_respawned: 2,
             workers_alive: 2,
             stage_seconds: vec![("dwt".into(), 0.25)],
@@ -1140,6 +1175,8 @@ mod tests {
         assert!(j.contains("\"rejected\":2"));
         assert!(j.contains("\"jobs_retried\":4"));
         assert!(j.contains("\"jobs_poisoned\":1"));
+        assert!(j.contains("\"decoded\":6"));
+        assert!(j.contains("\"decode_failed\":2"));
         assert!(j.contains("\"workers_respawned\":2"));
         assert!(j.contains("\"workers_alive\":2"));
         assert!(j.contains("\"dwt\":0.250000"));

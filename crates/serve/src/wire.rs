@@ -45,6 +45,7 @@ const TAG_PING: u8 = 0x03;
 const TAG_SHUTDOWN: u8 = 0x04;
 const TAG_HEALTH: u8 = 0x05;
 const TAG_TRACE: u8 = 0x06;
+const TAG_DECODE: u8 = 0x07;
 const TAG_ENCODE_OK: u8 = 0x81;
 const TAG_REJECTED: u8 = 0x82;
 const TAG_TIMED_OUT: u8 = 0x83;
@@ -55,6 +56,7 @@ const TAG_PONG: u8 = 0x87;
 const TAG_HEALTH_OK: u8 = 0x88;
 const TAG_POISONED: u8 = 0x89;
 const TAG_TRACE_JSON: u8 = 0x8A;
+const TAG_DECODE_OK: u8 = 0x8B;
 
 /// Wire-level failures. Framing errors ([`Truncated`](Self::Truncated),
 /// [`BadMagic`](Self::BadMagic), [`Oversized`](Self::Oversized),
@@ -131,6 +133,10 @@ pub enum Request {
     /// tracing enabled; answered with [`Response::TraceJson`] or, when no
     /// such trace is retained, [`Response::Failed`].
     Trace(u64),
+    /// Decode a codestream back to an image (the closed-loop half of
+    /// [`Request::Encode`]). Answered with [`Response::DecodeOk`] or,
+    /// on a codestream the decoder rejects, [`Response::Failed`].
+    Decode(DecodeRequest),
 }
 
 /// Body of [`Request::Encode`].
@@ -144,6 +150,17 @@ pub struct EncodeRequest {
     pub params: EncoderParams,
     /// The image to encode.
     pub image: Image,
+}
+
+/// Body of [`Request::Decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeRequest {
+    /// Decode only the first N quality layers; 0 = all layers.
+    pub max_layers: u32,
+    /// Discard this many finest resolution levels (0 = full resolution).
+    pub discard_levels: u8,
+    /// The codestream to decode.
+    pub codestream: Vec<u8>,
 }
 
 /// Server → client messages.
@@ -171,6 +188,8 @@ pub enum Response {
     Poisoned(String),
     /// Reply to [`Request::Trace`]: one job's Chrome trace-event JSON.
     TraceJson(String),
+    /// Reply to [`Request::Decode`]: the reconstructed image.
+    DecodeOk(Image),
 }
 
 /// Why a job was refused.
@@ -430,6 +449,14 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             out.extend_from_slice(&job_id.to_be_bytes());
             out
         }
+        Request::Decode(d) => {
+            let mut out = Vec::with_capacity(6 + d.codestream.len());
+            out.push(TAG_DECODE);
+            out.extend_from_slice(&d.max_layers.to_be_bytes());
+            out.push(d.discard_levels);
+            out.extend_from_slice(&d.codestream);
+            out
+        }
     }
 }
 
@@ -457,6 +484,16 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, WireError> {
         TAG_SHUTDOWN => Request::Shutdown,
         TAG_HEALTH => Request::Health,
         TAG_TRACE => Request::Trace(rd.u64()?),
+        TAG_DECODE => {
+            let max_layers = rd.u32()?;
+            let discard_levels = rd.u8()?;
+            let codestream = rd.take(rd.remaining())?.to_vec();
+            Request::Decode(DecodeRequest {
+                max_layers,
+                discard_levels,
+                codestream,
+            })
+        }
         t => {
             return Err(WireError::Malformed(format!(
                 "unknown request tag {t:#04x}"
@@ -521,6 +558,12 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         Response::TraceJson(j) => {
             let mut out = vec![TAG_TRACE_JSON];
             out.extend_from_slice(j.as_bytes());
+            out
+        }
+        Response::DecodeOk(im) => {
+            let mut out = Vec::with_capacity(11 + 2 * im.width * im.height * im.comps());
+            out.push(TAG_DECODE_OK);
+            put_image(&mut out, im);
             out
         }
     }
@@ -594,6 +637,7 @@ pub fn parse_response(payload: &[u8]) -> Result<Response, WireError> {
                 .map_err(|_| WireError::Malformed("non-utf8 trace json".into()))?;
             Ok(Response::TraceJson(j))
         }
+        TAG_DECODE_OK => Ok(Response::DecodeOk(get_image(&mut rd)?)),
         t => Err(WireError::Malformed(format!(
             "unknown response tag {t:#04x}"
         ))),
@@ -634,6 +678,16 @@ mod tests {
             Request::Health,
             Request::Trace(0),
             Request::Trace(42),
+            Request::Decode(DecodeRequest {
+                max_layers: 0,
+                discard_levels: 0,
+                codestream: vec![0xFF, 0x4F, 0xFF, 0xD9],
+            }),
+            Request::Decode(DecodeRequest {
+                max_layers: 2,
+                discard_levels: 1,
+                codestream: Vec::new(),
+            }),
         ] {
             assert_eq!(parse_request(&encode_request(&req)).unwrap(), req);
         }
@@ -662,6 +716,7 @@ mod tests {
             }),
             Response::Poisoned("job 7 crashed its worker 2 times".into()),
             Response::TraceJson("{\"traceEvents\":[]}".into()),
+            Response::DecodeOk(imgio::synth::natural_rgb(6, 4, 11)),
         ] {
             assert_eq!(parse_response(&encode_response(&resp)).unwrap(), resp);
         }

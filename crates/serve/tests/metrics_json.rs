@@ -23,6 +23,8 @@ fn populated() -> MetricsSnapshot {
         failed: 2,
         jobs_retried: 5,
         jobs_poisoned: 1,
+        decoded: 21,
+        decode_failed: 3,
         workers_respawned: 4,
         workers_alive: 2,
         stage_seconds: vec![("dwt".to_string(), 0.125), ("tier1".to_string(), 1.5)],

@@ -3,7 +3,7 @@
 //! server that survives abusive connections.
 
 use j2k_core::EncoderParams;
-use j2k_serve::wire::{call, EncodeRequest, Request, Response, DEFAULT_MAX_FRAME};
+use j2k_serve::wire::{call, DecodeRequest, EncodeRequest, Request, Response, DEFAULT_MAX_FRAME};
 use j2k_serve::{serve, EncodeService, ServerConfig, ServiceConfig};
 use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
@@ -63,6 +63,78 @@ fn tcp_encode_roundtrip_is_byte_identical_and_shutdown_works() {
     }
 
     // Shutdown drains and the serve loop returns.
+    assert_eq!(
+        call(&mut conn, &Request::Shutdown, DEFAULT_MAX_FRAME).unwrap(),
+        Response::Pong
+    );
+    server.join().unwrap();
+}
+
+#[test]
+fn tcp_decode_closes_the_loop() {
+    let (addr, server) = start_server(ServiceConfig::default());
+    let mut conn = TcpStream::connect(addr).unwrap();
+
+    // Encode on the server, decode on the server, compare locally: the
+    // service round-trips losslessly without the client ever touching
+    // the codec.
+    let im = imgio::synth::natural_rgb(48, 36, 9);
+    let cs = match call(
+        &mut conn,
+        &Request::Encode(EncodeRequest {
+            priority: 0,
+            timeout_ms: 0,
+            params: EncoderParams::lossless(),
+            image: im.clone(),
+        }),
+        DEFAULT_MAX_FRAME,
+    )
+    .unwrap()
+    {
+        Response::EncodeOk(cs) => cs,
+        other => panic!("unexpected response {other:?}"),
+    };
+    match call(
+        &mut conn,
+        &Request::Decode(DecodeRequest {
+            max_layers: 0,
+            discard_levels: 0,
+            codestream: cs.clone(),
+        }),
+        DEFAULT_MAX_FRAME,
+    )
+    .unwrap()
+    {
+        Response::DecodeOk(back) => assert_eq!(back, im),
+        other => panic!("unexpected response {other:?}"),
+    }
+
+    // A garbage codestream comes back as a typed failure, not a dead
+    // connection.
+    match call(
+        &mut conn,
+        &Request::Decode(DecodeRequest {
+            max_layers: 0,
+            discard_levels: 0,
+            codestream: vec![0xDE, 0xAD, 0xBE, 0xEF],
+        }),
+        DEFAULT_MAX_FRAME,
+    )
+    .unwrap()
+    {
+        Response::Failed(m) => assert!(!m.is_empty()),
+        other => panic!("unexpected response {other:?}"),
+    }
+
+    // Both outcomes are visible in the metrics.
+    match call(&mut conn, &Request::Metrics, DEFAULT_MAX_FRAME).unwrap() {
+        Response::MetricsJson(j) => {
+            assert!(j.contains("\"decoded\":1"), "{j}");
+            assert!(j.contains("\"decode_failed\":1"), "{j}");
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+
     assert_eq!(
         call(&mut conn, &Request::Shutdown, DEFAULT_MAX_FRAME).unwrap(),
         Response::Pong

@@ -131,6 +131,51 @@ fn geometry_lies_are_rejected_not_allocated() {
 }
 
 #[test]
+fn mutated_decode_requests_never_panic_and_responses_stay_typed() {
+    use j2k_serve::wire::{encode_response, parse_response, DecodeRequest, Response};
+    // A Decode request whose codestream tail is a real encode, then
+    // mutated: the wire layer must parse (the tail is opaque bytes) and
+    // the decoder behind it must answer with an image or a typed error —
+    // this is the serve-side mirror of the codec fuzz suite.
+    let cs = j2k_core::encode(
+        &imgio::synth::natural(24, 16, 8),
+        &j2k_core::EncoderParams::lossless(),
+    )
+    .unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xDEC0DE);
+    for _ in 0..300 {
+        let mut stream = cs.clone();
+        for _ in 0..rng.gen_range(1..6usize) {
+            let i = rng.gen_range(0..stream.len());
+            stream[i] = rng.gen_range(0..256u32) as u8;
+        }
+        let payload = encode_request(&Request::Decode(DecodeRequest {
+            max_layers: rng.gen_range(0..4u32),
+            discard_levels: rng.gen_range(0..3u32) as u8,
+            codestream: stream,
+        }));
+        let Ok(Request::Decode(d)) = parse_request(&payload) else {
+            panic!("decode request with opaque tail must reparse");
+        };
+        // Server-side handling: decode, then serialize whichever response
+        // results. Ok or Err — never a panic, and the response reparses.
+        let resp = match j2k_core::decode_opts(
+            &d.codestream,
+            if d.max_layers == 0 {
+                usize::MAX
+            } else {
+                d.max_layers as usize
+            },
+            usize::from(d.discard_levels),
+        ) {
+            Ok(im) => Response::DecodeOk(im),
+            Err(e) => Response::Failed(e.to_string()),
+        };
+        assert_eq!(parse_response(&encode_response(&resp)).unwrap(), resp);
+    }
+}
+
+#[test]
 fn random_garbage_frames_never_panic() {
     let mut rng = rand::rngs::StdRng::seed_from_u64(77);
     for _ in 0..500 {

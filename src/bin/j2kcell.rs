@@ -6,10 +6,17 @@
 //!                 [--cb N] [--variant separate|interleaved|merged]
 //!                 [--fixed] [--bypass] [--layers N] [--workers N]
 //! j2kcell decode  input.j2c output.{bmp,pgm,ppm} [--resolution N] [--max-layers N]
+//! j2kcell compare a.{bmp,pgm,ppm} b.{bmp,pgm,ppm} [--min-psnr DB] [--min-ssim S] [--json]
 //! j2kcell simulate input.{bmp,pgm,ppm} [--lossy RATE] [--spes N] [--ppes N]
 //! j2kcell info    input.j2c
 //! j2kcell synth   output.{bmp,pgm,ppm} [--size N] [--seed N] [--gray]
 //! ```
+//!
+//! `compare` runs the `j2k-metrics` battery (PSNR, SSIM, max error,
+//! bit-exactness) between a reference image A and a candidate B — the
+//! closed-loop half of an encode/decode round trip. With `--min-psnr` /
+//! `--min-ssim` it exits nonzero when the candidate falls below the
+//! floor, so shell pipelines can gate on quality.
 //!
 //! `--workers N` (alias `--threads`) dispatches the encode to
 //! `encode_parallel` with N host threads — the paper's chunked sample
@@ -37,6 +44,10 @@ j2kcell — JPEG2000 encoder/decoder and Cell/B.E. what-if simulator
 usage:
   j2kcell encode  INPUT.{bmp,pgm,ppm} OUTPUT.{j2c,jp2} [options]
   j2kcell decode  INPUT.{j2c,jp2} OUTPUT.{bmp,pgm,ppm} [--resolution N] [--max-layers N]
+  j2kcell compare A.{bmp,pgm,ppm} B.{bmp,pgm,ppm} [--min-psnr DB] [--min-ssim S] [--json]
+                  measure candidate B against reference A (PSNR, SSIM,
+                  max error, bit-exactness); exits 1 when a --min-* floor
+                  is violated, 2 on incomparable geometry
   j2kcell simulate INPUT.{bmp,pgm,ppm} [--lossy RATE] [--spes N] [--ppes N]
   j2kcell info    INPUT.{j2c,jp2}
   j2kcell synth   OUTPUT.{bmp,pgm,ppm} [--size N] [--seed N] [--gray]
@@ -117,6 +128,9 @@ struct Opt {
     size: usize,
     seed: u64,
     gray: bool,
+    min_psnr: Option<f64>,
+    min_ssim: Option<f64>,
+    json: bool,
 }
 
 fn parse(args: &[String]) -> Opt {
@@ -139,6 +153,9 @@ fn parse(args: &[String]) -> Opt {
         size: 256,
         seed: 7,
         gray: false,
+        min_psnr: None,
+        min_ssim: None,
+        json: false,
     };
     let mut i = 0;
     while i < args.len() {
@@ -205,6 +222,18 @@ fn parse(args: &[String]) -> Opt {
                 o.gray = true;
                 i += 1;
             }
+            "--min-psnr" => {
+                o.min_psnr = Some(need(i).parse().unwrap_or_else(|_| die("--min-psnr DB")));
+                i += 2;
+            }
+            "--min-ssim" => {
+                o.min_ssim = Some(need(i).parse().unwrap_or_else(|_| die("--min-ssim S")));
+                i += 2;
+            }
+            "--json" => {
+                o.json = true;
+                i += 1;
+            }
             "--fixed" => {
                 o.fixed = true;
                 i += 1;
@@ -258,7 +287,7 @@ fn params_of(o: &Opt) -> EncoderParams {
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = argv.split_first() else {
-        die("usage: j2kcell <encode|decode|simulate|info> ... (--help for details)");
+        die("usage: j2kcell <encode|decode|compare|simulate|info|synth> ... (--help for details)");
     };
     if cmd == "--help" || cmd == "-h" {
         println!("{USAGE}");
@@ -357,6 +386,36 @@ fn main() {
                 im.height,
                 im.comps()
             );
+        }
+        "compare" => {
+            let [a_path, b_path] = o.positional.as_slice() else {
+                die("compare needs reference A and candidate B image paths");
+            };
+            let a = read_image(a_path);
+            let b = read_image(b_path);
+            let c = jpeg2000_cell::quality::compare(&a, &b)
+                .unwrap_or_else(|e| die(&format!("{a_path} vs {b_path}: {e}")));
+            if o.json {
+                println!("{}", c.to_json());
+            } else {
+                print!("{c}");
+            }
+            let mut violated = false;
+            if let Some(floor) = o.min_psnr {
+                if c.psnr < floor {
+                    eprintln!("j2kcell: PSNR {:.2} dB below floor {floor:.2} dB", c.psnr);
+                    violated = true;
+                }
+            }
+            if let Some(floor) = o.min_ssim {
+                if c.ssim < floor {
+                    eprintln!("j2kcell: SSIM {:.4} below floor {floor:.4}", c.ssim);
+                    violated = true;
+                }
+            }
+            if violated {
+                exit(1);
+            }
         }
         "simulate" => {
             let [input] = o.positional.as_slice() else {

@@ -12,7 +12,9 @@
 //!   schedule variants of Section 4;
 //! * [`entropy`] (`ebcot`) and [`mq`] — EBCOT Tier-1/Tier-2 and the MQ
 //!   coder;
-//! * [`images`] (`imgio`) — I/O, synthetic workloads, metrics;
+//! * [`images`] (`imgio`) — I/O, synthetic workloads, basic metrics;
+//! * [`quality`] (`j2k-metrics`) — PSNR/SSIM and the A/B comparator
+//!   behind the closed-loop conformance suite;
 //! * [`comparators`] (`baselines`) — the Muta et al. and Pentium IV models.
 //!
 //! # Quickstart
@@ -31,6 +33,7 @@ pub use cellsim as machine;
 pub use ebcot as entropy;
 pub use imgio as images;
 pub use j2k_core as codec;
+pub use j2k_metrics as quality;
 pub use mqcoder as mq;
 pub use wavelet as dwt;
 pub use xpart as decomposition;

@@ -242,6 +242,96 @@ fn trace_out_works_at_one_worker() {
 }
 
 #[test]
+fn compare_reports_bit_exact_lossless_roundtrip() {
+    let src = tmp("cmp-in.ppm");
+    let j2c = tmp("cmp.j2c");
+    let back = tmp("cmp-back.ppm");
+    write_test_ppm(&src, 72, 54);
+    for args in [
+        vec!["encode", src.to_str().unwrap(), j2c.to_str().unwrap()],
+        vec!["decode", j2c.to_str().unwrap(), back.to_str().unwrap()],
+    ] {
+        assert!(Command::new(bin()).args(&args).status().unwrap().success());
+    }
+    let out = Command::new(bin())
+        .args(["compare"])
+        .arg(&src)
+        .arg(&back)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("bit-exact"), "{text}");
+    // JSON mode carries the identical flag and null (infinite) PSNR.
+    let out = Command::new(bin())
+        .args(["compare", "--json"])
+        .arg(&src)
+        .arg(&back)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("\"identical\":true"), "{json}");
+    assert!(json.contains("\"psnr\":null"), "{json}");
+}
+
+#[test]
+fn compare_gates_lossy_quality() {
+    let src = tmp("cmpq-in.ppm");
+    let j2c = tmp("cmpq.j2c");
+    let back = tmp("cmpq-back.ppm");
+    write_test_ppm(&src, 96, 96);
+    assert!(Command::new(bin())
+        .args(["encode"])
+        .arg(&src)
+        .arg(&j2c)
+        .args(["--lossy", "0.3"])
+        .status()
+        .unwrap()
+        .success());
+    assert!(Command::new(bin())
+        .args(["decode"])
+        .arg(&j2c)
+        .arg(&back)
+        .status()
+        .unwrap()
+        .success());
+    // A sane floor passes...
+    assert!(Command::new(bin())
+        .args(["compare"])
+        .arg(&src)
+        .arg(&back)
+        .args(["--min-psnr", "20", "--min-ssim", "0.5"])
+        .status()
+        .unwrap()
+        .success());
+    // ...an impossible floor exits 1 (distinct from usage errors at 2).
+    let st = Command::new(bin())
+        .args(["compare"])
+        .arg(&src)
+        .arg(&back)
+        .args(["--min-psnr", "95"])
+        .status()
+        .unwrap();
+    assert_eq!(st.code(), Some(1));
+}
+
+#[test]
+fn compare_rejects_mismatched_geometry() {
+    let a = tmp("cmp-a.ppm");
+    let b = tmp("cmp-b.ppm");
+    write_test_ppm(&a, 32, 32);
+    write_test_ppm(&b, 33, 32);
+    let st = Command::new(bin())
+        .args(["compare"])
+        .arg(&a)
+        .arg(&b)
+        .status()
+        .unwrap();
+    assert_eq!(st.code(), Some(2));
+}
+
+#[test]
 fn help_documents_workers() {
     let out = Command::new(bin()).args(["--help"]).output().unwrap();
     assert!(out.status.success());

@@ -19,6 +19,7 @@ use jpeg2000_cell::codec::parallel::encode_parallel;
 use jpeg2000_cell::codec::{decode, encode, encode_on_cell, Arithmetic, EncoderParams};
 use jpeg2000_cell::images::Image;
 use jpeg2000_cell::machine::MachineConfig;
+use jpeg2000_cell::quality;
 use std::path::PathBuf;
 
 struct Case {
@@ -176,6 +177,128 @@ fn corpus_is_byte_exact_across_drivers() {
     }
     if blessing() {
         panic!("blessed {blessed} fixtures; rerun without GOLDEN_BLESS to verify");
+    }
+}
+
+fn quality_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/quality.json")
+}
+
+/// Pull one recorded metric for `name` out of the hand-rolled
+/// `quality.json` (`None` = recorded as `null`, i.e. infinite PSNR).
+fn recorded_metric(json: &str, name: &str, field: &str) -> Option<Option<f64>> {
+    let obj = &json[json.find(&format!("\"{name}\": {{"))?..];
+    let obj = &obj[..obj.find('}')?];
+    let v = obj[obj.find(&format!("\"{field}\":"))? + field.len() + 3..].trim_start();
+    let v: String = v
+        .chars()
+        .take_while(|c| c.is_ascii_alphanumeric() || *c == '.' || *c == '-')
+        .collect();
+    if v == "null" {
+        Some(None)
+    } else {
+        v.parse().ok().map(Some)
+    }
+}
+
+/// The closed loop: decode every fixture *and measure it*. Measured PSNR
+/// and SSIM (via `j2k-metrics`) are recorded in `tests/golden/quality.json`
+/// at bless time; afterwards every run re-measures and fails if quality
+/// drops below the recording — a rate-control change that keeps the rate
+/// but silently spends quality cannot hide behind a re-blessed byte
+/// corpus without this file changing too. Lossy cases are measured at
+/// several worker counts, so the quality statement (not just the byte
+/// statement) covers every encoder driver.
+#[test]
+fn fixtures_measured_quality_matches_recorded() {
+    // Measured-PSNR slack: decode is deterministic, so drift can only
+    // come from an intentional codec change; the epsilon only absorbs
+    // float formatting (6 decimals in the recording).
+    const PSNR_EPS: f64 = 1e-4;
+    const SSIM_EPS: f64 = 1e-5;
+    let mut records = Vec::new();
+    for case in synth() {
+        let im = (case.image)();
+        // Bless mode measures the fresh encode (the same bytes the
+        // sibling test is writing to disk); verify mode measures the
+        // on-disk fixture so corpus and recording cannot drift apart.
+        let bytes = if blessing() {
+            encode(&im, &case.params).expect(case.name)
+        } else {
+            std::fs::read(fixture_path(case.name)).unwrap_or_else(|e| {
+                panic!(
+                    "{}: missing fixture ({e}); regenerate with GOLDEN_BLESS=1",
+                    case.name
+                )
+            })
+        };
+        let c = quality::compare(&im, &decode(&bytes).expect(case.name)).expect(case.name);
+        if case.psnr_floor.is_none() {
+            assert!(c.identical, "{}: lossless fixture not bit-exact", case.name);
+        } else {
+            // The same quality must be measured from every driver's
+            // output, not just the sequential bytes.
+            for workers in [2usize, 5] {
+                let par = encode_parallel(&im, &case.params, workers).expect(case.name);
+                let cp = quality::compare(&im, &decode(&par).expect(case.name)).expect(case.name);
+                assert_eq!(
+                    (cp.psnr, cp.ssim),
+                    (c.psnr, c.ssim),
+                    "{}: measured quality differs at {workers} workers",
+                    case.name
+                );
+            }
+        }
+        if blessing() {
+            let psnr = if c.psnr.is_finite() {
+                format!("{:.6}", c.psnr)
+            } else {
+                "null".into()
+            };
+            records.push(format!(
+                "  \"{}\": {{\"psnr\": {psnr}, \"ssim\": {:.6}}}",
+                case.name, c.ssim
+            ));
+            continue;
+        }
+        let json = std::fs::read_to_string(quality_path()).unwrap_or_else(|e| {
+            panic!("missing quality recording ({e}); regenerate with GOLDEN_BLESS=1")
+        });
+        let want_psnr = recorded_metric(&json, case.name, "psnr")
+            .unwrap_or_else(|| panic!("{}: no psnr recorded; re-bless quality.json", case.name));
+        let want_ssim = recorded_metric(&json, case.name, "ssim")
+            .flatten()
+            .unwrap_or_else(|| panic!("{}: no ssim recorded; re-bless quality.json", case.name));
+        match want_psnr {
+            None => assert!(
+                c.psnr.is_infinite(),
+                "{}: recorded lossless (psnr null) but measured {:.2} dB",
+                case.name,
+                c.psnr
+            ),
+            Some(want) => assert!(
+                c.psnr >= want - PSNR_EPS,
+                "{}: measured PSNR {:.4} dB below recorded {want:.4} dB; if the \
+                 quality change is intentional, re-bless with GOLDEN_BLESS=1",
+                case.name,
+                c.psnr
+            ),
+        }
+        assert!(
+            c.ssim >= want_ssim - SSIM_EPS,
+            "{}: measured SSIM {:.6} below recorded {want_ssim:.6}; if intentional, \
+             re-bless with GOLDEN_BLESS=1",
+            case.name,
+            c.ssim
+        );
+    }
+    if blessing() {
+        std::fs::write(quality_path(), format!("{{\n{}\n}}\n", records.join(",\n")))
+            .expect("write quality.json");
+        panic!(
+            "blessed quality recordings for {} cases; rerun without GOLDEN_BLESS to verify",
+            records.len()
+        );
     }
 }
 
