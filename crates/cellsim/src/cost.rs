@@ -50,6 +50,10 @@ pub enum Kernel {
     Quantize,
     /// EBCOT Tier-1 bit modeling + MQ coding — per coded decision.
     Tier1,
+    /// HTJ2K-style high-throughput Tier-1 (MEL + CxtVLC quad cleanup,
+    /// raw refinement) — per work item (quads + MagSgn emissions +
+    /// refinement samples).
+    Tier1Ht,
     /// EBCOT Tier-2 tag trees + packet headers — per code block.
     Tier2,
     /// PCRD rate control — per coding pass examined.
@@ -126,6 +130,15 @@ pub fn cycles_per_item(proc: ProcKind, kernel: Kernel) -> f64 {
         (Ppe, Tier1) => 57.0,
         (PentiumIV, Tier1) => 16.0,
 
+        // Per HT work item. The quad-oriented cleanup replaces the MQ
+        // coder's per-decision dependent branches with table lookups and
+        // fixed-width packing, so the SPE's wide registers and cheap
+        // shifts finally pay off: the SPE *beats* the PPE here — the
+        // opposite ordering from the MQ Tier-1 rows above.
+        (Spe, Tier1Ht) => 8.5,
+        (Ppe, Tier1Ht) => 11.0,
+        (PentiumIV, Tier1Ht) => 4.0,
+
         // Per code block (tag-tree updates + header emission).
         (Spe, Tier2) => 6_000.0,
         (Ppe, Tier2) => 3_500.0,
@@ -160,6 +173,10 @@ mod tests {
         // Tier-1: PPE beats SPE, P4 beats both per-core.
         assert!(cycles_per_item(Ppe, Tier1) < cycles_per_item(Spe, Tier1));
         assert!(cycles_per_item(PentiumIV, Tier1) < cycles_per_item(Ppe, Tier1));
+        // HT Tier-1 inverts the SPE/PPE ordering (SIMD-friendly quad
+        // coder) and is far cheaper per item than the MQ coder anywhere.
+        assert!(cycles_per_item(Spe, Tier1Ht) < cycles_per_item(Ppe, Tier1Ht));
+        assert!(cycles_per_item(Spe, Tier1Ht) * 4.0 < cycles_per_item(Spe, Tier1));
         // DWT: one SPE beats one PPE by far.
         assert!(cycles_per_item(Spe, DwtLift53) * 4.0 < cycles_per_item(Ppe, DwtLift53));
         // Fixed point loses on the SPE but wins on the P4 (Jasper's premise).

@@ -254,7 +254,10 @@ pub fn simulate(profile: &WorkloadProfile, cfg: &MachineConfig, opts: &SimOption
         .blocks
         .iter()
         .map(|b| TaskSpec {
-            kernel: Kernel::Tier1,
+            kernel: match params.coder {
+                crate::coder::Coder::Mq => Kernel::Tier1,
+                crate::coder::Coder::Ht => Kernel::Tier1Ht,
+            },
             items: b.symbols,
             dma_in: b.samples * 4,
             dma_out: b.bytes,

@@ -13,6 +13,7 @@
 //! * every coding pass is an MQ-terminated segment (signalled in COD's
 //!   code-block style as the standard TERMALL bit).
 
+use crate::coder::Coder;
 use crate::quant::{StepSize, GUARD_BITS};
 use crate::{Arithmetic, CodecError};
 use ebcot::header::{decode_packet, encode_packet, Contribution, PrecinctState};
@@ -60,6 +61,8 @@ pub struct MainHeader {
     pub arithmetic: Arithmetic,
     /// Selective arithmetic-coding bypass enabled?
     pub bypass: bool,
+    /// Tier-1 block coder backend (signalled in the COD style byte).
+    pub coder: Coder,
     /// Guard bits.
     pub guard: u8,
     /// Per-subband quantization: exponents (lossless) or step sizes
@@ -186,8 +189,9 @@ pub fn write_workers(
     out.push(cb_exp); // code block width exponent - 2
     out.push(cb_exp); // height
                       // Code block style: terminate on each pass (TERMALL), plus the
-                      // selective-bypass bit when enabled.
-    out.push(0x04 | u8::from(hdr.bypass));
+                      // selective-bypass bit when enabled; bit 6 selects the
+                      // HT block coder (Part 15's SPcod HT flag position).
+    out.push(0x04 | u8::from(hdr.bypass) | ((hdr.coder == Coder::Ht) as u8) << 6);
     out.push(u8::from(hdr.lossless)); // transform: 1 = 5/3, 0 = 9/7
 
     // QCD
@@ -409,6 +413,7 @@ fn parse_opts(data: &[u8], lenient: bool) -> Result<(Parsed, usize), CodecError>
     let mut mct = false;
     let mut arithmetic = Arithmetic::Float32;
     let mut bypass = false;
+    let mut coder = Coder::Mq;
     let mut guard = GUARD_BITS;
     let mut quant: Option<Quant> = None;
 
@@ -450,6 +455,11 @@ fn parse_opts(data: &[u8], lenient: bool) -> Result<(Parsed, usize), CodecError>
                 cb_size = 1usize << (cbw + 2);
                 let style = r.u8()?;
                 bypass = style & 0x01 != 0;
+                coder = if style & 0x40 != 0 {
+                    Coder::Ht
+                } else {
+                    Coder::Mq
+                };
                 lossless = r.u8()? != 0;
             }
             QCD => {
@@ -510,6 +520,7 @@ fn parse_opts(data: &[u8], lenient: bool) -> Result<(Parsed, usize), CodecError>
         mct,
         arithmetic,
         bypass,
+        coder,
         guard,
         quant: quant.ok_or_else(|| CodecError::Codestream("missing QCD".into()))?,
     };
@@ -692,6 +703,7 @@ mod tests {
             mct: true,
             arithmetic: Arithmetic::Float32,
             bypass: false,
+            coder: Coder::Mq,
             guard: GUARD_BITS,
             quant: if lossless {
                 Quant::Reversible(bands.iter().map(|b| 8 + b.band.gain_log2()).collect())

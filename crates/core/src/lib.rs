@@ -21,6 +21,7 @@
 //! Tier-2 + codestream assembly ([`codestream`]).
 
 pub mod cell;
+pub mod coder;
 pub mod codestream;
 pub mod control;
 pub mod jp2;
@@ -31,6 +32,7 @@ pub mod profile;
 pub mod quant;
 
 pub use cell::encode_on_cell;
+pub use coder::{BlockCoder, Coder};
 pub use control::EncodeControl;
 pub use parallel::{
     encode_parallel, encode_parallel_ctl, encode_parallel_opts, encode_parallel_with_profile,
@@ -86,8 +88,12 @@ pub struct EncoderParams {
     pub layers: usize,
     /// Selective arithmetic-coding bypass ("lazy" mode, Annex D.5):
     /// deep-plane SPP/MRP passes emit raw bits, trading a little rate for
-    /// cheaper Tier-1.
+    /// cheaper Tier-1. MQ only; the HT coder's refinement passes are
+    /// always raw.
     pub bypass: bool,
+    /// Tier-1 block coder backend (MQ bit-plane coder or the
+    /// high-throughput quad coder); signalled in COD.
+    pub coder: coder::Coder,
 }
 
 impl Default for EncoderParams {
@@ -100,6 +106,7 @@ impl Default for EncoderParams {
             arithmetic: Arithmetic::Float32,
             layers: 1,
             bypass: false,
+            coder: coder::Coder::Mq,
         }
     }
 }

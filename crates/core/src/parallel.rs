@@ -27,7 +27,6 @@ use crate::pipeline::{
 use crate::profile::StageTime;
 use crate::quant::{band_delta, quantize, StepSize, GUARD_BITS};
 use crate::{codestream::Quant, Arithmetic, CodecError, EncoderParams, Mode, WorkloadProfile};
-use ebcot::block::encode_block_opts;
 use imgio::Image;
 use obs::trace;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -135,7 +134,9 @@ pub fn encode_parallel_ctl(
     }
 
     // Tier-1 work queue: workers pull the next job index atomically.
-    let stage_span = trace::span("stage:tier1").cat("stage");
+    let stage_span = trace::span("stage:tier1")
+        .cat("stage")
+        .arg("coder", params.coder.id());
     let t1 = Instant::now();
     let cursor = AtomicUsize::new(0);
     // First injected `tier1.block` error, if the failpoint fires: the
@@ -183,7 +184,7 @@ pub fn encode_parallel_ctl(
                             data.push(plane.get(x, y));
                         }
                     }
-                    let enc = encode_block_opts(
+                    let enc = params.coder.block_coder().encode(
                         &data,
                         j.bw,
                         j.bh,

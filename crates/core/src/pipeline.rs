@@ -8,7 +8,7 @@ use crate::codestream::{self, BlockStream, MainHeader, Quant};
 use crate::profile::{BlockWork, LevelWork, StageTime, WorkloadProfile};
 use crate::quant::{band_delta, dequantize, quantize, StepSize, GUARD_BITS};
 use crate::{mct, Arithmetic, CodecError, EncoderParams, Mode};
-use ebcot::block::{decode_block_opts, encode_block_opts, BandKind, EncodedBlock};
+use ebcot::block::{BandKind, EncodedBlock};
 use ebcot::rate::{search_threshold, BlockSummary, PreparedBlock, Threshold};
 use imgio::Image;
 use wavelet::{low_len, norms, Band, Subband};
@@ -267,7 +267,13 @@ pub(crate) fn tier1_all(t: &Transformed, params: &EncoderParams) -> Vec<BlockRec
                         data.push(plane.get(x, y));
                     }
                 }
-                let enc = encode_block_opts(&data, bw, bh, band_kind(b.band), params.bypass);
+                let enc = params.coder.block_coder().encode(
+                    &data,
+                    bw,
+                    bh,
+                    band_kind(b.band),
+                    params.bypass,
+                );
                 assert!(
                     enc.num_planes <= t.max_planes[bi],
                     "band {bi}: {} planes exceed M_b {}",
@@ -440,6 +446,7 @@ pub(crate) fn assemble(
         mct: image.comps() == 3,
         arithmetic: params.arithmetic,
         bypass: params.bypass,
+        coder: params.coder,
         guard: GUARD_BITS,
         quant: t.quant.clone(),
     };
@@ -503,7 +510,9 @@ pub fn encode_with_profile(
     let t = transform_samples(image, params)?;
     let transform_secs = t0.elapsed().as_secs_f64();
     drop(tr_span);
-    let t1_span = obs::trace::span("stage:tier1").cat("stage");
+    let t1_span = obs::trace::span("stage:tier1")
+        .cat("stage")
+        .arg("coder", params.coder.id());
     let t1 = std::time::Instant::now();
     let records = tier1_all(&t, params);
     let tier1_secs = t1.elapsed().as_secs_f64();
@@ -634,25 +643,35 @@ pub(crate) fn build_profile(
         blocks: records
             .iter()
             .map(|r| {
-                // Effective Tier-1 work: raw (bypass) bits avoid the MQ
-                // coder's renormalization/byte-out machinery and cost
-                // roughly a quarter of an MQ decision.
-                let (mut mq, mut raw) = (0u64, 0u64);
-                for pi in &r.enc.passes {
-                    if ebcot::block::pass_is_raw(
-                        params.bypass,
-                        pi.pass_type,
-                        pi.plane,
-                        r.enc.num_planes,
-                    ) {
-                        raw += pi.symbols;
-                    } else {
-                        mq += pi.symbols;
+                let symbols = match params.coder {
+                    // Effective MQ Tier-1 work: raw (bypass) bits avoid
+                    // the MQ coder's renormalization/byte-out machinery
+                    // and cost roughly a quarter of an MQ decision.
+                    crate::coder::Coder::Mq => {
+                        let (mut mq, mut raw) = (0u64, 0u64);
+                        for pi in &r.enc.passes {
+                            if ebcot::block::pass_is_raw(
+                                params.bypass,
+                                pi.pass_type,
+                                pi.plane,
+                                r.enc.num_planes,
+                            ) {
+                                raw += pi.symbols;
+                            } else {
+                                mq += pi.symbols;
+                            }
+                        }
+                        mq + raw / 4
                     }
-                }
+                    // HT symbols are already work items (quads + MagSgn
+                    // emissions + raw-pass sample visits), all of
+                    // comparable branch-light cost; the per-item rate
+                    // difference lives in the cost model's kernel entry.
+                    crate::coder::Coder::Ht => r.enc.total_symbols(),
+                };
                 BlockWork {
                     samples: (r.enc.w * r.enc.h) as u64,
-                    symbols: mq + raw / 4,
+                    symbols,
                     passes: r.enc.passes.len() as u64,
                     bytes: r.enc.data.len() as u64,
                 }
@@ -710,7 +729,7 @@ pub fn decode_opts(
 /// always measure it.
 pub fn decode_prefix(data: &[u8]) -> Result<(Image, usize), CodecError> {
     let (parsed, complete_layers) = codestream::parse_prefix(data)?;
-    let img = decode_parsed(parsed, usize::MAX, 0)?;
+    let img = decode_parsed(parsed, usize::MAX, 0, true)?;
     Ok((img, complete_layers))
 }
 
@@ -719,13 +738,14 @@ fn decode_inner(
     max_layers: usize,
     discard_levels: usize,
 ) -> Result<Image, CodecError> {
-    decode_parsed(codestream::parse(data)?, max_layers, discard_levels)
+    decode_parsed(codestream::parse(data)?, max_layers, discard_levels, false)
 }
 
 fn decode_parsed(
     parsed: codestream::Parsed,
     max_layers: usize,
     discard_levels: usize,
+    lenient: bool,
 ) -> Result<Image, CodecError> {
     let hdr = &parsed.header;
     let (w, h) = (hdr.width, hdr.height);
@@ -758,28 +778,35 @@ fn decode_parsed(
             )));
         }
         let layer_idx = max_layers.min(blk.layer_passes.len());
-        let num_passes = if layer_idx == 0 {
-            0
-        } else {
-            blk.layer_passes[layer_idx - 1]
-        };
         let mut pass_ends = Vec::with_capacity(blk.pass_lens.len());
         let mut acc = 0usize;
         for &l in &blk.pass_lens {
             acc += l;
             pass_ends.push(acc);
         }
-        let vals = decode_block_opts(
-            &blk.data,
-            &pass_ends,
-            num_passes,
-            bw,
-            bh,
-            band_kind(b.band),
-            num_planes,
-            !hdr.lossless,
-            hdr.bypass,
-        );
+        // On an injected block-decode fault in lenient mode
+        // (`decode_prefix`), fall back one whole quality layer at a time
+        // — the same commit-only-whole-layers contract the packet walk
+        // honors for `decode.packet`. Strict decode surfaces the error.
+        let mut li = layer_idx;
+        let vals = loop {
+            let num_passes = if li == 0 { 0 } else { blk.layer_passes[li - 1] };
+            match hdr.coder.block_coder().decode(
+                &blk.data,
+                &pass_ends,
+                num_passes,
+                bw,
+                bh,
+                band_kind(b.band),
+                num_planes,
+                !hdr.lossless,
+                hdr.bypass,
+            ) {
+                Ok(v) => break v,
+                Err(CodecError::Injected(_)) if lenient && li > 0 => li -= 1,
+                Err(e) => return Err(e),
+            }
+        };
         for y in 0..bh {
             for x in 0..bw {
                 indices[blk.comp].set(x0 + x, y0 + y, vals[y * bw + x]);

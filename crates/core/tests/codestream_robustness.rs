@@ -4,6 +4,7 @@
 
 use j2k_core::codestream::{parse, write, MainHeader, Quant};
 use j2k_core::quant::GUARD_BITS;
+use j2k_core::Coder;
 use j2k_core::{Arithmetic, EncoderParams};
 
 fn valid_stream() -> Vec<u8> {
@@ -74,6 +75,7 @@ fn rejects_missing_qcd() {
         mct: false,
         arithmetic: Arithmetic::Float32,
         bypass: false,
+        coder: Coder::Mq,
         guard: GUARD_BITS,
         quant: Quant::Reversible(vec![8; wavelet::subbands(16, 16, 2).len()]),
     };

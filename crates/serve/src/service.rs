@@ -328,8 +328,9 @@ pub struct MetricsSnapshot {
     /// (stage names from [`j2k_core::WorkloadProfile::stage_times`]).
     pub stage_seconds: Vec<(String, f64)>,
     /// Percentile summaries per histogram series (`queue_wait_us`,
-    /// `job_e2e_us`, `stage_*_us`, `tier1_symbols_per_sec`), sorted by
-    /// series name.
+    /// `job_e2e_us`, `stage_*_us`, `tier1_symbols_per_sec` plus its
+    /// per-coder splits `tier1_symbols_per_sec_mq` /
+    /// `tier1_symbols_per_sec_ht`), sorted by series name.
     pub histograms: Vec<(String, HistogramStats)>,
 }
 
@@ -793,6 +794,7 @@ fn worker_iteration(
         let encode_span = trace::span("encode")
             .cat("job")
             .arg("job", task.shared.id)
+            .arg("coder", task.params.coder.id())
             .arg("crashes", u64::from(task.crashes.load(Ordering::Relaxed)));
         let started = Instant::now();
         let outcome = match encode_parallel_ctl(
@@ -828,10 +830,13 @@ fn worker_iteration(
                 }
                 if tier1_secs > 0.0 {
                     let symbols = profile.tier1_symbols();
-                    metrics
-                        .hist
-                        .histogram("tier1_symbols_per_sec")
-                        .record((symbols as f64 / tier1_secs) as u64);
+                    let rate = (symbols as f64 / tier1_secs) as u64;
+                    metrics.hist.histogram("tier1_symbols_per_sec").record(rate);
+                    // Per-coder series so an MQ/HT mix stays separable;
+                    // the unsuffixed series keeps its pre-HT meaning of
+                    // "all Tier-1 work" for existing dashboards.
+                    let series = format!("tier1_symbols_per_sec_{}", task.params.coder.name());
+                    metrics.hist.histogram(&series).record(rate);
                 }
                 // Only completed jobs feed the e2e series, so its +Inf
                 // bucket count equals the completed-jobs counter (the

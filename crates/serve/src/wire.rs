@@ -26,7 +26,7 @@
 
 use crate::service::HealthSnapshot;
 use imgio::Image;
-use j2k_core::{Arithmetic, EncoderParams, Mode, VerticalVariant};
+use j2k_core::{Arithmetic, Coder, EncoderParams, Mode, VerticalVariant};
 use std::io::{Read, Write};
 
 /// Frame magic: "J2".
@@ -320,6 +320,7 @@ fn put_params(out: &mut Vec<u8>, p: &EncoderParams) {
         VerticalVariant::Interleaved => 1,
         VerticalVariant::Merged => 2,
     });
+    out.push(p.coder.id() as u8);
 }
 
 fn get_params(rd: &mut Rd) -> Result<EncoderParams, WireError> {
@@ -354,6 +355,11 @@ fn get_params(rd: &mut Rd) -> Result<EncoderParams, WireError> {
         2 => VerticalVariant::Merged,
         v => return Err(WireError::Malformed(format!("unknown variant {v}"))),
     };
+    let coder = match rd.u8()? {
+        0 => Coder::Mq,
+        1 => Coder::Ht,
+        c => return Err(WireError::Malformed(format!("unknown coder {c}"))),
+    };
     Ok(EncoderParams {
         mode,
         levels,
@@ -362,6 +368,7 @@ fn get_params(rd: &mut Rd) -> Result<EncoderParams, WireError> {
         bypass,
         arithmetic,
         variant,
+        coder,
     })
 }
 
@@ -740,6 +747,7 @@ mod tests {
             cb_size: 32,
             layers: 4,
             bypass: true,
+            coder: Coder::Ht,
             arithmetic: Arithmetic::FixedQ13,
             variant: VerticalVariant::Interleaved,
         };

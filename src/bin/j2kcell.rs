@@ -26,7 +26,7 @@
 use jpeg2000_cell::codec::cell::{simulate, SimOptions};
 use jpeg2000_cell::codec::codestream;
 use jpeg2000_cell::codec::{
-    decode, decode_layers, decode_resolution, encode_with_profile, EncoderParams, Mode,
+    decode, decode_layers, decode_resolution, encode_with_profile, Coder, EncoderParams, Mode,
 };
 use jpeg2000_cell::images::{bmp, pnm, Image};
 use jpeg2000_cell::machine::MachineConfig;
@@ -62,7 +62,11 @@ encode options:
   --layers N         quality layers (default 1)
   --variant V        vertical DWT schedule: separate|interleaved|merged
   --fixed            Q13 fixed-point 9/7 arithmetic (default f32)
-  --bypass           selective MQ bypass (lazy mode)
+  --bypass           selective MQ bypass (lazy mode; MQ coder only)
+  --coder C          Tier-1 block coder: mq (default, EBCOT MQ bit-plane
+                     coder) or ht (high-throughput quad coder, Part-15
+                     style: MEL + CxtVLC + MagSgn cleanup, raw
+                     refinement passes)
   --workers N        encode with N host threads via encode_parallel —
                      chunked sample stages + dynamic Tier-1 work queue;
                      output stays byte-identical to the sequential
@@ -123,6 +127,7 @@ struct Opt {
     resolution: usize,
     max_layers: usize,
     bypass: bool,
+    coder: Coder,
     failpoints: Option<String>,
     trace_out: Option<String>,
     size: usize,
@@ -148,6 +153,7 @@ fn parse(args: &[String]) -> Opt {
         resolution: 0,
         max_layers: usize::MAX,
         bypass: false,
+        coder: Coder::Mq,
         failpoints: None,
         trace_out: None,
         size: 256,
@@ -242,6 +248,10 @@ fn parse(args: &[String]) -> Opt {
                 o.bypass = true;
                 i += 1;
             }
+            "--coder" => {
+                o.coder = Coder::parse(need(i)).unwrap_or_else(|| die("--coder mq|ht"));
+                i += 2;
+            }
             "--variant" => {
                 o.variant = match need(i).as_str() {
                     "separate" => wavelet::VerticalVariant::Separate,
@@ -275,6 +285,7 @@ fn params_of(o: &Opt) -> EncoderParams {
         cb_size: o.cb,
         layers: o.layers,
         bypass: o.bypass,
+        coder: o.coder,
         variant: o.variant,
         arithmetic: if o.fixed {
             jpeg2000_cell::codec::Arithmetic::FixedQ13
@@ -461,7 +472,7 @@ fn main() {
             let h = &parsed.header;
             println!("{}x{} x{} @ {} bit", h.width, h.height, h.comps, h.depth);
             println!(
-                "{} levels, {} layers, {}x{} code blocks, {}, MCT {}",
+                "{} levels, {} layers, {}x{} code blocks, {}, {} tier-1, MCT {}",
                 h.levels,
                 h.layers,
                 h.cb_size,
@@ -471,6 +482,7 @@ fn main() {
                 } else {
                     "irreversible 9/7"
                 },
+                h.coder.name(),
                 h.mct
             );
             println!(

@@ -16,7 +16,7 @@
 
 use jpeg2000_cell::codec::cell::SimOptions;
 use jpeg2000_cell::codec::parallel::encode_parallel;
-use jpeg2000_cell::codec::{decode, encode, encode_on_cell, Arithmetic, EncoderParams};
+use jpeg2000_cell::codec::{decode, encode, encode_on_cell, Arithmetic, Coder, EncoderParams};
 use jpeg2000_cell::images::Image;
 use jpeg2000_cell::machine::MachineConfig;
 use jpeg2000_cell::quality;
@@ -114,6 +114,51 @@ fn synth() -> Vec<Case> {
             params: EncoderParams {
                 bypass: true,
                 ..EncoderParams::lossy(0.2)
+            },
+            psnr_floor: Some(27.0),
+        },
+        // HT (high-throughput quad coder) legs: same shapes as the MQ
+        // cases above so a Tier-1 backend regression shows up as a diff
+        // against a directly comparable fixture.
+        Case {
+            name: "ht_lossless_gray_64x64",
+            image: || natural(64, 64, 7),
+            params: EncoderParams {
+                coder: Coder::Ht,
+                ..EncoderParams::lossless()
+            },
+            psnr_floor: None,
+        },
+        Case {
+            name: "ht_lossless_rgb_57x33",
+            image: || natural_rgb(57, 33, 4),
+            params: EncoderParams {
+                levels: 3,
+                cb_size: 32,
+                coder: Coder::Ht,
+                ..EncoderParams::lossless()
+            },
+            psnr_floor: None,
+        },
+        Case {
+            name: "ht_lossy_gray_96x96_r25",
+            image: || natural(96, 96, 11),
+            params: EncoderParams {
+                coder: Coder::Ht,
+                ..EncoderParams::lossy(0.25)
+            },
+            // The HT cleanup's coarser truncation grid costs rate vs MQ
+            // at a fixed budget; the exact figure is pinned by
+            // quality.json, this floor only catches collapses.
+            psnr_floor: Some(27.0),
+        },
+        Case {
+            name: "ht_lossy_rgb_100x40_r40_l3",
+            image: || natural_rgb(100, 40, 8),
+            params: EncoderParams {
+                layers: 3,
+                coder: Coder::Ht,
+                ..EncoderParams::lossy(0.4)
             },
             psnr_floor: Some(27.0),
         },
