@@ -10,6 +10,7 @@
 //! serve_load [--addr HOST:PORT] [--jobs N] [--clients N] [--size N]
 //!            [--seed N] [--lossy RATE] [--timeout-ms N] [--verify]
 //!            [--decode] [--retries N] [--backoff-ms N] [--probe]
+//!            [--breaker-threshold N] [--allow-degraded]
 //!            [--trace] [--out PATH]
 //! ```
 //!
@@ -20,12 +21,25 @@
 //!
 //! Fault tolerance mirrors the server's own retry discipline:
 //! `Rejected(Overloaded)` is **not** a hard failure — the client retries
-//! the job up to `--retries` times with seeded-jitter exponential backoff
-//! (base `--backoff-ms`), and a wire error triggers a reconnect and
-//! retry on a fresh connection under the same budget. Shed load
-//! (rejections), retries, and reconnects are reported as separate
-//! columns. `--probe` polls the `Health` request until the daemon
-//! reports a full worker pool before offering load.
+//! the job up to `--retries` times, backing off by the larger of the
+//! server's `retry_after_ms` hint and seeded-jitter exponential backoff
+//! (base `--backoff-ms`); a wire error triggers a reconnect and retry on
+//! a fresh connection under the same budget. Each client additionally
+//! runs a circuit breaker (DESIGN.md §16): after `--breaker-threshold`
+//! consecutive overload rejections or wire errors it stops sending and
+//! waits out an exponentially growing open window (floored at the
+//! server's hint) before a half-open probe; `0` disables it. Shed load
+//! (rejections), retries, reconnects, degraded completions, and breaker
+//! opens are reported as separate columns, latency additionally split
+//! per priority class. `--probe` polls the `Health` request until the
+//! daemon reports a full worker pool before offering load.
+//!
+//! `--allow-degraded` sets the wire flag of the same name on every job:
+//! under Elevated pressure the daemon may answer with a codestream from
+//! the faster HT coder (marked `degraded`) instead of shedding the job.
+//! `--verify` then checks degraded replies byte-identical to the local
+//! sequential encode with `EncoderParams::degrade_for_load()` applied —
+//! degradation must be a *policy* change, never a correctness one.
 //!
 //! With `--verify`, every returned codestream is checked **byte-identical**
 //! to the local sequential `j2k_core::encode` of the same input and
@@ -41,10 +55,14 @@ use j2k_core::EncoderParams;
 use j2k_serve::wire::{
     call, DecodeRequest, EncodeRequest, RejectReason, Request, Response, DEFAULT_MAX_FRAME,
 };
+use j2k_serve::{BreakerConfig, CircuitBreaker};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Priority classes the generator cycles jobs through (`job % 4`).
+const PRIORITY_CLASSES: usize = 4;
 
 struct Opt {
     addr: String,
@@ -58,6 +76,8 @@ struct Opt {
     decode: bool,
     retries: u32,
     backoff_ms: u64,
+    breaker_threshold: u32,
+    allow_degraded: bool,
     probe: bool,
     trace: bool,
     out: String,
@@ -81,6 +101,8 @@ fn parse_args() -> Opt {
         decode: false,
         retries: 3,
         backoff_ms: 25,
+        breaker_threshold: 5,
+        allow_degraded: false,
         probe: false,
         trace: false,
         out: "BENCH_serve.json".into(),
@@ -136,6 +158,16 @@ fn parse_args() -> Opt {
             "--backoff-ms" => {
                 o.backoff_ms = need(i).parse().unwrap_or_else(|_| die("--backoff-ms N"));
                 i += 2;
+            }
+            "--breaker-threshold" => {
+                o.breaker_threshold = need(i)
+                    .parse()
+                    .unwrap_or_else(|_| die("--breaker-threshold N (0 disables)"));
+                i += 2;
+            }
+            "--allow-degraded" => {
+                o.allow_degraded = true;
+                i += 1;
             }
             "--probe" => {
                 o.probe = true;
@@ -236,14 +268,27 @@ fn trace_split(trace_json: &str) -> Option<(f64, f64)> {
 #[derive(Default)]
 struct Tally {
     completed: AtomicU64,
+    degraded: AtomicU64,
     rejected: AtomicU64,
     timed_out: AtomicU64,
     failed: AtomicU64,
     poisoned: AtomicU64,
     retries: AtomicU64,
     reconnects: AtomicU64,
+    breaker_opens: AtomicU64,
+    breaker_open_waits: AtomicU64,
     verify_failures: AtomicU64,
     decode_failures: AtomicU64,
+}
+
+/// `{"count":N,"p50":X,"p99":Y}` for one priority class's latencies.
+fn priority_json(sorted_ms: &[f64]) -> String {
+    format!(
+        "{{\"count\":{},\"p50\":{:.3},\"p99\":{:.3}}}",
+        sorted_ms.len(),
+        percentile(sorted_ms, 0.50),
+        percentile(sorted_ms, 0.99),
+    )
 }
 
 fn main() {
@@ -254,6 +299,7 @@ fn main() {
     }
     let tally = Tally::default();
     let latencies_ms: Mutex<Vec<f64>> = Mutex::new(Vec::with_capacity(o.jobs));
+    let priority_ms: [Mutex<Vec<f64>>; PRIORITY_CLASSES] = Default::default();
     let reconnect_ms: Mutex<Vec<f64>> = Mutex::new(Vec::new());
     let next_job = AtomicU64::new(0);
 
@@ -262,37 +308,76 @@ fn main() {
         for _ in 0..o.clients.max(1) {
             let (o, params, tally, latencies_ms, reconnect_ms, next_job) =
                 (&o, &params, &tally, &latencies_ms, &reconnect_ms, &next_job);
+            let priority_ms = &priority_ms;
             scope.spawn(move || {
                 let mut conn = match TcpStream::connect(&o.addr) {
                     Ok(c) => c,
                     Err(e) => die(&format!("connect {}: {e}", o.addr)),
                 };
+                // Per-client circuit breaker: after `--breaker-threshold`
+                // consecutive overload rejections or wire errors, stop
+                // sending until the open window (floored at the server's
+                // retry_after hint) lapses, then probe half-open.
+                let mut breaker = (o.breaker_threshold > 0).then(|| {
+                    CircuitBreaker::new(BreakerConfig {
+                        failure_threshold: o.breaker_threshold,
+                        open_base: Duration::from_millis(o.backoff_ms.max(1)),
+                        ..BreakerConfig::default()
+                    })
+                });
                 'jobs: loop {
                     let j = next_job.fetch_add(1, Ordering::Relaxed);
                     if j >= o.jobs as u64 {
                         break;
                     }
+                    let priority = (j % PRIORITY_CLASSES as u64) as u8;
                     let image = imgio::synth::natural_rgb(o.size, o.size, o.seed + j);
                     let req = Request::Encode(EncodeRequest {
-                        priority: (j % 4) as u8,
+                        priority,
+                        allow_degraded: o.allow_degraded,
                         timeout_ms: o.timeout_ms,
                         params: *params,
                         image: image.clone(),
                     });
                     let mut attempt = 0u32;
                     loop {
+                        if let Some(b) = breaker.as_mut() {
+                            while let Err(wait) = b.poll() {
+                                tally.breaker_open_waits.fetch_add(1, Ordering::Relaxed);
+                                std::thread::sleep(wait);
+                            }
+                        }
                         let t0 = Instant::now();
                         match call(&mut conn, &req, DEFAULT_MAX_FRAME) {
-                            Ok(Response::EncodeOk(cs)) => {
+                            Ok(Response::EncodeOk {
+                                codestream: cs,
+                                degraded,
+                            }) => {
                                 let ms = t0.elapsed().as_secs_f64() * 1e3;
                                 latencies_ms.lock().unwrap().push(ms);
+                                priority_ms[usize::from(priority)].lock().unwrap().push(ms);
                                 tally.completed.fetch_add(1, Ordering::Relaxed);
+                                if degraded {
+                                    tally.degraded.fetch_add(1, Ordering::Relaxed);
+                                }
+                                if let Some(b) = breaker.as_mut() {
+                                    b.on_success();
+                                }
                                 if o.verify {
+                                    // A degraded reply must match the local
+                                    // sequential encode with the *degraded*
+                                    // params — same determinism bar, different
+                                    // (server-chosen) coder.
+                                    let vparams = if degraded {
+                                        params.degrade_for_load().0
+                                    } else {
+                                        *params
+                                    };
                                     let seq =
-                                        j2k_core::encode(&image, params).expect("local encode");
+                                        j2k_core::encode(&image, &vparams).expect("local encode");
                                     let decoded_ok = j2k_core::decode(&cs).is_ok();
                                     if cs != seq || !decoded_ok {
-                                        eprintln!("job {j}: VERIFY FAILED (identical={}, decodes={decoded_ok})", cs == seq);
+                                        eprintln!("job {j}: VERIFY FAILED (identical={}, decodes={decoded_ok}, degraded={degraded})", cs == seq);
                                         tally.verify_failures.fetch_add(1, Ordering::Relaxed);
                                     }
                                 }
@@ -328,22 +413,33 @@ fn main() {
                                 break;
                             }
                             // Shed load is expected under overload: back
-                            // off (jittered, so the client herd doesn't
-                            // re-converge) and retry within the budget.
-                            Ok(Response::Rejected(RejectReason::Overloaded))
+                            // off by the larger of the server's hint and
+                            // the jittered exponential (so the client herd
+                            // doesn't re-converge), and retry within the
+                            // budget.
+                            Ok(Response::Rejected(RejectReason::Overloaded { retry_after_ms }))
                                 if attempt < o.retries =>
                             {
                                 attempt += 1;
                                 tally.retries.fetch_add(1, Ordering::Relaxed);
-                                std::thread::sleep(jittered_backoff(
-                                    o.backoff_ms,
-                                    attempt,
-                                    o.seed ^ j,
-                                ));
+                                let hint = Duration::from_millis(u64::from(retry_after_ms));
+                                if let Some(b) = breaker.as_mut() {
+                                    b.on_failure(Some(hint));
+                                }
+                                std::thread::sleep(
+                                    jittered_backoff(o.backoff_ms, attempt, o.seed ^ j).max(hint),
+                                );
                             }
                             Ok(Response::Rejected(r)) => {
                                 eprintln!("job {j}: rejected ({r:?}) after {attempt} retries");
                                 tally.rejected.fetch_add(1, Ordering::Relaxed);
+                                if let Some(b) = breaker.as_mut() {
+                                    if let RejectReason::Overloaded { retry_after_ms } = r {
+                                        b.on_failure(Some(Duration::from_millis(u64::from(
+                                            retry_after_ms,
+                                        ))));
+                                    }
+                                }
                                 break;
                             }
                             Ok(Response::TimedOut) => {
@@ -366,6 +462,9 @@ fn main() {
                             Err(e) if attempt < o.retries => {
                                 attempt += 1;
                                 tally.reconnects.fetch_add(1, Ordering::Relaxed);
+                                if let Some(b) = breaker.as_mut() {
+                                    b.on_failure(None);
+                                }
                                 eprintln!("job {j}: wire error {e}; reconnecting");
                                 std::thread::sleep(jittered_backoff(
                                     o.backoff_ms,
@@ -391,10 +490,16 @@ fn main() {
                             Err(e) => {
                                 eprintln!("job {j}: wire error {e} (budget spent)");
                                 tally.failed.fetch_add(1, Ordering::Relaxed);
+                                if let Some(b) = breaker.as_mut() {
+                                    b.on_failure(None);
+                                }
                                 break;
                             }
                         }
                     }
+                }
+                if let Some(b) = breaker.as_ref() {
+                    tally.breaker_opens.fetch_add(b.opens(), Ordering::Relaxed);
                 }
             });
         }
@@ -437,6 +542,15 @@ fn main() {
 
     let mut lat = latencies_ms.into_inner().unwrap();
     lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let per_priority = priority_ms
+        .into_iter()
+        .map(|m| {
+            let mut v = m.into_inner().unwrap();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            priority_json(&v)
+        })
+        .collect::<Vec<_>>()
+        .join(",");
     let mut recon = reconnect_ms.into_inner().unwrap();
     recon.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let recon_mean = if recon.is_empty() {
@@ -454,11 +568,14 @@ fn main() {
     };
     let json = format!(
         "{{\"config\":{{\"addr\":\"{}\",\"jobs\":{},\"clients\":{},\"size\":{},\"seed\":{},\
-         \"mode\":\"{}\",\"timeout_ms\":{},\"verify\":{},\"retries\":{},\"backoff_ms\":{}}},\
-         \"completed\":{},\"rejected\":{},\"timed_out\":{},\"failed\":{},\"poisoned\":{},\
-         \"retries\":{},\"reconnects\":{},\
+         \"mode\":\"{}\",\"timeout_ms\":{},\"verify\":{},\"retries\":{},\"backoff_ms\":{},\
+         \"breaker_threshold\":{},\"allow_degraded\":{}}},\
+         \"completed\":{},\"degraded\":{},\"rejected\":{},\"timed_out\":{},\"failed\":{},\
+         \"poisoned\":{},\"retries\":{},\"reconnects\":{},\
+         \"breaker\":{{\"opens\":{},\"open_waits\":{}}},\
          \"wall_s\":{:.4},\"throughput_jobs_per_s\":{:.3},\
          \"latency_ms\":{{\"mean\":{:.3},\"p50\":{:.3},\"p95\":{:.3},\"p99\":{:.3},\"p999\":{:.3},\"max\":{:.3}}},\
+         \"per_priority\":[{}],\
          \"queue_wait_p999_us\":{},\
          \"reconnect_ms\":{{\"count\":{},\"mean\":{:.3},\"max\":{:.3}}},\
          \"trace\":{},\
@@ -477,13 +594,18 @@ fn main() {
         o.verify,
         o.retries,
         o.backoff_ms,
+        o.breaker_threshold,
+        o.allow_degraded,
         completed,
+        tally.degraded.load(Ordering::Relaxed),
         tally.rejected.load(Ordering::Relaxed),
         tally.timed_out.load(Ordering::Relaxed),
         tally.failed.load(Ordering::Relaxed),
         tally.poisoned.load(Ordering::Relaxed),
         tally.retries.load(Ordering::Relaxed),
         tally.reconnects.load(Ordering::Relaxed),
+        tally.breaker_opens.load(Ordering::Relaxed),
+        tally.breaker_open_waits.load(Ordering::Relaxed),
         wall_s,
         completed as f64 / wall_s.max(1e-9),
         mean,
@@ -492,6 +614,7 @@ fn main() {
         percentile(&lat, 0.99),
         percentile(&lat, 0.999),
         lat.last().copied().unwrap_or(0.0),
+        per_priority,
         queue_wait_p999_us.map_or("null".into(), |v| v.to_string()),
         recon.len(),
         recon_mean,
@@ -508,14 +631,17 @@ fn main() {
     // Human summary, always printed in full: absent counters read as
     // "not measured", so poisoned/retried/reconnects appear even at 0.
     eprintln!(
-        "serve_load: {completed} completed, {} rejected, {} timed out, {} failed, \
-         {} poisoned, {} retried, {} reconnects ({} jobs in {wall_s:.2}s, p50 {:.1} ms)",
+        "serve_load: {completed} completed ({} degraded), {} rejected, {} timed out, \
+         {} failed, {} poisoned, {} retried, {} reconnects, {} breaker opens \
+         ({} jobs in {wall_s:.2}s, p50 {:.1} ms)",
+        tally.degraded.load(Ordering::Relaxed),
         tally.rejected.load(Ordering::Relaxed),
         tally.timed_out.load(Ordering::Relaxed),
         tally.failed.load(Ordering::Relaxed),
         tally.poisoned.load(Ordering::Relaxed),
         tally.retries.load(Ordering::Relaxed),
         tally.reconnects.load(Ordering::Relaxed),
+        tally.breaker_opens.load(Ordering::Relaxed),
         o.jobs,
         percentile(&lat, 0.50),
     );

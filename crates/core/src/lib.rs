@@ -125,6 +125,25 @@ impl EncoderParams {
         }
     }
 
+    /// The cheaper form of these params for overload degradation: swap
+    /// the Tier-1 backend to the high-throughput coder (≈5× the MQ
+    /// symbol rate for ≈ +20% rate; DESIGN.md §15). Returns the degraded
+    /// params and whether anything actually changed — params already on
+    /// the HT coder cannot be degraded further.
+    pub fn degrade_for_load(&self) -> (EncoderParams, bool) {
+        if self.coder == coder::Coder::Ht {
+            return (*self, false);
+        }
+        let degraded = EncoderParams {
+            coder: coder::Coder::Ht,
+            // The HT refinement passes are always raw; the MQ-only
+            // bypass flag is meaningless there.
+            bypass: false,
+            ..*self
+        };
+        (degraded, true)
+    }
+
     /// Validate parameter combinations.
     pub fn validate(&self) -> Result<(), CodecError> {
         if !(1..=64).contains(&self.cb_size) || !self.cb_size.is_power_of_two() {
@@ -216,5 +235,24 @@ mod tests {
         }
         .validate()
         .is_err());
+    }
+
+    #[test]
+    fn degrade_for_load_switches_to_ht_once() {
+        let mq = EncoderParams {
+            bypass: true,
+            ..EncoderParams::lossless()
+        };
+        let (d, changed) = mq.degrade_for_load();
+        assert!(changed);
+        assert_eq!(d.coder, coder::Coder::Ht);
+        assert!(!d.bypass, "MQ-only bypass flag cleared on the HT path");
+        assert_eq!(
+            (d.mode, d.levels, d.cb_size),
+            (mq.mode, mq.levels, mq.cb_size)
+        );
+        let (d2, changed2) = d.degrade_for_load();
+        assert!(!changed2, "already HT: nothing left to degrade");
+        assert_eq!(d2, d);
     }
 }

@@ -2,8 +2,8 @@
 //!
 //! A **failpoint** is a named callsite (`"dwt.level"`, `"tier1.block"`,
 //! `"rate.block"`, `"tier2.precinct"`, `"decode.packet"`, `"queue.pop"`,
-//! `"wire.read"`, `"worker.job_start"`) that production code evaluates on
-//! every pass. A test (or an operator running a chaos
+//! `"wire.read"`, `"wire.stall"`, `"worker.job_start"`, `"ht.quad"`)
+//! that production code evaluates on every pass. A test (or an operator running a chaos
 //! drill) **arms** a failpoint with a [`FaultSpec`] — *fire action A
 //! starting at the Nth hit, T times* — and the callsite then observes an
 //! injected error, an injected delay, or a panic at exactly the scheduled

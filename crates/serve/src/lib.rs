@@ -31,17 +31,37 @@
 //! `failpoints` feature (the [`faultsim`] registry), which compiles to a
 //! no-op in release builds.
 //!
+//! Under sustained overload the service **degrades gracefully**
+//! (DESIGN.md §16): a deterministic [`pressure`] controller classifies
+//! load as Nominal/Elevated/Critical with hysteresis from queue depth,
+//! windowed queue-wait p95, and an in-flight pixel budget; admission
+//! sheds low-priority work with a typed
+//! [`SubmitError::Overloaded`]`{ retry_after_ms }` hint, transparently
+//! downgrades `allow_degraded` jobs to the HT coder (marked `degraded`
+//! in the response), and at Critical the accept loop sheds new
+//! connections while [`HealthSnapshot::ready`] turns false. The
+//! [`breaker`] module gives clients the matching discipline: a circuit
+//! breaker that opens after consecutive failures, probes half-open, and
+//! honors `retry_after_ms`.
+//!
 //! Invariant inherited from the codec: every codestream the service
 //! returns is **byte-identical** to sequential [`j2k_core::encode`] for
 //! the same input — scheduling decisions never touch the output.
 
+pub mod breaker;
 pub mod metrics_http;
+pub mod pressure;
 pub mod queue;
 pub mod server;
 pub mod service;
 pub mod wire;
 
-pub use metrics_http::{render_prometheus, serve_metrics};
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker};
+pub use metrics_http::{render_prometheus, serve_metrics, serve_metrics_with};
+pub use pressure::{
+    Clock, ClockHandle, ManualClock, PixelReservation, PressureConfig, PressureController,
+    PressureLevel, SystemClock,
+};
 pub use queue::{JobQueue, PushError};
 pub use server::{serve, ServerConfig};
 pub use service::{

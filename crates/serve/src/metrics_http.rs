@@ -19,6 +19,11 @@ use crate::service::EncodeService;
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Default read/write deadline of the scrape responder: a stalled
+/// scraper may pin the (single) responder thread for at most this long.
+const DEFAULT_SCRAPE_TIMEOUT: Duration = Duration::from_secs(5);
 
 /// Render the service's counters, gauges, and histogram series as
 /// Prometheus text exposition format.
@@ -91,6 +96,48 @@ pub fn render_prometheus(svc: &EncodeService) -> String {
         "Worker threads respawned after a crash.",
         m.workers_respawned,
     );
+    obs::prom::counter(
+        &mut out,
+        "j2k_jobs_shed_total",
+        "Jobs refused by the pressure policy (subset of rejected).",
+        m.jobs_shed,
+    );
+    obs::prom::counter(
+        &mut out,
+        "j2k_jobs_degraded_total",
+        "allow_degraded jobs downgraded to the HT coder at admission.",
+        m.jobs_degraded,
+    );
+    obs::prom::counter(
+        &mut out,
+        "j2k_pressure_transitions_total",
+        "Pressure level transitions since start.",
+        m.pressure_transitions,
+    );
+    obs::prom::counter(
+        &mut out,
+        "j2k_connections_rejected_total",
+        "Wire connections refused (cap reached or Critical pressure).",
+        m.connections_rejected,
+    );
+    obs::prom::gauge(
+        &mut out,
+        "j2k_pressure_level",
+        "Pressure classification: 0 nominal, 1 elevated, 2 critical.",
+        u64::from(m.pressure_level),
+    );
+    obs::prom::gauge(
+        &mut out,
+        "j2k_pixels_in_flight",
+        "Pixels admitted and not yet completed.",
+        m.pixels_in_flight,
+    );
+    obs::prom::gauge(
+        &mut out,
+        "j2k_connections_active",
+        "Wire connections currently open.",
+        m.connections_active,
+    );
     obs::prom::gauge(
         &mut out,
         "j2k_workers_alive",
@@ -124,19 +171,37 @@ pub fn render_prometheus(svc: &EncodeService) -> String {
 }
 
 /// Serve `render_prometheus` on `listener` until the service shuts down
-/// or the listener errors. One request per connection; blocking reads.
-/// Run this on a dedicated thread.
+/// or the listener errors, with the default scrape deadline. One request
+/// per connection; blocking reads. Run this on a dedicated thread.
 pub fn serve_metrics(listener: TcpListener, svc: Arc<EncodeService>) {
+    serve_metrics_with(listener, svc, Some(DEFAULT_SCRAPE_TIMEOUT));
+}
+
+/// [`serve_metrics`] with an explicit per-connection read/write deadline.
+/// The responder handles one scrape at a time, so without a deadline a
+/// scraper that connects and then stalls would pin it forever; with one,
+/// the stalled socket errors out and the next scrape proceeds.
+pub fn serve_metrics_with(
+    listener: TcpListener,
+    svc: Arc<EncodeService>,
+    timeout: Option<Duration>,
+) {
     for conn in listener.incoming() {
         let Ok(stream) = conn else { continue };
-        let _ = respond(stream, &svc);
+        let _ = respond(stream, &svc, timeout);
         if !svc.health().accepting {
             return;
         }
     }
 }
 
-fn respond(mut stream: TcpStream, svc: &EncodeService) -> std::io::Result<()> {
+fn respond(
+    mut stream: TcpStream,
+    svc: &EncodeService,
+    timeout: Option<Duration>,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(timeout)?;
+    stream.set_write_timeout(timeout)?;
     // Drain (and ignore) the request head. Bounded: stop at the blank
     // line or after 8 KiB, whichever comes first.
     let mut buf = [0u8; 1024];
@@ -189,6 +254,14 @@ mod tests {
         assert!(text.contains("j2k_job_e2e_us_bucket{le=\"+Inf\"} 3"));
         assert!(text.contains("j2k_job_e2e_us_count 3"));
         assert!(text.contains("j2k_stage_tier1_us_count 3"));
+        // Overload surface: pressure gauge + shed/degraded counters.
+        assert!(text.contains("j2k_pressure_level 0"));
+        assert!(text.contains("j2k_pressure_transitions_total 0"));
+        assert!(text.contains("j2k_jobs_shed_total 0"));
+        assert!(text.contains("j2k_jobs_degraded_total 0"));
+        assert!(text.contains("j2k_pixels_in_flight 0"));
+        assert!(text.contains("j2k_connections_active 0"));
+        assert!(text.contains("j2k_connections_rejected_total 0"));
     }
 
     #[test]
@@ -211,6 +284,37 @@ mod tests {
         let body = resp.split("\r\n\r\n").nth(1).unwrap();
         obs::prom::validate(body).expect("scraped body must validate");
         // Unblock and stop the responder thread.
+        svc.begin_shutdown();
+        let _ = TcpStream::connect(addr).map(|mut s| s.write_all(b"GET / HTTP/1.1\r\n\r\n"));
+        let _ = t.join();
+    }
+
+    #[test]
+    fn stalled_scraper_cannot_pin_the_responder() {
+        let svc = Arc::new(EncodeService::start(ServiceConfig {
+            pool_threads: 1,
+            ..ServiceConfig::default()
+        }));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let svc2 = Arc::clone(&svc);
+        let t = std::thread::spawn(move || {
+            serve_metrics_with(listener, svc2, Some(Duration::from_millis(50)))
+        });
+        // A scraper that connects and then sends nothing: before the
+        // deadline fix this pinned the single responder thread forever
+        // and every later scrape hung.
+        let stalled = TcpStream::connect(addr).unwrap();
+        // A well-behaved scrape queued behind it must still be answered
+        // (the stalled socket errors out after the 50ms deadline).
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut resp = String::new();
+        stream.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 200 OK"), "got: {resp:.100}");
+        drop(stalled);
         svc.begin_shutdown();
         let _ = TcpStream::connect(addr).map(|mut s| s.write_all(b"GET / HTTP/1.1\r\n\r\n"));
         let _ = t.join();

@@ -8,15 +8,26 @@
 //! (bad magic, oversized length, mid-frame disconnect) close the
 //! connection; payload-local errors get a [`Response::Failed`] reply and
 //! the connection lives on.
+//!
+//! Connection hardening (DESIGN.md §16): every accepted socket gets
+//! read/write deadlines ([`ServerConfig::io_timeout`]) so a slow-loris
+//! peer — one that opens a connection and trickles or stalls a frame —
+//! times out instead of pinning its handler thread forever; the number
+//! of concurrent handlers is capped ([`ServerConfig::max_connections`]);
+//! and at **Critical** pressure the accept loop sheds new connections
+//! with an `Overloaded { retry_after_ms }` reply instead of spawning
+//! handlers. The `wire.stall` failpoint injects the stalled-peer path
+//! deterministically in chaos tests.
 
 use crate::service::{EncodeJob, EncodeService, JobOutcome, SubmitError};
 use crate::wire::{
     encode_response, parse_request, read_frame, write_frame, RejectReason, Request, Response,
     WireError,
 };
+use crate::PressureLevel;
 use std::io::BufReader;
 use std::net::{TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -25,12 +36,21 @@ use std::time::Duration;
 pub struct ServerConfig {
     /// Per-frame payload ceiling (see [`crate::wire::read_frame`]).
     pub max_frame: usize,
+    /// Per-connection read *and* write deadline. A peer that stalls a
+    /// frame longer than this gets its connection closed. `None`
+    /// disables deadlines (tests that deliberately hold connections).
+    pub io_timeout: Option<Duration>,
+    /// Concurrent-connection cap; connections beyond it are refused
+    /// with an `Overloaded` reply. 0 means unlimited.
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             max_frame: crate::wire::DEFAULT_MAX_FRAME,
+            io_timeout: Some(Duration::from_secs(30)),
+            max_connections: 256,
         }
     }
 }
@@ -44,16 +64,47 @@ pub fn serve(
     cfg: ServerConfig,
 ) -> std::io::Result<()> {
     let stop = Arc::new(AtomicBool::new(false));
+    let conns = Arc::new(AtomicUsize::new(0));
     let local = listener.local_addr()?;
     for stream in listener.incoming() {
         if stop.load(Ordering::SeqCst) {
             break;
         }
-        let Ok(stream) = stream else { continue };
+        let Ok(mut stream) = stream else { continue };
+        // Deadlines first: even the reject reply below is written under
+        // a deadline, so a stalled peer cannot pin the accept loop.
+        let _ = stream.set_read_timeout(cfg.io_timeout);
+        let _ = stream.set_write_timeout(cfg.io_timeout);
+        if service.pressure_level() == PressureLevel::Critical {
+            service.conn_rejected();
+            let _ = write_frame(
+                &mut stream,
+                &encode_response(&Response::Rejected(RejectReason::Overloaded {
+                    retry_after_ms: service.retry_after_ms().min(u64::from(u32::MAX)) as u32,
+                })),
+            );
+            continue;
+        }
+        if cfg.max_connections > 0 && conns.load(Ordering::SeqCst) >= cfg.max_connections {
+            service.conn_rejected();
+            let _ = write_frame(
+                &mut stream,
+                &encode_response(&Response::Rejected(RejectReason::Overloaded {
+                    retry_after_ms: service.retry_after_ms().min(u64::from(u32::MAX)) as u32,
+                })),
+            );
+            continue;
+        }
+        conns.fetch_add(1, Ordering::SeqCst);
+        service.conn_opened();
         let service = Arc::clone(&service);
         let stop = Arc::clone(&stop);
+        let conns = Arc::clone(&conns);
         std::thread::spawn(move || {
-            if handle_conn(stream, &service, cfg) == ConnExit::Shutdown {
+            let exit = handle_conn(stream, &service, cfg);
+            conns.fetch_sub(1, Ordering::SeqCst);
+            service.conn_closed();
+            if exit == ConnExit::Shutdown {
                 stop.store(true, Ordering::SeqCst);
                 service.begin_shutdown();
                 // Self-connect to pop the accept loop out of `incoming()`.
@@ -82,10 +133,18 @@ fn handle_conn(stream: TcpStream, service: &EncodeService, cfg: ServerConfig) ->
     };
     let mut reader = BufReader::new(stream);
     loop {
+        // Failpoint `wire.stall`: models a peer that stalls mid-exchange.
+        // A Delay holds the handler here (past the io deadline in the
+        // storm test) then proceeds; an Error stands in for the deadline
+        // expiring — the connection closes, the thread is reclaimed.
+        if faultsim::eval("wire.stall").is_some() {
+            return ConnExit::Closed;
+        }
         let payload = match read_frame(&mut reader, cfg.max_frame) {
             Ok(p) => p,
-            // Clean disconnect, mid-frame disconnect, garbage, or an
-            // oversized claim: the stream is unsynchronized — drop it.
+            // Clean disconnect, mid-frame disconnect, garbage, an
+            // oversized claim, or a blown io deadline: the stream is
+            // unsynchronized — drop it.
             Err(_) => return ConnExit::Closed,
         };
         let req = match parse_request(&payload) {
@@ -130,17 +189,26 @@ fn handle_conn(stream: TcpStream, service: &EncodeService, cfg: ServerConfig) ->
                     priority: e.priority,
                     timeout: (e.timeout_ms > 0)
                         .then(|| Duration::from_millis(u64::from(e.timeout_ms))),
+                    allow_degraded: e.allow_degraded,
                 };
                 match service.submit(job) {
                     Ok(handle) => match handle.wait() {
-                        JobOutcome::Completed { codestream } => Response::EncodeOk(codestream),
+                        JobOutcome::Completed {
+                            codestream,
+                            degraded,
+                        } => Response::EncodeOk {
+                            codestream,
+                            degraded,
+                        },
                         JobOutcome::TimedOut => Response::TimedOut,
                         JobOutcome::Cancelled => Response::Cancelled,
                         JobOutcome::Failed(m) => Response::Failed(m),
                         JobOutcome::Poisoned { message } => Response::Poisoned(message),
                     },
-                    Err(SubmitError::Overloaded { .. }) => {
-                        Response::Rejected(RejectReason::Overloaded)
+                    Err(SubmitError::Overloaded { retry_after_ms, .. }) => {
+                        Response::Rejected(RejectReason::Overloaded {
+                            retry_after_ms: retry_after_ms.min(u64::from(u32::MAX)) as u32,
+                        })
                     }
                     Err(SubmitError::ShuttingDown) => {
                         Response::Rejected(RejectReason::ShuttingDown)

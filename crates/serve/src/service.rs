@@ -51,6 +51,7 @@
 //! retry* jobs drain; [`EncodeService::shutdown`] additionally joins the
 //! supervisor (and with it every worker, original or respawned).
 
+use crate::pressure::{PixelReservation, PressureConfig, PressureController, PressureLevel};
 use crate::queue::{JobQueue, PushError};
 use imgio::Image;
 use j2k_core::{encode_parallel_ctl, CodecError, EncodeControl, EncoderParams, ParallelOptions};
@@ -81,16 +82,23 @@ pub struct EncodeJob {
     /// Per-job deadline, measured from submission. `None` falls back to
     /// [`ServiceConfig::default_timeout`].
     pub timeout: Option<Duration>,
+    /// Opt-in graceful degradation: under Elevated pressure the service
+    /// may transparently re-run this job with the cheaper HT coder
+    /// instead of shedding it. The response carries a `degraded` marker,
+    /// and byte-identity is then against the *degraded* params —
+    /// which is why the flag is opt-in (DESIGN.md §16).
+    pub allow_degraded: bool,
 }
 
 impl EncodeJob {
-    /// A default-priority job with no per-job timeout.
+    /// A default-priority job with no per-job timeout and no degradation.
     pub fn new(image: Image, params: EncoderParams) -> Self {
         EncodeJob {
             image,
             params,
             priority: 0,
             timeout: None,
+            allow_degraded: false,
         }
     }
 }
@@ -99,10 +107,15 @@ impl EncodeJob {
 #[derive(Debug)]
 pub enum JobOutcome {
     /// Encode finished; the codestream is byte-identical to the
-    /// sequential encoder's output for the same input.
+    /// sequential encoder's output for the same input and effective
+    /// params (the submitted params, or their degraded form when
+    /// `degraded` is set).
     Completed {
         /// The JPEG2000 codestream.
         codestream: Vec<u8>,
+        /// True when overload admission downgraded this `allow_degraded`
+        /// job to the HT coder (DESIGN.md §16).
+        degraded: bool,
     },
     /// The job's deadline passed (queued, mid-encode, or during a crash
     /// retry's backoff).
@@ -122,10 +135,13 @@ pub enum JobOutcome {
 /// Typed admission-control refusal from [`EncodeService::submit`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SubmitError {
-    /// The bounded queue is at capacity; retry later or shed load.
+    /// The queue is at capacity or the pressure policy shed the job;
+    /// retry after the hint, degrade, or drop the request.
     Overloaded {
         /// The configured queue bound.
         capacity: usize,
+        /// Client backoff hint (scales with the pressure level).
+        retry_after_ms: u64,
     },
     /// [`EncodeService::begin_shutdown`] has run; no new work.
     ShuttingDown,
@@ -134,8 +150,14 @@ pub enum SubmitError {
 impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SubmitError::Overloaded { capacity } => {
-                write!(f, "overloaded: queue at capacity {capacity}")
+            SubmitError::Overloaded {
+                capacity,
+                retry_after_ms,
+            } => {
+                write!(
+                    f,
+                    "overloaded: queue at capacity {capacity}, retry after {retry_after_ms}ms"
+                )
             }
             SubmitError::ShuttingDown => write!(f, "service shutting down"),
         }
@@ -200,6 +222,13 @@ struct Task {
     image: Image,
     params: EncoderParams,
     priority: u8,
+    /// True when admission downgraded the params to the HT coder.
+    degraded: bool,
+    /// Share of the in-flight pixel budget. Released explicitly *before*
+    /// the outcome is fulfilled (so a waiter that reads metrics right
+    /// after `wait()` sees the pixels gone), with the `Drop` of the last
+    /// `Arc` as the backstop for retry, quarantine, and shutdown paths.
+    pixels: Mutex<Option<PixelReservation>>,
     /// Times this job has crashed a worker.
     crashes: AtomicU32,
     /// Submission time, for the queue-wait histogram.
@@ -242,6 +271,12 @@ pub struct ServiceConfig {
     /// the wire `Trace` request) and on disk under
     /// [`trace_dir`](Self::trace_dir).
     pub trace_keep: usize,
+    /// Overload-pressure thresholds and damping (DESIGN.md §16).
+    pub pressure: PressureConfig,
+    /// Jobs with `priority >= high_priority_min` are *high priority*:
+    /// admitted even at Critical pressure and never shed by the pressure
+    /// policy (the queue bound still applies).
+    pub high_priority_min: u8,
 }
 
 impl Default for ServiceConfig {
@@ -255,6 +290,8 @@ impl Default for ServiceConfig {
             retry_backoff: Duration::from_millis(100),
             trace_dir: None,
             trace_keep: 16,
+            pressure: PressureConfig::default(),
+            high_priority_min: 128,
         }
     }
 }
@@ -273,6 +310,15 @@ struct Metrics {
     decode_failed: AtomicU64,
     workers_respawned: AtomicU64,
     workers_alive: AtomicU64,
+    /// Jobs refused by the *pressure* policy (a subset of `rejected`,
+    /// which also counts queue-full refusals).
+    shed: AtomicU64,
+    /// `allow_degraded` jobs downgraded to the HT coder at admission.
+    degraded: AtomicU64,
+    /// Wire connections currently open (maintained by the server loop).
+    conns_active: AtomicU64,
+    /// Wire connections refused (cap reached or Critical pressure).
+    conns_rejected: AtomicU64,
     /// Accumulated per-stage encode wall time (name -> seconds) and
     /// completed-job latency samples, both fed from finished jobs.
     stage_seconds: Mutex<BTreeMap<String, f64>>,
@@ -324,6 +370,21 @@ pub struct MetricsSnapshot {
     pub workers_respawned: u64,
     /// Worker threads currently live.
     pub workers_alive: u64,
+    /// Current pressure classification (0 nominal / 1 elevated /
+    /// 2 critical).
+    pub pressure_level: u8,
+    /// Pressure level transitions since start (each step counts one).
+    pub pressure_transitions: u64,
+    /// Jobs refused by the pressure policy (subset of `rejected`).
+    pub jobs_shed: u64,
+    /// `allow_degraded` jobs downgraded to the HT coder at admission.
+    pub jobs_degraded: u64,
+    /// Pixels admitted and not yet completed (the budget accountant).
+    pub pixels_in_flight: u64,
+    /// Wire connections currently open.
+    pub connections_active: u64,
+    /// Wire connections refused (cap or Critical pressure).
+    pub connections_rejected: u64,
     /// Accumulated encode wall time per pipeline stage, seconds
     /// (stage names from [`j2k_core::WorkloadProfile::stage_times`]).
     pub stage_seconds: Vec<(String, f64)>,
@@ -365,7 +426,10 @@ impl MetricsSnapshot {
              \"completed\":{},\"timed_out\":{},\"cancelled\":{},\"failed\":{},\
              \"jobs_retried\":{},\"jobs_poisoned\":{},\"decoded\":{},\"decode_failed\":{},\
              \"workers_respawned\":{},\
-             \"workers_alive\":{},\"stage_seconds\":{{{}}},\"histograms\":{{{}}}}}",
+             \"workers_alive\":{},\"pressure_level\":{},\"pressure_transitions\":{},\
+             \"jobs_shed\":{},\"jobs_degraded\":{},\"pixels_in_flight\":{},\
+             \"connections_active\":{},\"connections_rejected\":{},\
+             \"stage_seconds\":{{{}}},\"histograms\":{{{}}}}}",
             self.queue_depth,
             self.queue_capacity,
             self.accepted,
@@ -380,6 +444,13 @@ impl MetricsSnapshot {
             self.decode_failed,
             self.workers_respawned,
             self.workers_alive,
+            self.pressure_level,
+            self.pressure_transitions,
+            self.jobs_shed,
+            self.jobs_degraded,
+            self.pixels_in_flight,
+            self.connections_active,
+            self.connections_rejected,
             stages.join(","),
             hists.join(",")
         )
@@ -408,6 +479,9 @@ pub struct HealthSnapshot {
     /// Whether the service still accepts submissions (false once
     /// shutdown has begun).
     pub accepting: bool,
+    /// Current pressure classification (0 nominal / 1 elevated /
+    /// 2 critical).
+    pub pressure: u8,
 }
 
 impl HealthSnapshot {
@@ -416,7 +490,7 @@ impl HealthSnapshot {
         format!(
             "{{\"workers_alive\":{},\"pool_threads\":{},\"workers_respawned\":{},\
              \"queue_depth\":{},\"queue_capacity\":{},\"jobs_retried\":{},\
-             \"jobs_poisoned\":{},\"accepting\":{}}}",
+             \"jobs_poisoned\":{},\"accepting\":{},\"pressure\":{}}}",
             self.workers_alive,
             self.pool_threads,
             self.workers_respawned,
@@ -425,12 +499,17 @@ impl HealthSnapshot {
             self.jobs_retried,
             self.jobs_poisoned,
             self.accepting,
+            self.pressure,
         )
     }
 
-    /// Ready to take traffic: accepting, with the full pool live.
+    /// Ready to take traffic: accepting, full pool live, and pressure
+    /// below Critical — a shedding replica should not receive new routed
+    /// traffic.
     pub fn ready(&self) -> bool {
-        self.accepting && self.workers_alive >= self.pool_threads
+        self.accepting
+            && self.workers_alive >= self.pool_threads
+            && self.pressure < PressureLevel::Critical.as_u8()
     }
 }
 
@@ -449,6 +528,7 @@ pub struct EncodeService {
     cfg: ServiceConfig,
     queue: Arc<JobQueue<Arc<Task>>>,
     metrics: Arc<Metrics>,
+    pressure: Arc<PressureController>,
     supervisor: Mutex<Option<JoinHandle<()>>>,
     next_id: AtomicU64,
 }
@@ -459,15 +539,17 @@ impl EncodeService {
     pub fn start(cfg: ServiceConfig) -> Self {
         let queue = Arc::new(JobQueue::new(cfg.queue_capacity));
         let metrics = Arc::new(Metrics::default());
+        let pressure = Arc::new(PressureController::new(cfg.pressure.clone()));
         let (tx, rx) = channel::<SupMsg>();
         let mut handles = HashMap::new();
         let pool = cfg.pool_threads.max(1) as u64;
         for id in 0..pool {
-            handles.insert(id, spawn_worker(id, &queue, &metrics, &cfg, &tx));
+            handles.insert(id, spawn_worker(id, &queue, &metrics, &pressure, &cfg, &tx));
         }
         let supervisor = {
             let queue = Arc::clone(&queue);
             let metrics = Arc::clone(&metrics);
+            let pressure = Arc::clone(&pressure);
             let cfg = cfg.clone();
             std::thread::spawn(move || {
                 supervisor_main(Supervisor {
@@ -475,6 +557,7 @@ impl EncodeService {
                     tx,
                     queue,
                     metrics,
+                    pressure,
                     cfg,
                     handles,
                     next_worker_id: pool,
@@ -487,14 +570,75 @@ impl EncodeService {
             cfg,
             queue,
             metrics,
+            pressure,
             supervisor: Mutex::new(Some(supervisor)),
             next_id: AtomicU64::new(1),
         }
     }
 
-    /// Admission control: enqueue `job` or refuse. Never blocks and never
-    /// buffers beyond `queue_capacity`.
+    /// Refuse a job under pressure: counted as both `rejected` and
+    /// `jobs_shed`, with a level-scaled backoff hint.
+    fn shed(&self, priority: u8, level: PressureLevel) -> SubmitError {
+        self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+        self.metrics.shed.fetch_add(1, Ordering::Relaxed);
+        trace::instant_for(
+            0,
+            "job-shed",
+            &[
+                ("priority", u64::from(priority)),
+                ("level", u64::from(level.as_u8())),
+            ],
+        );
+        SubmitError::Overloaded {
+            capacity: self.queue.capacity(),
+            retry_after_ms: self.pressure.retry_after_ms(),
+        }
+    }
+
+    /// Admission control: enqueue `job`, degrade it, or refuse. Never
+    /// blocks and never buffers beyond `queue_capacity`.
+    ///
+    /// The degradation policy (DESIGN.md §16), applied in order:
+    /// 1. at **Elevated+** pressure, an `allow_degraded` job is
+    ///    downgraded to the HT coder (response marked `degraded`);
+    /// 2. at **Elevated**, a low-priority job that did not opt in is
+    ///    shed with [`SubmitError::Overloaded`]`{ retry_after_ms }`;
+    /// 3. at **Critical**, only high-priority jobs
+    ///    ([`ServiceConfig::high_priority_min`]) are admitted at all;
+    /// 4. a job that would push in-flight pixels past the budget is shed
+    ///    regardless of priority (hard envelope).
     pub fn submit(&self, job: EncodeJob) -> Result<JobHandle, SubmitError> {
+        if self.queue.is_closed() {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let wait = self.metrics.hist.histogram("queue_wait_us").snapshot();
+        let level = self
+            .pressure
+            .sample(self.queue.len(), self.queue.capacity(), &wait);
+        let high = job.priority >= self.cfg.high_priority_min;
+        let mut params = job.params;
+        let mut degraded = false;
+        if level >= PressureLevel::Elevated && job.allow_degraded {
+            let (p, d) = params.degrade_for_load();
+            if d {
+                params = p;
+                degraded = true;
+            }
+        }
+        if !high {
+            let shed_now = match level {
+                PressureLevel::Critical => true,
+                PressureLevel::Elevated => !degraded,
+                PressureLevel::Nominal => false,
+            };
+            if shed_now {
+                return Err(self.shed(job.priority, level));
+            }
+        }
+        let pixels = (job.image.width as u64).saturating_mul(job.image.height as u64);
+        if !self.pressure.pixels_admittable(pixels) {
+            return Err(self.shed(job.priority, level));
+        }
         let timeout = job.timeout.or(self.cfg.default_timeout);
         let ctl = match timeout {
             Some(t) => EncodeControl::with_deadline(Instant::now() + t),
@@ -509,8 +653,13 @@ impl EncodeService {
         let trace_id = trace::next_trace_id();
         let task = Arc::new(Task {
             image: job.image,
-            params: job.params,
+            params,
             priority: job.priority,
+            degraded,
+            pixels: Mutex::new(Some(PixelReservation::new(
+                Arc::clone(&self.pressure),
+                pixels,
+            ))),
             crashes: AtomicU32::new(0),
             submitted: Instant::now(),
             submitted_ns: trace::now_ns(),
@@ -521,6 +670,14 @@ impl EncodeService {
         match self.queue.try_push(task, job.priority) {
             Ok(()) => {
                 self.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+                if degraded {
+                    self.metrics.degraded.fetch_add(1, Ordering::Relaxed);
+                    trace::instant_for(
+                        trace_id,
+                        "degraded-admit",
+                        &[("job", id), ("level", u64::from(level.as_u8()))],
+                    );
+                }
                 trace::instant_for(
                     trace_id,
                     "queue-push",
@@ -530,7 +687,10 @@ impl EncodeService {
             }
             Err((_, PushError::Full { capacity })) => {
                 self.metrics.rejected.fetch_add(1, Ordering::Relaxed);
-                Err(SubmitError::Overloaded { capacity })
+                Err(SubmitError::Overloaded {
+                    capacity,
+                    retry_after_ms: self.pressure.retry_after_ms(),
+                })
             }
             Err((_, PushError::Closed)) => Err(SubmitError::ShuttingDown),
         }
@@ -592,6 +752,13 @@ impl EncodeService {
             decode_failed: m.decode_failed.load(Ordering::Relaxed),
             workers_respawned: m.workers_respawned.load(Ordering::Relaxed),
             workers_alive: m.workers_alive.load(Ordering::Relaxed),
+            pressure_level: self.pressure.level().as_u8(),
+            pressure_transitions: self.pressure.transitions(),
+            jobs_shed: m.shed.load(Ordering::Relaxed),
+            jobs_degraded: m.degraded.load(Ordering::Relaxed),
+            pixels_in_flight: self.pressure.pixels_in_flight(),
+            connections_active: m.conns_active.load(Ordering::Relaxed),
+            connections_rejected: m.conns_rejected.load(Ordering::Relaxed),
             stage_seconds: m
                 .stage_seconds
                 .lock()
@@ -631,9 +798,12 @@ impl EncodeService {
             .map(|(_, j)| j.clone())
     }
 
-    /// Readiness probe: pool strength, quarantine count, queue depth.
+    /// Readiness probe: pool strength, quarantine count, queue depth,
+    /// pressure. Probing re-samples the controller, so pressure decays
+    /// even when no submissions arrive.
     pub fn health(&self) -> HealthSnapshot {
         let m = &self.metrics;
+        let level = self.pressure_level();
         HealthSnapshot {
             workers_alive: m.workers_alive.load(Ordering::Relaxed),
             pool_threads: self.cfg.pool_threads.max(1) as u64,
@@ -643,7 +813,43 @@ impl EncodeService {
             jobs_retried: m.retried.load(Ordering::Relaxed),
             jobs_poisoned: m.poisoned.load(Ordering::Relaxed),
             accepting: !self.queue.is_closed(),
+            pressure: level.as_u8(),
         }
+    }
+
+    /// Re-sample and return the pressure level (rate-limited by the
+    /// controller's sample interval). The server accept loop gates new
+    /// connections on this.
+    pub fn pressure_level(&self) -> PressureLevel {
+        let wait = self.metrics.hist.histogram("queue_wait_us").snapshot();
+        self.pressure
+            .sample(self.queue.len(), self.queue.capacity(), &wait)
+    }
+
+    /// The backoff hint for a client refused at the current pressure.
+    pub fn retry_after_ms(&self) -> u64 {
+        self.pressure.retry_after_ms()
+    }
+
+    /// The pressure controller (shared with the workers).
+    pub fn pressure(&self) -> &Arc<PressureController> {
+        &self.pressure
+    }
+
+    /// Server loop bookkeeping: a wire connection was accepted.
+    pub fn conn_opened(&self) {
+        self.metrics.conns_active.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Server loop bookkeeping: a wire connection closed.
+    pub fn conn_closed(&self) {
+        self.metrics.conns_active.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Server loop bookkeeping: a wire connection was refused (cap
+    /// reached or Critical pressure).
+    pub fn conn_rejected(&self) {
+        self.metrics.conns_rejected.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Most recent quarantined job ids (up to [`QUARANTINE_KEEP`]).
@@ -693,6 +899,7 @@ fn spawn_worker(
     id: u64,
     queue: &Arc<JobQueue<Arc<Task>>>,
     metrics: &Arc<Metrics>,
+    pressure: &Arc<PressureController>,
     cfg: &ServiceConfig,
     tx: &Sender<SupMsg>,
 ) -> JoinHandle<()> {
@@ -701,15 +908,17 @@ fn spawn_worker(
     metrics.workers_alive.fetch_add(1, Ordering::Relaxed);
     let queue = Arc::clone(queue);
     let metrics = Arc::clone(metrics);
+    let pressure = Arc::clone(pressure);
     let cfg = cfg.clone();
     let tx = tx.clone();
-    std::thread::spawn(move || worker_main(id, &queue, &metrics, &cfg, &tx))
+    std::thread::spawn(move || worker_main(id, &queue, &metrics, &pressure, &cfg, &tx))
 }
 
 fn worker_main(
     id: u64,
     queue: &JobQueue<Arc<Task>>,
     metrics: &Metrics,
+    pressure: &Arc<PressureController>,
     cfg: &ServiceConfig,
     tx: &Sender<SupMsg>,
 ) {
@@ -720,7 +929,7 @@ fn worker_main(
     let current: Mutex<Option<Arc<Task>>> = Mutex::new(None);
     loop {
         let r = catch_unwind(AssertUnwindSafe(|| {
-            worker_iteration(queue, metrics, cfg, &current)
+            worker_iteration(queue, metrics, pressure, cfg, &current)
         }));
         match r {
             Ok(true) => continue,
@@ -758,6 +967,7 @@ fn worker_main(
 fn worker_iteration(
     queue: &JobQueue<Arc<Task>>,
     metrics: &Metrics,
+    pressure: &Arc<PressureController>,
     cfg: &ServiceConfig,
     current: &Mutex<Option<Arc<Task>>>,
 ) -> bool {
@@ -845,7 +1055,10 @@ fn worker_iteration(
                     .hist
                     .histogram("job_e2e_us")
                     .record((wait + started.elapsed()).as_micros() as u64);
-                JobOutcome::Completed { codestream }
+                JobOutcome::Completed {
+                    codestream,
+                    degraded: task.degraded,
+                }
             }
             Err(CodecError::Deadline) => {
                 metrics.timed_out.fetch_add(1, Ordering::Relaxed);
@@ -866,7 +1079,16 @@ fn worker_iteration(
     export_trace(&task, metrics, cfg);
     trace::set_current(0);
     current.lock().unwrap_or_else(|e| e.into_inner()).take();
+    // Release the pixel reservation before fulfilling the outcome: a
+    // submitter that reads metrics right after `wait()` returns must see
+    // the pixels gone (the budget is a statement about in-flight work).
+    task.pixels.lock().unwrap_or_else(|e| e.into_inner()).take();
     task.shared.complete(outcome);
+    drop(task);
+    // Re-sample: pressure decays as work completes even when no new
+    // submissions (or probes) arrive to drive the controller.
+    let wait = metrics.hist.histogram("queue_wait_us").snapshot();
+    pressure.sample(queue.len(), queue.capacity(), &wait);
     true
 }
 
@@ -996,6 +1218,7 @@ struct Supervisor {
     tx: Sender<SupMsg>,
     queue: Arc<JobQueue<Arc<Task>>>,
     metrics: Arc<Metrics>,
+    pressure: Arc<PressureController>,
     cfg: ServiceConfig,
     handles: HashMap<u64, JoinHandle<()>>,
     next_worker_id: u64,
@@ -1058,8 +1281,10 @@ fn supervisor_main(mut s: Supervisor) {
                     s.next_worker_id += 1;
                     s.metrics.workers_respawned.fetch_add(1, Ordering::Relaxed);
                     trace::instant_for(0, "worker-respawn", &[("worker", id)]);
-                    s.handles
-                        .insert(id, spawn_worker(id, &s.queue, &s.metrics, &s.cfg, &s.tx));
+                    s.handles.insert(
+                        id,
+                        spawn_worker(id, &s.queue, &s.metrics, &s.pressure, &s.cfg, &s.tx),
+                    );
                     s.live += 1;
                 }
             }
@@ -1092,7 +1317,11 @@ mod tests {
             .submit(EncodeJob::new(im.clone(), EncoderParams::lossless()))
             .unwrap();
         match h.wait() {
-            JobOutcome::Completed { codestream } => {
+            JobOutcome::Completed {
+                codestream,
+                degraded,
+            } => {
+                assert!(!degraded, "nominal pressure never degrades");
                 assert_eq!(j2k_core::decode(&codestream).unwrap(), im);
             }
             other => panic!("unexpected outcome {other:?}"),
@@ -1162,6 +1391,13 @@ mod tests {
             decode_failed: 2,
             workers_respawned: 2,
             workers_alive: 2,
+            pressure_level: 1,
+            pressure_transitions: 3,
+            jobs_shed: 7,
+            jobs_degraded: 2,
+            pixels_in_flight: 4096,
+            connections_active: 3,
+            connections_rejected: 1,
             stage_seconds: vec![("dwt".into(), 0.25)],
             histograms: vec![(
                 "job_e2e_us".into(),
@@ -1184,6 +1420,13 @@ mod tests {
         assert!(j.contains("\"decode_failed\":2"));
         assert!(j.contains("\"workers_respawned\":2"));
         assert!(j.contains("\"workers_alive\":2"));
+        assert!(j.contains("\"pressure_level\":1"));
+        assert!(j.contains("\"pressure_transitions\":3"));
+        assert!(j.contains("\"jobs_shed\":7"));
+        assert!(j.contains("\"jobs_degraded\":2"));
+        assert!(j.contains("\"pixels_in_flight\":4096"));
+        assert!(j.contains("\"connections_active\":3"));
+        assert!(j.contains("\"connections_rejected\":1"));
         assert!(j.contains("\"dwt\":0.250000"));
         assert!(j.contains("\"histograms\":{\"job_e2e_us\":{\"count\":3,\"p50\":100"));
     }
@@ -1199,10 +1442,29 @@ mod tests {
             jobs_retried: 1,
             jobs_poisoned: 1,
             accepting: true,
+            pressure: 0,
         };
         let j = h.to_json();
         assert!(j.contains("\"workers_alive\":2"));
         assert!(j.contains("\"jobs_poisoned\":1"));
         assert!(j.contains("\"accepting\":true"));
+        assert!(j.contains("\"pressure\":0"));
+    }
+
+    #[test]
+    fn critical_pressure_makes_health_not_ready() {
+        let h = HealthSnapshot {
+            workers_alive: 2,
+            pool_threads: 2,
+            workers_respawned: 0,
+            queue_depth: 8,
+            queue_capacity: 8,
+            jobs_retried: 0,
+            jobs_poisoned: 0,
+            accepting: true,
+            pressure: 2,
+        };
+        assert!(!h.ready(), "Critical pressure must fail readiness");
+        assert!(HealthSnapshot { pressure: 1, ..h }.ready());
     }
 }

@@ -6,7 +6,7 @@
 //! ```text
 //! +--------+---------+----------+-----------+----------------+
 //! | magic  | version | reserved | length    | payload        |
-//! | u16 BE | u8 (=1) | u8 (=0)  | u32 BE    | `length` bytes |
+//! | u16 BE | u8 (=2) | u8 (=0)  | u32 BE    | `length` bytes |
 //! +--------+---------+----------+-----------+----------------+
 //! ```
 //!
@@ -31,8 +31,10 @@ use std::io::{Read, Write};
 
 /// Frame magic: "J2".
 pub const MAGIC: u16 = 0x4A32;
-/// Protocol version.
-pub const VERSION: u8 = 1;
+/// Protocol version. v2 added the encode-request flags byte
+/// (`allow_degraded`), the `degraded` marker on `EncodeOk`, the
+/// `retry_after_ms` hint on `Overloaded`, and the health pressure byte.
+pub const VERSION: u8 = 2;
 /// Frame header size in bytes.
 pub const HEADER_LEN: usize = 8;
 /// Default ceiling on payload size: fits a 3072x3072 RGB u16 image
@@ -144,6 +146,10 @@ pub enum Request {
 pub struct EncodeRequest {
     /// Scheduling priority (higher first).
     pub priority: u8,
+    /// Opt in to overload degradation: under pressure the server may
+    /// encode with the cheaper HT coder instead of shedding the job,
+    /// marking the response `degraded` (DESIGN.md §16).
+    pub allow_degraded: bool,
     /// Deadline in milliseconds from receipt; 0 = server default.
     pub timeout_ms: u32,
     /// Encoder parameters.
@@ -167,7 +173,14 @@ pub struct DecodeRequest {
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
     /// The encoded codestream.
-    EncodeOk(Vec<u8>),
+    EncodeOk {
+        /// The JPEG2000 codestream.
+        codestream: Vec<u8>,
+        /// True when the server downgraded this `allow_degraded` job to
+        /// the HT coder under pressure; byte-identity is then against
+        /// the degraded params.
+        degraded: bool,
+    },
     /// Admission control refused the job.
     Rejected(RejectReason),
     /// The job's deadline passed before the encode finished.
@@ -195,8 +208,11 @@ pub enum Response {
 /// Why a job was refused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RejectReason {
-    /// Queue at capacity.
-    Overloaded,
+    /// Queue at capacity or the pressure policy shed the job.
+    Overloaded {
+        /// Client backoff hint: do not retry sooner than this.
+        retry_after_ms: u32,
+    },
     /// Service is shutting down.
     ShuttingDown,
 }
@@ -442,6 +458,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
                 Vec::with_capacity(32 + 2 * e.image.width * e.image.height * e.image.comps());
             out.push(TAG_ENCODE);
             out.push(e.priority);
+            out.push(u8::from(e.allow_degraded));
             out.extend_from_slice(&e.timeout_ms.to_be_bytes());
             put_params(&mut out, &e.params);
             put_image(&mut out, &e.image);
@@ -476,11 +493,22 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, WireError> {
     let req = match tag {
         TAG_ENCODE => {
             let priority = rd.u8()?;
+            // A flags byte rather than a bare bool so future per-job
+            // options extend the same octet; unknown bits are rejected
+            // to keep them available.
+            let flags = rd.u8()?;
+            if flags & !0x01 != 0 {
+                return Err(WireError::Malformed(format!(
+                    "unknown encode flags {flags:#04x}"
+                )));
+            }
+            let allow_degraded = flags & 0x01 != 0;
             let timeout_ms = rd.u32()?;
             let params = get_params(&mut rd)?;
             let image = get_image(&mut rd)?;
             Request::Encode(EncodeRequest {
                 priority,
+                allow_degraded,
                 timeout_ms,
                 params,
                 image,
@@ -514,19 +542,24 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, WireError> {
 /// Serialize a response payload.
 pub fn encode_response(resp: &Response) -> Vec<u8> {
     match resp {
-        Response::EncodeOk(cs) => {
-            let mut out = Vec::with_capacity(1 + cs.len());
+        Response::EncodeOk {
+            codestream,
+            degraded,
+        } => {
+            let mut out = Vec::with_capacity(2 + codestream.len());
             out.push(TAG_ENCODE_OK);
-            out.extend_from_slice(cs);
+            out.push(u8::from(*degraded));
+            out.extend_from_slice(codestream);
             out
         }
-        Response::Rejected(r) => vec![
-            TAG_REJECTED,
-            match r {
-                RejectReason::Overloaded => 1,
-                RejectReason::ShuttingDown => 2,
-            },
-        ],
+        Response::Rejected(r) => match r {
+            RejectReason::Overloaded { retry_after_ms } => {
+                let mut out = vec![TAG_REJECTED, 1];
+                out.extend_from_slice(&retry_after_ms.to_be_bytes());
+                out
+            }
+            RejectReason::ShuttingDown => vec![TAG_REJECTED, 2],
+        },
         Response::TimedOut => vec![TAG_TIMED_OUT],
         Response::Cancelled => vec![TAG_CANCELLED],
         Response::Failed(m) => {
@@ -541,7 +574,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         }
         Response::Pong => vec![TAG_PONG],
         Response::Health(h) => {
-            let mut out = Vec::with_capacity(1 + 7 * 8 + 1);
+            let mut out = Vec::with_capacity(1 + 7 * 8 + 2);
             out.push(TAG_HEALTH_OK);
             for v in [
                 h.workers_alive,
@@ -555,6 +588,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 out.extend_from_slice(&v.to_be_bytes());
             }
             out.push(u8::from(h.accepting));
+            out.push(h.pressure);
             out
         }
         Response::Poisoned(m) => {
@@ -582,10 +616,22 @@ pub fn parse_response(payload: &[u8]) -> Result<Response, WireError> {
     let mut rd = Rd::new(payload);
     let tag = rd.u8()?;
     match tag {
-        TAG_ENCODE_OK => Ok(Response::EncodeOk(rd.take(rd.remaining())?.to_vec())),
+        TAG_ENCODE_OK => {
+            let degraded = match rd.u8()? {
+                0 => false,
+                1 => true,
+                b => return Err(WireError::Malformed(format!("bad degraded flag {b}"))),
+            };
+            Ok(Response::EncodeOk {
+                degraded,
+                codestream: rd.take(rd.remaining())?.to_vec(),
+            })
+        }
         TAG_REJECTED => {
             let reason = match rd.u8()? {
-                1 => RejectReason::Overloaded,
+                1 => RejectReason::Overloaded {
+                    retry_after_ms: rd.u32()?,
+                },
                 2 => RejectReason::ShuttingDown,
                 r => return Err(WireError::Malformed(format!("unknown reject reason {r}"))),
             };
@@ -630,6 +676,12 @@ pub fn parse_response(payload: &[u8]) -> Result<Response, WireError> {
                         return Err(WireError::Malformed(format!("bad accepting flag {b}")));
                     }
                 },
+                pressure: match rd.u8()? {
+                    p @ 0..=2 => p,
+                    p => {
+                        return Err(WireError::Malformed(format!("bad pressure level {p}")));
+                    }
+                },
             };
             rd.done()?;
             Ok(Response::Health(h))
@@ -669,6 +721,7 @@ mod tests {
     fn sample_request() -> Request {
         Request::Encode(EncodeRequest {
             priority: 3,
+            allow_degraded: true,
             timeout_ms: 1500,
             params: EncoderParams::lossy(0.25),
             image: imgio::synth::natural_rgb(9, 7, 42),
@@ -703,8 +756,18 @@ mod tests {
     #[test]
     fn response_roundtrip() {
         for resp in [
-            Response::EncodeOk(vec![1, 2, 3]),
-            Response::Rejected(RejectReason::Overloaded),
+            Response::EncodeOk {
+                codestream: vec![1, 2, 3],
+                degraded: false,
+            },
+            Response::EncodeOk {
+                codestream: vec![7; 9],
+                degraded: true,
+            },
+            Response::Rejected(RejectReason::Overloaded {
+                retry_after_ms: 250,
+            }),
+            Response::Rejected(RejectReason::Overloaded { retry_after_ms: 0 }),
             Response::Rejected(RejectReason::ShuttingDown),
             Response::TimedOut,
             Response::Cancelled,
@@ -720,6 +783,7 @@ mod tests {
                 jobs_retried: 5,
                 jobs_poisoned: 1,
                 accepting: true,
+                pressure: 2,
             }),
             Response::Poisoned("job 7 crashed its worker 2 times".into()),
             Response::TraceJson("{\"traceEvents\":[]}".into()),
@@ -753,6 +817,7 @@ mod tests {
         };
         let req = Request::Encode(EncodeRequest {
             priority: 0,
+            allow_degraded: false,
             timeout_ms: 0,
             params: p,
             image: imgio::synth::natural(5, 5, 1),
@@ -761,5 +826,16 @@ mod tests {
             panic!("wrong tag");
         };
         assert_eq!(back.params, p);
+    }
+
+    #[test]
+    fn unknown_encode_flag_bits_are_rejected() {
+        let mut payload = encode_request(&sample_request());
+        // Byte 2 is the flags octet (tag, priority, flags, ...).
+        payload[2] |= 0x80;
+        assert!(matches!(
+            parse_request(&payload),
+            Err(WireError::Malformed(_))
+        ));
     }
 }

@@ -78,7 +78,7 @@ fn panic_mid_tier1_respawns_worker_and_retries_byte_identical() {
     let params = EncoderParams::lossless();
     let h = svc.submit(EncodeJob::new(im.clone(), params)).unwrap();
     match h.wait() {
-        JobOutcome::Completed { codestream } => {
+        JobOutcome::Completed { codestream, .. } => {
             assert_eq!(
                 codestream,
                 sequential(&im, &params),
@@ -131,7 +131,7 @@ fn double_crash_quarantines_job_as_poisoned() {
     let params = EncoderParams::lossless();
     let h2 = svc.submit(EncodeJob::new(im.clone(), params)).unwrap();
     match h2.wait() {
-        JobOutcome::Completed { codestream } => {
+        JobOutcome::Completed { codestream, .. } => {
             assert_eq!(codestream, sequential(&im, &params));
         }
         other => panic!("service should still serve after a quarantine, got {other:?}"),
@@ -254,6 +254,7 @@ fn wire_read_fault_drops_connection_cleanly() {
         &mut conn,
         &Request::Encode(EncodeRequest {
             priority: 0,
+            allow_degraded: false,
             timeout_ms: 0,
             params,
             image: im.clone(),
@@ -262,7 +263,7 @@ fn wire_read_fault_drops_connection_cleanly() {
     )
     .unwrap();
     match resp {
-        Response::EncodeOk(cs) => assert_eq!(cs, sequential(&im, &params)),
+        Response::EncodeOk { codestream: cs, .. } => assert_eq!(cs, sequential(&im, &params)),
         other => panic!("expected EncodeOk, got {other:?}"),
     }
     match call(&mut conn, &Request::Health, max).unwrap() {
@@ -310,7 +311,7 @@ fn traced_crash_retry_trace_tells_the_story_and_stays_byte_identical() {
     let h = svc.submit(EncodeJob::new(im.clone(), params)).unwrap();
     let id = h.id();
     match h.wait() {
-        JobOutcome::Completed { codestream } => {
+        JobOutcome::Completed { codestream, .. } => {
             assert_eq!(
                 codestream,
                 sequential(&im, &params),
@@ -408,7 +409,7 @@ fn seeded_chaos_schedule_resolves_every_job() {
         .collect();
     for (h, (im, p)) in handles.into_iter().zip(&jobs) {
         match h.wait() {
-            JobOutcome::Completed { codestream } => {
+            JobOutcome::Completed { codestream, .. } => {
                 assert_eq!(
                     codestream,
                     sequential(im, p),

@@ -27,6 +27,13 @@ fn populated() -> MetricsSnapshot {
         decode_failed: 3,
         workers_respawned: 4,
         workers_alive: 2,
+        pressure_level: 1,
+        pressure_transitions: 6,
+        jobs_shed: 5,
+        jobs_degraded: 2,
+        pixels_in_flight: 16384,
+        connections_active: 3,
+        connections_rejected: 1,
         stage_seconds: vec![("dwt".to_string(), 0.125), ("tier1".to_string(), 1.5)],
         histograms: vec![
             (

@@ -9,11 +9,18 @@ use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
 
 fn start_server(cfg: ServiceConfig) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+    start_server_with(cfg, ServerConfig::default())
+}
+
+fn start_server_with(
+    cfg: ServiceConfig,
+    server_cfg: ServerConfig,
+) -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
     let listener = TcpListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.local_addr().unwrap();
     let service = Arc::new(EncodeService::start(cfg));
     let t = std::thread::spawn(move || {
-        serve(listener, service, ServerConfig::default()).unwrap();
+        serve(listener, service, server_cfg).unwrap();
     });
     (addr, t)
 }
@@ -21,6 +28,7 @@ fn start_server(cfg: ServiceConfig) -> (std::net::SocketAddr, std::thread::JoinH
 fn encode_req(seed: u64) -> Request {
     Request::Encode(EncodeRequest {
         priority: 0,
+        allow_degraded: false,
         timeout_ms: 0,
         params: EncoderParams::lossless(),
         image: imgio::synth::natural(40, 40, seed),
@@ -41,7 +49,11 @@ fn tcp_encode_roundtrip_is_byte_identical_and_shutdown_works() {
     // Encode twice over one connection; verify byte-identity + decode.
     for seed in [3u64, 4] {
         match call(&mut conn, &encode_req(seed), DEFAULT_MAX_FRAME).unwrap() {
-            Response::EncodeOk(cs) => {
+            Response::EncodeOk {
+                codestream: cs,
+                degraded,
+            } => {
+                assert!(!degraded);
                 let im = imgio::synth::natural(40, 40, seed);
                 assert_eq!(
                     cs,
@@ -83,6 +95,7 @@ fn tcp_decode_closes_the_loop() {
         &mut conn,
         &Request::Encode(EncodeRequest {
             priority: 0,
+            allow_degraded: false,
             timeout_ms: 0,
             params: EncoderParams::lossless(),
             image: im.clone(),
@@ -91,7 +104,7 @@ fn tcp_decode_closes_the_loop() {
     )
     .unwrap()
     {
-        Response::EncodeOk(cs) => cs,
+        Response::EncodeOk { codestream: cs, .. } => cs,
         other => panic!("unexpected response {other:?}"),
     };
     match call(
@@ -169,10 +182,91 @@ fn server_survives_garbage_and_mid_frame_disconnects() {
     let mut conn = TcpStream::connect(addr).unwrap();
     assert!(matches!(
         call(&mut conn, &encode_req(5), DEFAULT_MAX_FRAME).unwrap(),
-        Response::EncodeOk(_)
+        Response::EncodeOk { .. }
     ));
     assert_eq!(
         call(&mut conn, &Request::Shutdown, DEFAULT_MAX_FRAME).unwrap(),
+        Response::Pong
+    );
+    server.join().unwrap();
+}
+
+#[test]
+fn slow_loris_connection_is_deadlined_and_server_stays_responsive() {
+    use std::io::{Read, Write};
+    // A short io deadline: the stalled peer must be cut loose quickly.
+    let (addr, server) = start_server_with(
+        ServiceConfig::default(),
+        ServerConfig {
+            io_timeout: Some(std::time::Duration::from_millis(100)),
+            ..ServerConfig::default()
+        },
+    );
+
+    // The slow loris: send the 2 magic bytes of the 8-byte header, then
+    // stall.
+    let mut loris = TcpStream::connect(addr).unwrap();
+    loris
+        .write_all(&j2k_serve::wire::MAGIC.to_be_bytes())
+        .unwrap();
+
+    // A healthy client is served while the loris dangles.
+    let mut conn = TcpStream::connect(addr).unwrap();
+    assert!(matches!(
+        call(&mut conn, &encode_req(6), DEFAULT_MAX_FRAME).unwrap(),
+        Response::EncodeOk { .. }
+    ));
+
+    // The loris's read deadline fires: its connection gets closed (read
+    // returns 0/err), never a reply frame.
+    loris
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .unwrap();
+    let mut buf = [0u8; 16];
+    match loris.read(&mut buf) {
+        Ok(0) | Err(_) => {}
+        Ok(n) => panic!("stalled peer unexpectedly got {n} bytes back"),
+    }
+
+    assert_eq!(
+        call(&mut conn, &Request::Shutdown, DEFAULT_MAX_FRAME).unwrap(),
+        Response::Pong
+    );
+    server.join().unwrap();
+}
+
+#[test]
+fn connection_cap_refuses_excess_conns_with_overloaded() {
+    use j2k_serve::wire::RejectReason;
+    let (addr, server) = start_server_with(
+        ServiceConfig::default(),
+        ServerConfig {
+            max_connections: 1,
+            ..ServerConfig::default()
+        },
+    );
+
+    // First connection occupies the only slot...
+    let mut held = TcpStream::connect(addr).unwrap();
+    assert_eq!(
+        call(&mut held, &Request::Ping, DEFAULT_MAX_FRAME).unwrap(),
+        Response::Pong
+    );
+    // ...so the next one is refused with a typed reply carrying a retry
+    // hint, not a silent close or a hang. The accept loop only counts a
+    // connection after a successful handshake of the previous one, so
+    // poll until the reject (the spawn that frees/occupies the slot is
+    // asynchronous only on *close*, which never happens here).
+    let mut reader = std::io::BufReader::new(TcpStream::connect(addr).unwrap());
+    let payload = j2k_serve::wire::read_frame(&mut reader, DEFAULT_MAX_FRAME).unwrap();
+    match j2k_serve::wire::parse_response(&payload).unwrap() {
+        Response::Rejected(RejectReason::Overloaded { retry_after_ms: _ }) => {}
+        other => panic!("expected Overloaded reject, got {other:?}"),
+    }
+
+    // The held connection still works, and can shut the server down.
+    assert_eq!(
+        call(&mut held, &Request::Shutdown, DEFAULT_MAX_FRAME).unwrap(),
         Response::Pong
     );
     server.join().unwrap();

@@ -5,7 +5,9 @@
 //! through sleeps.
 
 use j2k_core::EncoderParams;
-use j2k_serve::{EncodeJob, EncodeService, JobOutcome, ServiceConfig, SubmitError};
+use j2k_serve::{
+    EncodeJob, EncodeService, JobOutcome, PressureConfig, PressureLevel, ServiceConfig, SubmitError,
+};
 use std::time::Duration;
 
 fn job(seed: u64) -> EncodeJob {
@@ -28,11 +30,18 @@ fn queue_full_rejects_with_overloaded_and_drains_byte_identical() {
     let h1 = svc.submit(job(1)).unwrap();
     let h2 = svc.submit(job(2)).unwrap();
     assert_eq!(svc.queue_depth(), 2);
-    // Third job: admission control must refuse with the typed error...
-    assert_eq!(
-        svc.submit(job(3)).unwrap_err(),
-        SubmitError::Overloaded { capacity: 2 }
-    );
+    // Third job: admission control must refuse with the typed error,
+    // carrying a machine-usable retry hint...
+    match svc.submit(job(3)).unwrap_err() {
+        SubmitError::Overloaded {
+            capacity,
+            retry_after_ms,
+        } => {
+            assert_eq!(capacity, 2);
+            assert!(retry_after_ms > 0, "retry hint must be actionable");
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
     // ...without having buffered anything.
     assert_eq!(svc.queue_depth(), 2);
     let m = svc.metrics();
@@ -41,7 +50,7 @@ fn queue_full_rejects_with_overloaded_and_drains_byte_identical() {
     svc.resume();
     for (h, seed) in [(h1, 1), (h2, 2)] {
         match h.wait() {
-            JobOutcome::Completed { codestream } => {
+            JobOutcome::Completed { codestream, .. } => {
                 // Every accepted job's output is byte-identical to the
                 // sequential encoder for the same input.
                 let seq = j2k_core::encode(
@@ -156,6 +165,180 @@ fn graceful_shutdown_drains_in_flight_and_queued_jobs() {
     svc.shutdown();
     let m = svc.metrics();
     assert_eq!((m.completed, m.queue_depth), (3, 0));
+}
+
+/// Pressure thresholds driven purely by queue depth: the wait-p95 signal
+/// is disabled so the tests control the level exactly through `pause()`
+/// and submit counts — fully deterministic, no sleeps, no manual clock.
+fn depth_only_pressure(elevated: f64, critical: f64) -> PressureConfig {
+    PressureConfig {
+        elevated_depth: elevated,
+        critical_depth: critical,
+        elevated_wait_p95_us: u64::MAX,
+        critical_wait_p95_us: u64::MAX,
+        min_sample_interval: Duration::ZERO,
+        cool_samples: 1,
+        ..PressureConfig::default()
+    }
+}
+
+#[test]
+fn drain_during_overload_completes_in_flight_byte_identical() {
+    // Graceful shutdown racing active shedding: jobs admitted before the
+    // storm must all complete, byte-identical, while late low-priority
+    // work is shed with a retry hint and pressure decays back to Nominal
+    // as the drain empties the queue.
+    let svc = EncodeService::start(ServiceConfig {
+        queue_capacity: 4,
+        pool_threads: 1,
+        high_priority_min: 5,
+        pressure: depth_only_pressure(0.5, 0.9),
+        ..ServiceConfig::default()
+    });
+    svc.pause();
+    let handles: Vec<_> = (0..4)
+        .map(|s| {
+            svc.submit(EncodeJob {
+                priority: 9,
+                ..job(40 + s)
+            })
+            .unwrap()
+        })
+        .collect();
+    // Depth 4/4 at the fifth submit's sample: Critical. Low priority is
+    // shed with an actionable hint; the high-priority admissions above
+    // were not (priority 9 >= high_priority_min).
+    match svc
+        .submit(EncodeJob {
+            priority: 0,
+            ..job(99)
+        })
+        .unwrap_err()
+    {
+        SubmitError::Overloaded { retry_after_ms, .. } => {
+            assert!(retry_after_ms > 0, "shed must carry a retry hint")
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    assert_eq!(svc.pressure().level(), PressureLevel::Critical);
+
+    // Shut down while shedding: everything already admitted still drains.
+    svc.begin_shutdown();
+    svc.resume();
+    for (s, h) in handles.into_iter().enumerate() {
+        match h.wait() {
+            JobOutcome::Completed {
+                codestream,
+                degraded,
+            } => {
+                assert!(!degraded);
+                let seq = j2k_core::encode(
+                    &imgio::synth::natural(48, 48, 40 + s as u64),
+                    &EncoderParams::lossless(),
+                )
+                .unwrap();
+                assert_eq!(codestream, seq, "job {s} not byte-identical");
+            }
+            other => panic!("job {s}: unexpected outcome {other:?}"),
+        }
+    }
+    svc.shutdown();
+    // The worker re-samples after each completion, so the drain itself
+    // cooled the controller: Critical -> Elevated -> Nominal.
+    assert_eq!(svc.pressure().level(), PressureLevel::Nominal);
+    let m = svc.metrics();
+    assert_eq!((m.completed, m.jobs_shed, m.rejected), (4, 1, 1));
+    assert!(
+        m.pressure_transitions >= 3,
+        "expected a full Nominal->Critical->Nominal arc, saw {} transitions",
+        m.pressure_transitions
+    );
+}
+
+#[test]
+fn elevated_pressure_degrades_opted_in_jobs_and_sheds_the_rest() {
+    let svc = EncodeService::start(ServiceConfig {
+        queue_capacity: 8,
+        pool_threads: 1,
+        high_priority_min: 5,
+        pressure: depth_only_pressure(0.25, 0.9),
+        ..ServiceConfig::default()
+    });
+    svc.pause();
+    // Fill to Elevated: by the third submit the sampled depth is 2/8 =
+    // 0.25, at the threshold.
+    let fillers: Vec<_> = (0..3)
+        .map(|s| {
+            svc.submit(EncodeJob {
+                priority: 9,
+                ..job(50 + s)
+            })
+            .unwrap()
+        })
+        .collect();
+    assert_eq!(svc.pressure().level(), PressureLevel::Elevated);
+
+    // Low priority, opted in: admitted, transparently downgraded to the
+    // HT coder.
+    let degraded_h = svc
+        .submit(EncodeJob {
+            priority: 0,
+            allow_degraded: true,
+            ..job(60)
+        })
+        .unwrap();
+    // Low priority, no opt-in: shed.
+    assert!(matches!(
+        svc.submit(EncodeJob {
+            priority: 0,
+            ..job(61)
+        }),
+        Err(SubmitError::Overloaded { .. })
+    ));
+    // High priority, no opt-in: admitted at full fidelity even Elevated.
+    let hi_h = svc
+        .submit(EncodeJob {
+            priority: 9,
+            ..job(62)
+        })
+        .unwrap();
+
+    svc.resume();
+    match degraded_h.wait() {
+        JobOutcome::Completed {
+            codestream,
+            degraded,
+        } => {
+            assert!(degraded, "opted-in job must be marked degraded");
+            // Degradation is a policy change, not a correctness one: the
+            // bytes equal the sequential encode under the degraded params.
+            let (dparams, switched) = EncoderParams::lossless().degrade_for_load();
+            assert!(switched);
+            let seq = j2k_core::encode(&imgio::synth::natural(48, 48, 60), &dparams).unwrap();
+            assert_eq!(codestream, seq);
+        }
+        other => panic!("unexpected outcome {other:?}"),
+    }
+    match hi_h.wait() {
+        JobOutcome::Completed {
+            codestream,
+            degraded,
+        } => {
+            assert!(!degraded, "high-priority job must keep full fidelity");
+            let seq = j2k_core::encode(
+                &imgio::synth::natural(48, 48, 62),
+                &EncoderParams::lossless(),
+            )
+            .unwrap();
+            assert_eq!(codestream, seq);
+        }
+        other => panic!("unexpected outcome {other:?}"),
+    }
+    for h in fillers {
+        assert!(matches!(h.wait(), JobOutcome::Completed { .. }));
+    }
+    let m = svc.metrics();
+    assert_eq!((m.jobs_degraded, m.jobs_shed), (1, 1));
 }
 
 #[test]

@@ -13,6 +13,7 @@ use rand::{Rng, SeedableRng};
 fn valid_frame() -> Vec<u8> {
     let req = Request::Encode(EncodeRequest {
         priority: 1,
+        allow_degraded: false,
         timeout_ms: 250,
         params: j2k_core::EncoderParams::lossless(),
         image: imgio::synth::natural_rgb(12, 10, 5),
@@ -121,8 +122,9 @@ fn geometry_lies_are_rejected_not_allocated() {
         let frame = valid_frame();
         frame[HEADER_LEN..].to_vec()
     };
-    // Width field lives right after tag(1)+priority(1)+timeout(4)+params(15).
-    let woff = 1 + 1 + 4 + 15;
+    // Width field lives right after
+    // tag(1)+priority(1)+flags(1)+timeout(4)+params(15).
+    let woff = 1 + 1 + 1 + 4 + 15;
     payload[woff..woff + 4].copy_from_slice(&0x00FF_FFFFu32.to_be_bytes());
     match parse_request(&payload) {
         Err(WireError::Malformed(m)) => assert!(m.contains("sample"), "{m}"),

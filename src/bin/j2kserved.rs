@@ -7,7 +7,9 @@
 //!           [--queue N] [--timeout-ms N] [--max-frame-mb N]
 //!           [--max-crash-retries N] [--retry-backoff-ms N]
 //!           [--trace] [--trace-dir DIR] [--trace-keep N]
-//!           [--metrics-addr HOST:PORT]
+//!           [--metrics-addr HOST:PORT] [--io-timeout-ms N]
+//!           [--max-conns N] [--pixel-budget-mp N] [--high-priority N]
+//!           [--pressure-elevated PCT] [--pressure-critical PCT]
 //!
 //!   --addr HOST:PORT   listen address          (default 127.0.0.1:7201)
 //!   --pool N           pool threads draining the job queue (default 2)
@@ -29,12 +31,27 @@
 //!                      (default 16)
 //!   --metrics-addr HOST:PORT  serve Prometheus text exposition on a
 //!                      side port (GET anything returns the scrape)
+//!   --io-timeout-ms N  per-connection read/write deadline on the wire
+//!                      and metrics ports, 0 = none       (default 30000)
+//!   --max-conns N      concurrent wire connections, 0 = unlimited
+//!                      (default 256)
+//!   --pixel-budget-mp N  in-flight pixel budget in megapixels,
+//!                      0 = unlimited                         (default 0)
+//!   --high-priority N  jobs with priority >= N are admitted even at
+//!                      Critical pressure                   (default 128)
+//!   --pressure-elevated PCT  queue-depth percent at which pressure is
+//!                      Elevated                             (default 75)
+//!   --pressure-critical PCT  queue-depth percent at which pressure is
+//!                      Critical                             (default 95)
 //! ```
 //!
 //! The daemon exits after a Shutdown request, draining queued and
-//! in-flight jobs first.
+//! in-flight jobs first. Under pressure it sheds low-priority work with
+//! `Overloaded { retry_after_ms }`, degrades `allow_degraded` jobs to
+//! the HT coder, and at Critical stops taking new connections
+//! (DESIGN.md §16).
 
-use j2k_serve::{serve, serve_metrics, EncodeService, ServerConfig, ServiceConfig};
+use j2k_serve::{serve, serve_metrics_with, EncodeService, ServerConfig, ServiceConfig};
 use std::net::TcpListener;
 use std::process::exit;
 use std::sync::Arc;
@@ -49,7 +66,9 @@ const USAGE: &str = "usage: j2kserved [--addr HOST:PORT] [--pool N] [--job-worke
                      [--queue N] [--timeout-ms N] [--max-frame-mb N] \
                      [--max-crash-retries N] [--retry-backoff-ms N] \
                      [--trace] [--trace-dir DIR] [--trace-keep N] \
-                     [--metrics-addr HOST:PORT]";
+                     [--metrics-addr HOST:PORT] [--io-timeout-ms N] \
+                     [--max-conns N] [--pixel-budget-mp N] [--high-priority N] \
+                     [--pressure-elevated PCT] [--pressure-critical PCT]";
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -58,6 +77,8 @@ fn main() {
     let mut max_frame_mb: usize = 256;
     let mut trace_on = false;
     let mut metrics_addr: Option<String> = None;
+    let mut io_timeout_ms: u64 = 30_000;
+    let mut max_conns: usize = 256;
     let mut i = 0;
     while i < argv.len() {
         let need = |i: usize| -> &String {
@@ -102,6 +123,35 @@ fn main() {
                     .unwrap_or_else(|_| die("--retry-backoff-ms N"));
                 cfg.retry_backoff = Duration::from_millis(ms);
             }
+            "--io-timeout-ms" => {
+                io_timeout_ms = need(i).parse().unwrap_or_else(|_| die("--io-timeout-ms N"))
+            }
+            "--max-conns" => max_conns = need(i).parse().unwrap_or_else(|_| die("--max-conns N")),
+            "--pixel-budget-mp" => {
+                let mp: u64 = need(i)
+                    .parse()
+                    .unwrap_or_else(|_| die("--pixel-budget-mp N"));
+                cfg.pressure.pixel_budget = if mp == 0 { u64::MAX } else { mp * 1_000_000 };
+            }
+            "--high-priority" => {
+                cfg.high_priority_min = need(i).parse().unwrap_or_else(|_| die("--high-priority N"))
+            }
+            "--pressure-elevated" => {
+                let pct: u64 = need(i)
+                    .parse()
+                    .ok()
+                    .filter(|p| (1..=100).contains(p))
+                    .unwrap_or_else(|| die("--pressure-elevated PCT (1..=100)"));
+                cfg.pressure.elevated_depth = pct as f64 / 100.0;
+            }
+            "--pressure-critical" => {
+                let pct: u64 = need(i)
+                    .parse()
+                    .ok()
+                    .filter(|p| (1..=100).contains(p))
+                    .unwrap_or_else(|| die("--pressure-critical PCT (1..=100)"));
+                cfg.pressure.critical_depth = pct as f64 / 100.0;
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -124,6 +174,7 @@ fn main() {
         cfg.default_timeout,
         if trace_on { ", tracing" } else { "" },
     );
+    let io_timeout = (io_timeout_ms > 0).then(|| Duration::from_millis(io_timeout_ms));
     let service = Arc::new(EncodeService::start(cfg));
     if let Some(maddr) = metrics_addr {
         let mlistener =
@@ -133,10 +184,12 @@ fn main() {
             mlistener.local_addr().map_or(maddr, |a| a.to_string())
         );
         let msvc = Arc::clone(&service);
-        std::thread::spawn(move || serve_metrics(mlistener, msvc));
+        std::thread::spawn(move || serve_metrics_with(mlistener, msvc, io_timeout));
     }
     let server_cfg = ServerConfig {
         max_frame: max_frame_mb << 20,
+        io_timeout,
+        max_connections: max_conns,
     };
     serve(listener, service, server_cfg).unwrap_or_else(|e| die(&format!("serve: {e}")));
 }
