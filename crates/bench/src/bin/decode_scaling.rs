@@ -9,7 +9,7 @@
 //! Prints a table (or `--csv`) and, with `--out FILE`, writes the
 //! machine-readable `BENCH_decode.json` consumed by CI.
 
-use j2k_bench::{lossless_params, lossy_params, ms, parse_args, row};
+use j2k_bench::{lossless_params, lossy_params, ms, parse_args, row, BenchReport, Direction};
 use j2k_core::decode;
 
 struct Row {
@@ -110,9 +110,8 @@ fn main() {
                 )
             })
             .collect();
-        let json = format!(
-            "{{\"config\":{{\"sizes\":[{}],\"seed\":{},\"levels\":{},\
-             \"host_cores\":{}}},\"rows\":[{}]}}",
+        let config = format!(
+            "{{\"sizes\":[{}],\"seed\":{},\"levels\":{},\"host_cores\":{}}}",
             sizes
                 .iter()
                 .map(|s| s.to_string())
@@ -121,9 +120,18 @@ fn main() {
             args.seed,
             args.levels,
             std::thread::available_parallelism().map_or(0, |n| n.get()),
-            body.join(",")
         );
-        std::fs::write(path, &json).expect("write --out file");
+        // Track the largest-size rows: the steady-state decode rate.
+        let mut report = BenchReport::new("decode_scaling").config(&config);
+        for r in rows.iter().filter(|r| r.size == args.size) {
+            let mpix = (r.size * r.size) as f64 / 1e6 / r.decode_s.max(1e-12);
+            report = report.metric(&format!("{}_mpix_per_s", r.mode), mpix, Direction::Higher);
+            if r.psnr.is_finite() {
+                report = report.metric(&format!("{}_psnr_db", r.mode), r.psnr, Direction::Higher);
+            }
+        }
+        let report = report.detail(&format!("{{\"rows\":[{}]}}", body.join(",")));
+        std::fs::write(path, format!("{}\n", report.to_json())).expect("write --out file");
         println!("wrote {path}");
     }
 }

@@ -1,0 +1,215 @@
+//! `perf_history` — track bench results across runs and fail CI on
+//! performance regressions.
+//!
+//! ```text
+//! perf_history add REPORT.json...  [--history FILE]
+//!     validate each report (bench-report/v1 envelope) and append it as
+//!     one line of the history (default BENCH_history.jsonl)
+//!
+//! perf_history compare REPORT.json [--history FILE] [--tolerance PCT]
+//!     compare REPORT against the most recent history entry with the
+//!     same bench name; exit 1 listing every metric that moved in the
+//!     worse direction by more than PCT percent (default 10). A report
+//!     with no baseline passes (first run seeds the trajectory).
+//!
+//! perf_history self-test
+//!     exercise the compare logic end to end on synthetic reports: two
+//!     identical runs must pass, and a 20% throughput drop must be
+//!     flagged; exit 1 if either expectation fails.
+//! ```
+//!
+//! History is JSON Lines: one [`BenchReport`] envelope per line, so it
+//! appends atomically, diffs cleanly, and any line can be inspected with
+//! standard tools. Unparseable lines are skipped with a warning rather
+//! than poisoning the whole trajectory.
+
+use j2k_bench::report::{compare, BenchReport, Direction};
+use std::process::exit;
+
+fn die(msg: &str) -> ! {
+    eprintln!("perf_history: {msg}");
+    exit(1);
+}
+
+const USAGE: &str = "usage: perf_history add REPORT.json... [--history FILE] | \
+                     perf_history compare REPORT.json [--history FILE] [--tolerance PCT] | \
+                     perf_history self-test";
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match argv.first().map(String::as_str) {
+        Some("add") => add(&argv[1..]),
+        Some("compare") => cmd_compare(&argv[1..]),
+        Some("self-test") | Some("--self-test") => self_test(),
+        Some("--help") | Some("-h") => println!("{USAGE}"),
+        _ => die(USAGE),
+    }
+}
+
+/// Split `args` into positional file paths and the shared flags.
+fn parse_flags(args: &[String]) -> (Vec<String>, String, f64) {
+    let mut files = Vec::new();
+    let mut history = "BENCH_history.jsonl".to_string();
+    let mut tolerance = 0.10;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--history" => {
+                history = args
+                    .get(i + 1)
+                    .unwrap_or_else(|| die("missing value after --history"))
+                    .clone();
+                i += 2;
+            }
+            "--tolerance" => {
+                let pct: f64 = args
+                    .get(i + 1)
+                    .unwrap_or_else(|| die("missing value after --tolerance"))
+                    .parse()
+                    .unwrap_or_else(|_| die("--tolerance PCT"));
+                if !(0.0..=100.0).contains(&pct) {
+                    die("--tolerance PCT must be in 0..=100");
+                }
+                tolerance = pct / 100.0;
+                i += 2;
+            }
+            flag if flag.starts_with("--") => die(&format!("unknown flag {flag}; {USAGE}")),
+            file => {
+                files.push(file.to_string());
+                i += 1;
+            }
+        }
+    }
+    (files, history, tolerance)
+}
+
+fn read_report(path: &str) -> BenchReport {
+    let json = std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("read {path}: {e}")));
+    BenchReport::parse(&json).unwrap_or_else(|e| die(&format!("{path}: {e}")))
+}
+
+/// Most recent history entry for `bench`, skipping (with a warning) any
+/// lines that no longer parse.
+fn latest_baseline(history: &str, bench: &str) -> Option<BenchReport> {
+    let text = std::fs::read_to_string(history).ok()?;
+    let mut last = None;
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match BenchReport::parse(line) {
+            Ok(r) if r.bench == bench => last = Some(r),
+            Ok(_) => {}
+            Err(e) => eprintln!("perf_history: {history}:{}: skipping: {e}", lineno + 1),
+        }
+    }
+    last
+}
+
+fn add(args: &[String]) {
+    let (files, history, _) = parse_flags(args);
+    if files.is_empty() {
+        die("add: no report files given");
+    }
+    let mut lines = String::new();
+    for f in &files {
+        let r = read_report(f);
+        lines.push_str(&r.to_json());
+        lines.push('\n');
+        println!(
+            "perf_history: recorded {} ({} metrics) from {f}",
+            r.bench,
+            r.metrics.len()
+        );
+    }
+    use std::io::Write;
+    let mut fh = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&history)
+        .unwrap_or_else(|e| die(&format!("open {history}: {e}")));
+    fh.write_all(lines.as_bytes())
+        .unwrap_or_else(|e| die(&format!("append {history}: {e}")));
+}
+
+fn cmd_compare(args: &[String]) {
+    let (files, history, tolerance) = parse_flags(args);
+    let [file] = files.as_slice() else {
+        die("compare: exactly one report file expected");
+    };
+    let current = read_report(file);
+    let Some(baseline) = latest_baseline(&history, &current.bench) else {
+        println!(
+            "perf_history: no baseline for {} in {history}; first run passes",
+            current.bench
+        );
+        return;
+    };
+    let regs = compare(&baseline, &current, tolerance);
+    for m in &current.metrics {
+        let base = baseline.metrics.iter().find(|b| b.name == m.name);
+        println!(
+            "{:<36} {:>14} -> {:>14}  ({})",
+            m.name,
+            base.map_or("(new)".to_string(), |b| format!("{:.4}", b.value)),
+            format!("{:.4}", m.value),
+            m.dir.as_str()
+        );
+    }
+    if regs.is_empty() {
+        println!(
+            "perf_history: {} OK vs baseline ({} metrics, tolerance {:.0}%)",
+            current.bench,
+            current.metrics.len(),
+            tolerance * 100.0
+        );
+    } else {
+        for r in &regs {
+            eprintln!("perf_history: REGRESSION {r}");
+        }
+        die(&format!(
+            "{} metric(s) regressed beyond {:.0}% tolerance",
+            regs.len(),
+            tolerance * 100.0
+        ));
+    }
+}
+
+/// End-to-end check of the regression gate itself, exercising the same
+/// envelope serialization, parsing, and compare path CI relies on.
+fn self_test() {
+    let base = BenchReport::new("self_test")
+        .config("{\"synthetic\":true}")
+        .metric("throughput_samples_per_sec", 1.0e8, Direction::Higher)
+        .metric("e2e_ms", 120.0, Direction::Lower);
+
+    // Round-trip through the JSONL representation, as compare does.
+    let base = BenchReport::parse(&base.to_json()).unwrap_or_else(|e| die(&format!("parse: {e}")));
+
+    // Two identical runs must pass.
+    if !compare(&base, &base.clone(), 0.10).is_empty() {
+        die("self-test: identical runs flagged a regression");
+    }
+
+    // A 20% throughput drop must be flagged at 10% tolerance.
+    let mut dropped = base.clone();
+    dropped.metrics[0].value *= 0.8;
+    let regs = compare(&base, &dropped, 0.10);
+    if regs.len() != 1 || regs[0].name != "throughput_samples_per_sec" {
+        die(&format!(
+            "self-test: expected exactly the throughput drop to be flagged, got {regs:?}"
+        ));
+    }
+
+    // And an equivalent latency increase on the lower-is-better metric.
+    let mut slower = base.clone();
+    slower.metrics[1].value *= 1.2;
+    if compare(&base, &slower, 0.10).len() != 1 {
+        die("self-test: 20% latency increase was not flagged");
+    }
+
+    println!(
+        "perf_history: self-test OK (identical runs pass, 20% regressions flagged: {})",
+        regs[0]
+    );
+}

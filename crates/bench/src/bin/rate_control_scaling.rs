@@ -9,7 +9,7 @@
 //! codestream stays byte-identical to the sequential encoder at every
 //! worker count, so the numbers can never come from a divergent encode.
 
-use j2k_bench::{lossy_params, ms, parse_args, row, workload_rgb};
+use j2k_bench::{lossy_params, ms, parse_args, row, workload_rgb, BenchReport, Direction};
 use j2k_core::{encode, encode_parallel_with_profile, WorkloadProfile};
 
 fn stage(prof: &WorkloadProfile, name: &str) -> f64 {
@@ -101,9 +101,9 @@ fn main() {
                 )
             })
             .collect();
-        let json = format!(
-            "{{\"config\":{{\"size\":{},\"seed\":{},\"levels\":{},\"rate\":0.1,\
-             \"workers\":[{}],\"host_cores\":{}}},\"rows\":[{}]}}",
+        let config = format!(
+            "{{\"size\":{},\"seed\":{},\"levels\":{},\"rate\":0.1,\
+             \"workers\":[{}],\"host_cores\":{}}}",
             args.size,
             args.seed,
             args.levels,
@@ -113,9 +113,24 @@ fn main() {
                 .collect::<Vec<_>>()
                 .join(","),
             std::thread::available_parallelism().map_or(0, |n| n.get()),
-            body.join(",")
         );
-        std::fs::write(path, &json).expect("write --out file");
+        let last = rows.last().expect("at least one worker count");
+        let last_tail = last.alloc + last.tier2;
+        let report = BenchReport::new("rate_control_scaling")
+            .config(&config)
+            .metric("tail_ms_max_workers", last_tail * 1e3, Direction::Lower)
+            .metric(
+                "tail_share_max_workers",
+                last_tail / last.total.max(1e-12),
+                Direction::Lower,
+            )
+            .metric(
+                "tail_speedup_max_workers",
+                base_tail / last_tail.max(1e-12),
+                Direction::Higher,
+            )
+            .detail(&format!("{{\"rows\":[{}]}}", body.join(",")));
+        std::fs::write(path, format!("{}\n", report.to_json())).expect("write --out file");
         println!("wrote {path}");
     }
 }

@@ -51,6 +51,7 @@
 //! codec. The exit code is nonzero if verification fails or nothing
 //! completes.
 
+use j2k_bench::{BenchReport, Direction};
 use j2k_core::EncoderParams;
 use j2k_serve::wire::{
     call, DecodeRequest, EncodeRequest, RejectReason, Request, Response, DEFAULT_MAX_FRAME,
@@ -625,7 +626,36 @@ fn main() {
         server_metrics,
     );
     println!("{json}");
-    if let Err(e) = std::fs::write(&o.out, format!("{json}\n")) {
+    // Shared bench-report envelope: the full ad-hoc document above rides
+    // along as `detail`; the trajectory-tracked scalars are lifted into
+    // `metrics` so `perf_history compare` can gate regressions.
+    let config = format!(
+        "{{\"jobs\":{},\"clients\":{},\"size\":{},\"seed\":{},\"mode\":\"{}\",\
+         \"timeout_ms\":{},\"retries\":{}}}",
+        o.jobs,
+        o.clients,
+        o.size,
+        o.seed,
+        if o.lossy.is_some() {
+            "lossy"
+        } else {
+            "lossless"
+        },
+        o.timeout_ms,
+        o.retries,
+    );
+    let report = BenchReport::new("serve_load")
+        .config(&config)
+        .metric(
+            "throughput_jobs_per_s",
+            completed as f64 / wall_s.max(1e-9),
+            Direction::Higher,
+        )
+        .metric("latency_p50_ms", percentile(&lat, 0.50), Direction::Lower)
+        .metric("latency_p99_ms", percentile(&lat, 0.99), Direction::Lower)
+        .metric("completed", completed as f64, Direction::Higher)
+        .detail(&json);
+    if let Err(e) = std::fs::write(&o.out, format!("{}\n", report.to_json())) {
         die(&format!("write {}: {e}", o.out));
     }
     // Human summary, always printed in full: absent counters read as

@@ -13,9 +13,11 @@
 //!   The coder-neutral basis; the ≥3x HT-vs-MQ gate below uses it.
 //!
 //! Prints a table (or `--csv`) and, with `--out FILE`, writes the
-//! machine-readable `BENCH_tier1.json` consumed by CI.
+//! machine-readable `BENCH_tier1.json` consumed by CI — a shared
+//! [`BenchReport`](j2k_bench::BenchReport) envelope whose `detail`
+//! carries the per-row table and whose `metrics` feed `perf_history`.
 
-use j2k_bench::{lossless_params, ms, parse_args, row, workload_rgb};
+use j2k_bench::{lossless_params, ms, parse_args, row, workload_rgb, BenchReport, Direction};
 use j2k_core::{encode, encode_parallel_with_profile, Coder, EncoderParams, WorkloadProfile};
 
 /// HT must beat MQ by at least this factor on the samples/s basis
@@ -131,11 +133,8 @@ fn main() {
                 )
             })
             .collect();
-        let json = format!(
-            "{{\"config\":{{\"size\":{},\"seed\":{},\"levels\":{},\
-             \"workers\":[{}]}},\"rows\":[{}],\
-             \"summary\":{{\"ht_vs_mq_samples_per_sec\":{:.3},\
-             \"ht_size_delta\":{:.4}}}}}",
+        let config = format!(
+            "{{\"size\":{},\"seed\":{},\"levels\":{},\"workers\":[{}]}}",
             args.size,
             args.seed,
             args.levels,
@@ -144,11 +143,22 @@ fn main() {
                 .map(|s| s.to_string())
                 .collect::<Vec<_>>()
                 .join(","),
+        );
+        let detail = format!(
+            "{{\"rows\":[{}],\"summary\":{{\"ht_vs_mq_samples_per_sec\":{:.3},\
+             \"ht_size_delta\":{:.4}}}}}",
             body.join(","),
             ht_speedup,
             size_delta,
         );
-        std::fs::write(path, &json).expect("write --out file");
+        let report = BenchReport::new("tier1_scaling")
+            .config(&config)
+            .metric("mq_samples_per_sec", sps(mq), Direction::Higher)
+            .metric("ht_samples_per_sec", sps(ht), Direction::Higher)
+            .metric("ht_vs_mq_samples_per_sec", ht_speedup, Direction::Higher)
+            .metric("ht_size_delta", size_delta, Direction::Lower)
+            .detail(&detail);
+        std::fs::write(path, format!("{}\n", report.to_json())).expect("write --out file");
         println!("wrote {path}");
     }
 

@@ -62,6 +62,28 @@ pub enum Kernel {
     StreamIo,
 }
 
+impl Kernel {
+    /// Stable lowercase name for traces and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::TypeConvert => "type_convert",
+            Kernel::LevelShiftIct => "level_shift_ict",
+            Kernel::DwtSplit => "dwt_split",
+            Kernel::DwtLift53 => "dwt_lift53",
+            Kernel::DwtLift97F32 => "dwt_lift97_f32",
+            Kernel::DwtLift97Fixed => "dwt_lift97_fixed",
+            Kernel::DwtScale => "dwt_scale",
+            Kernel::DwtConv97 => "dwt_conv97",
+            Kernel::Quantize => "quantize",
+            Kernel::Tier1 => "tier1",
+            Kernel::Tier1Ht => "tier1_ht",
+            Kernel::Tier2 => "tier2",
+            Kernel::RateControl => "rate_control",
+            Kernel::StreamIo => "stream_io",
+        }
+    }
+}
+
 /// Cycles per work item for `kernel` on `proc`.
 ///
 /// SPE streaming kernels assume the aligned, constant-trip-count loops the

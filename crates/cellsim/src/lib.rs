@@ -34,12 +34,14 @@ pub mod isa;
 pub mod lsplan;
 pub mod stage;
 pub mod timeline;
+pub mod trace;
 
 pub use config::MachineConfig;
 pub use cost::{Kernel, ProcKind};
 pub use des::{DmaClass, MemBus};
-pub use stage::{run_stage, Assignment, StageOutcome, TaskSpec};
+pub use stage::{run_stage, run_stage_traced, Assignment, StageOutcome, TaskEvent, TaskSpec};
 pub use timeline::{StageReport, Timeline};
+pub use trace::ScheduleTrace;
 
 /// Simulated time in processor cycles at the chip clock.
 pub type Cycles = u64;

@@ -85,6 +85,33 @@ impl StageOutcome {
     }
 }
 
+/// The simulated lifetime of one task on the virtual clock: when its GET
+/// was issued and landed, when compute ran, and when the PUT drained.
+/// All times are cycles on the stage's local clock (0 = stage start).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskEvent {
+    /// PE that executed the task.
+    pub pe: usize,
+    /// Kernel class (for span naming).
+    pub kernel: Kernel,
+    /// Work items computed.
+    pub items: u64,
+    /// Cycle the GET was issued (bus queueing starts here).
+    pub fetch_issue: Cycles,
+    /// Cycle the GET completed (data resident in the Local Store).
+    pub fetch_done: Cycles,
+    /// Cycle compute started (>= fetch_done; waits for the PE).
+    pub compute_start: Cycles,
+    /// Cycle compute finished.
+    pub compute_end: Cycles,
+    /// Cycle the PUT completed (== compute_end when `dma_out` is 0).
+    pub put_done: Cycles,
+    /// Bytes transferred in.
+    pub dma_in: u64,
+    /// Bytes transferred out.
+    pub dma_out: u64,
+}
+
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum Ev {
     /// GET finished for (pe, slot-in-fetched-queue is implicit).
@@ -103,6 +130,19 @@ pub fn run_stage(
     assignment: &Assignment,
     buffering: usize,
 ) -> StageOutcome {
+    run_stage_traced(cfg, pes, assignment, buffering).0
+}
+
+/// [`run_stage`] that also returns the per-task schedule: one
+/// [`TaskEvent`] per task, in task order, timestamped on the stage's
+/// virtual clock. This is the raw material for the Chrome-trace export
+/// in [`crate::trace`]; `run_stage` itself discards it.
+pub fn run_stage_traced(
+    cfg: &MachineConfig,
+    pes: &[ProcKind],
+    assignment: &Assignment,
+    buffering: usize,
+) -> (StageOutcome, Vec<TaskEvent>) {
     let npe = pes.len();
     let buffering = buffering.max(1);
     let mut bus = MemBus::new(cfg);
@@ -139,6 +179,23 @@ pub fn run_stage(
         }
     };
 
+    // Per-task schedule record, filled in as the DES fires.
+    let mut tev: Vec<TaskEvent> = tasks
+        .iter()
+        .map(|t| TaskEvent {
+            pe: 0,
+            kernel: t.kernel,
+            items: t.items,
+            fetch_issue: 0,
+            fetch_done: 0,
+            compute_start: 0,
+            compute_end: 0,
+            put_done: 0,
+            dma_in: t.dma_in,
+            dma_out: t.dma_out,
+        })
+        .collect();
+
     let mut heap: BinaryHeap<Reverse<(Cycles, u64, usize, Ev)>> = BinaryHeap::new();
     let mut seq: u64 = 0; // tie-breaker for determinism
 
@@ -170,6 +227,9 @@ pub fn run_stage(
                     Some(t) => {
                         in_flight[$pe] += 1;
                         let done = bus.request($now, tasks[t].dma_in, tasks[t].class);
+                        tev[t].pe = $pe;
+                        tev[t].fetch_issue = $now;
+                        tev[t].fetch_done = done;
                         seq += 1;
                         heap.push(Reverse((
                             done,
@@ -204,6 +264,8 @@ pub fn run_stage(
                     let dur = cost::cycles(pes[pe], tasks[t].kernel, tasks[t].items);
                     computing[pe] = true;
                     busy[pe] += dur;
+                    tev[t].compute_start = start;
+                    tev[t].compute_end = start + dur;
                     seq += 1;
                     heap.push(Reverse((
                         start + dur,
@@ -217,12 +279,15 @@ pub fn run_stage(
                 tasks_run[pe] += 1;
                 in_flight[pe] -= 1;
                 let put_done = bus.request(now, tasks[task].dma_out, tasks[task].class);
+                tev[task].put_done = put_done;
                 makespan = makespan.max(put_done);
                 // Start the next fetched task, if any.
                 if let Some((t, ready)) = fetched[pe].pop_front() {
                     let start = now.max(ready);
                     let dur = cost::cycles(pes[pe], tasks[t].kernel, tasks[t].items);
                     busy[pe] += dur;
+                    tev[t].compute_start = start;
+                    tev[t].compute_end = start + dur;
                     seq += 1;
                     heap.push(Reverse((
                         start + dur,
@@ -238,13 +303,47 @@ pub fn run_stage(
         }
     }
 
-    StageOutcome {
-        makespan,
-        busy,
-        tasks_run,
-        bytes: bus.bytes_moved(),
-        bus_busy: bus.busy_cycles(),
-        dma_requests: bus.requests(),
+    (
+        StageOutcome {
+            makespan,
+            busy,
+            tasks_run,
+            bytes: bus.bytes_moved(),
+            bus_busy: bus.busy_cycles(),
+            dma_requests: bus.requests(),
+        },
+        tev,
+    )
+}
+
+#[cfg(test)]
+mod traced_tests {
+    use super::*;
+
+    #[test]
+    fn run_stage_matches_traced_outcome() {
+        let cfg = MachineConfig::qs20_single();
+        let ts: Vec<TaskSpec> = (1..10)
+            .map(|i| TaskSpec {
+                kernel: Kernel::Tier1,
+                items: i * 500,
+                dma_in: 4096,
+                dma_out: 4096,
+                class: DmaClass::LineOptimal,
+            })
+            .collect();
+        let pes = vec![ProcKind::Spe; 3];
+        let plain = run_stage(&cfg, &pes, &Assignment::Queue(ts.clone()), 2);
+        let (traced, events) = run_stage_traced(&cfg, &pes, &Assignment::Queue(ts), 2);
+        assert_eq!(plain.makespan, traced.makespan);
+        assert_eq!(plain.tasks_run, traced.tasks_run);
+        assert_eq!(events.len(), 9);
+        // Every task's busy window is accounted to the PE that ran it.
+        let mut busy = vec![0u64; 3];
+        for e in &events {
+            busy[e.pe] += e.compute_end - e.compute_start;
+        }
+        assert_eq!(busy, traced.busy);
     }
 }
 

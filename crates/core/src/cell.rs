@@ -10,8 +10,8 @@
 
 use crate::profile::WorkloadProfile;
 use crate::{CodecError, EncoderParams, Mode};
-use cellsim::stage::{run_sequential, run_stage, Assignment, TaskSpec};
-use cellsim::{DmaClass, Kernel, MachineConfig, ProcKind, Timeline};
+use cellsim::stage::{run_stage_traced, Assignment, StageOutcome, TaskEvent, TaskSpec};
+use cellsim::{DmaClass, Kernel, MachineConfig, ProcKind, ScheduleTrace, Timeline};
 use imgio::Image;
 use wavelet::{Filter, VerticalVariant};
 use xpart::{ChunkPlan, Owner, PlanConfig, CACHE_LINE};
@@ -141,7 +141,35 @@ fn lift_kernel(params: &EncoderParams) -> Kernel {
 
 /// Simulate the full encode of `profile` on `cfg`.
 pub fn simulate(profile: &WorkloadProfile, cfg: &MachineConfig, opts: &SimOptions) -> Timeline {
+    simulate_traced(profile, cfg, opts).0
+}
+
+/// One task on one PE, traced (the sequential PPE stages).
+fn seq_traced(
+    cfg: &MachineConfig,
+    pe: ProcKind,
+    kernel: Kernel,
+    items: u64,
+) -> (StageOutcome, Vec<TaskEvent>) {
+    run_stage_traced(
+        cfg,
+        &[pe],
+        &Assignment::Static(vec![vec![TaskSpec::compute_only(kernel, items)]]),
+        1,
+    )
+}
+
+/// [`simulate`] that also returns the full per-task schedule as a
+/// [`ScheduleTrace`] on the virtual clock — stages laid end to end in
+/// pipeline order, exportable as Chrome trace-event JSON via
+/// [`ScheduleTrace::to_chrome_json`] (`j2kcell --cell-trace-out`).
+pub fn simulate_traced(
+    profile: &WorkloadProfile,
+    cfg: &MachineConfig,
+    opts: &SimOptions,
+) -> (Timeline, ScheduleTrace) {
     let mut tl = Timeline::default();
+    let mut tr = ScheduleTrace::new(cfg);
     let pes = roster(cfg);
     let params = &profile.params;
     let comps = profile.comps as u64;
@@ -161,9 +189,11 @@ pub fn simulate(profile: &WorkloadProfile, cfg: &MachineConfig, opts: &SimOption
         1.0,
         opts.dma_class,
     );
-    let out = run_stage(cfg, &pes, &a, opts.buffering);
+    let (out, ev) = run_stage_traced(cfg, &pes, &a, opts.buffering);
+    tr.record("read-convert-par", &pes, &out, ev);
     tl.push(out.report("read-convert-par", cfg));
-    let out = run_sequential(cfg, ProcKind::Ppe, Kernel::TypeConvert, profile.samples / 2);
+    let (out, ev) = seq_traced(cfg, ProcKind::Ppe, Kernel::TypeConvert, profile.samples / 2);
+    tr.record("read-convert-seq", &[ProcKind::Ppe], &out, ev);
     tl.push(out.report("read-convert-seq", cfg));
 
     // 2. Level shift merged with the inter-component transform.
@@ -177,7 +207,8 @@ pub fn simulate(profile: &WorkloadProfile, cfg: &MachineConfig, opts: &SimOption
         1.0,
         opts.dma_class,
     );
-    let out = run_stage(cfg, &pes, &a, opts.buffering);
+    let (out, ev) = run_stage_traced(cfg, &pes, &a, opts.buffering);
+    tr.record("levelshift-ict", &pes, &out, ev);
     tl.push(out.report("levelshift-ict", cfg));
 
     // 3. DWT: per level, vertical (column groups) then horizontal (rows).
@@ -194,8 +225,10 @@ pub fn simulate(profile: &WorkloadProfile, cfg: &MachineConfig, opts: &SimOption
             vfac,
             opts.dma_class,
         );
-        let out = run_stage(cfg, &pes, &a, opts.buffering);
-        tl.push(out.report(&format!("dwt-vertical-l{}", li + 1), cfg));
+        let (out, ev) = run_stage_traced(cfg, &pes, &a, opts.buffering);
+        let name = format!("dwt-vertical-l{}", li + 1);
+        tr.record(&name, &pes, &out, ev);
+        tl.push(out.report(&name, cfg));
 
         // Horizontal: "we assign an identical number of rows to each SPE";
         // a row is the unit of transfer and computation. The PPE does not
@@ -229,8 +262,10 @@ pub fn simulate(profile: &WorkloadProfile, cfg: &MachineConfig, opts: &SimOption
                 r += n;
             }
         }
-        let out = run_stage(cfg, &h_pes, &Assignment::Static(lists), opts.buffering);
-        tl.push(out.report(&format!("dwt-horizontal-l{}", li + 1), cfg));
+        let (out, ev) = run_stage_traced(cfg, &h_pes, &Assignment::Static(lists), opts.buffering);
+        let name = format!("dwt-horizontal-l{}", li + 1);
+        tr.record(&name, &h_pes, &out, ev);
+        tl.push(out.report(&name, cfg));
     }
 
     // 4. Quantization (lossy only).
@@ -245,7 +280,8 @@ pub fn simulate(profile: &WorkloadProfile, cfg: &MachineConfig, opts: &SimOption
             1.0,
             opts.dma_class,
         );
-        let out = run_stage(cfg, &pes, &a, opts.buffering);
+        let (out, ev) = run_stage_traced(cfg, &pes, &a, opts.buffering);
+        tr.record("quantize", &pes, &out, ev);
         tl.push(out.report("quantize", cfg));
     }
 
@@ -272,35 +308,39 @@ pub fn simulate(profile: &WorkloadProfile, cfg: &MachineConfig, opts: &SimOption
     } else {
         vec![ProcKind::Spe; cfg.num_spes]
     };
-    let out = run_stage(cfg, &t1_pes, &Assignment::Queue(tasks), 1);
+    let (out, ev) = run_stage_traced(cfg, &t1_pes, &Assignment::Queue(tasks), 1);
+    tr.record("tier1", &t1_pes, &out, ev);
     tl.push(out.report("tier1", cfg));
 
     // 6. Rate control (lossy): sequential PPE stage between Tier-1 and
     // Tier-2; this is what flattens the lossy scaling curve.
     if profile.rate_control_items > 0 {
-        let out = run_sequential(
+        let (out, ev) = seq_traced(
             cfg,
             ProcKind::Ppe,
             Kernel::RateControl,
             profile.rate_control_items,
         );
+        tr.record("rate-control", &[ProcKind::Ppe], &out, ev);
         tl.push(out.report("rate-control", cfg));
     }
 
     // 7. Tier-2 (sequential PPE).
-    let out = run_sequential(
+    let (out, ev) = seq_traced(
         cfg,
         ProcKind::Ppe,
         Kernel::Tier2,
         profile.blocks.len() as u64,
     );
+    tr.record("tier2", &[ProcKind::Ppe], &out, ev);
     tl.push(out.report("tier2", cfg));
 
     // 8. Codestream assembly / stream I/O (sequential PPE portion).
-    let out = run_sequential(cfg, ProcKind::Ppe, Kernel::StreamIo, profile.output_bytes);
+    let (out, ev) = seq_traced(cfg, ProcKind::Ppe, Kernel::StreamIo, profile.output_bytes);
+    tr.record("stream-io", &[ProcKind::Ppe], &out, ev);
     tl.push(out.report("stream-io", cfg));
 
-    tl
+    (tl, tr)
 }
 
 /// Encode on the host while simulating the Cell schedule; returns the
@@ -415,6 +455,22 @@ mod tests {
         assert_eq!(bytes, seq);
         assert!(tl.total_seconds() > 0.0);
         assert_eq!(prof.output_bytes as usize, bytes.len());
+    }
+
+    #[test]
+    fn traced_simulation_exports_a_valid_chrome_trace() {
+        let p = profile_for(128, 128, &EncoderParams::lossless());
+        let cfg = MachineConfig::qs20_single();
+        let (tl, tr) = simulate_traced(&p, &cfg, &SimOptions::default());
+        assert_eq!(tr.total_cycles(), tl.total_cycles());
+        assert_eq!(tr.stages().len(), tl.stages.len());
+        let json = tr.to_chrome_json();
+        obs::chrome::check(&json, &["stage:tier1", "stage:levelshift-ict"]).expect("check");
+        // Tier-1 compute spans land on SPE tracks (tid >= 1).
+        let evs = obs::chrome::parse(&json).unwrap();
+        assert!(evs
+            .iter()
+            .any(|e| e.name == "tier1" && e.ph == "X" && e.tid >= 1));
     }
 
     #[test]

@@ -789,6 +789,12 @@ pub(crate) fn transform_samples_parallel_ctl(
             // Q13 coefficients drop back to f32 exactly as sequentially).
             let q_span = trace::span("stage:quantize").cat("stage");
             let t3 = Instant::now();
+            let q_samples = (w * h * comps) as u64;
+            let qm = obs::counters::measure(
+                obs::counters::Kernel::Quantize,
+                q_samples,
+                q_samples * std::mem::size_of::<i32>() as u64,
+            );
             let mut indices: Vec<AlignedPlane<i32>> = (0..comps)
                 .map(|_| AlignedPlane::new(w, h).expect("geometry"))
                 .collect();
@@ -829,6 +835,7 @@ pub(crate) fn transform_samples_parallel_ctl(
                 });
                 accumulate(&mut worker_jobs, &counts);
             }
+            drop(qm);
             drop(q_span);
             stage_times.push(StageTime::new("quantize", t3.elapsed().as_secs_f64()));
 

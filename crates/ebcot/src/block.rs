@@ -212,6 +212,12 @@ pub fn encode_block_opts(
         .cat("block")
         .arg("w", w as u64)
         .arg("h", h as u64);
+    let samples = (w * h) as u64;
+    let mut meas = obs::counters::measure(
+        obs::counters::Kernel::Tier1Mq,
+        samples,
+        samples * std::mem::size_of::<i32>() as u64,
+    );
     let mags: Vec<u32> = data.iter().map(|&v| v.unsigned_abs()).collect();
     let num_planes = num_planes_of(&mags);
     let mut blk = EncodedBlock {
@@ -286,6 +292,7 @@ pub fn encode_block_opts(
         }
     }
     span.set_arg("symbols", blk.total_symbols());
+    meas.add_symbols(blk.total_symbols());
     blk
 }
 

@@ -1,0 +1,459 @@
+//! Per-kernel perf counters behind one relaxed-atomic gate.
+//!
+//! The paper's argument is per-kernel (Table 1 cycle costs, §4 DWT
+//! tuning); this module is the host-side analogue: every hot kernel —
+//! MCT/level-shift, the four DWT lifting directions, quantization, and
+//! both Tier-1 coders — accounts samples, bytes, coded symbols, and
+//! wall nanoseconds into a fixed table of relaxed `AtomicU64` cells,
+//! from which derived GB/s and symbols/s figures feed the Prometheus
+//! endpoint, `MetricsSnapshot` JSON, and `BENCH_kernels.json`.
+//!
+//! Cost discipline (mirrors [`crate::trace`] and `faultsim`):
+//!
+//! * One global enable flag, read with a single relaxed load at every
+//!   site ([`enabled`]). Disabled, [`measure`] returns a disarmed guard
+//!   without reading the clock — the flag load is the *entire* cost, so
+//!   instrumentation stays in release hot paths (asserted by the
+//!   disabled-path test below).
+//! * Kernels are a closed enum indexed into a static array — the armed
+//!   record path is a handful of relaxed `fetch_add`s, no name lookup,
+//!   no locks, no allocation. Counting never touches sample data, so
+//!   instrumented kernels stay byte-identical to uninstrumented ones.
+//! * Dynamic, user-named series go through [`Registry`] — a named
+//!   counter/gauge map in the style of [`crate::hist::Registry`]: the
+//!   mutex guards only name interning; handles update lock-free.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turn kernel accounting on or off process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::SeqCst);
+}
+
+/// Cheap global gate — one relaxed atomic load. While this returns
+/// false, [`measure`] does not read the clock and [`Measure::drop`]
+/// records nothing.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// The closed set of accounted kernels. Order is the export order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum Kernel {
+    /// Reversible color transform + DC level shift (lossless path).
+    MctRct = 0,
+    /// Irreversible color transform + DC level shift (lossy path).
+    MctIct,
+    /// 5/3 vertical lifting (all fused-variant entry points).
+    Dwt53Vertical,
+    /// 5/3 horizontal lifting.
+    Dwt53Horizontal,
+    /// 9/7 vertical lifting (float or fixed Q13).
+    Dwt97Vertical,
+    /// 9/7 horizontal lifting (float or fixed Q13).
+    Dwt97Horizontal,
+    /// Scalar dead-zone quantization.
+    Quantize,
+    /// MQ bit-plane Tier-1 block coding (symbols = MQ decisions).
+    Tier1Mq,
+    /// HT quad Tier-1 block coding (symbols = quads + emissions).
+    Tier1Ht,
+}
+
+/// Number of accounted kernels (the fixed table size).
+pub const KERNEL_COUNT: usize = 9;
+
+impl Kernel {
+    /// All kernels, in export order.
+    pub const ALL: [Kernel; KERNEL_COUNT] = [
+        Kernel::MctRct,
+        Kernel::MctIct,
+        Kernel::Dwt53Vertical,
+        Kernel::Dwt53Horizontal,
+        Kernel::Dwt97Vertical,
+        Kernel::Dwt97Horizontal,
+        Kernel::Quantize,
+        Kernel::Tier1Mq,
+        Kernel::Tier1Ht,
+    ];
+
+    /// Stable snake_case name (used as the Prometheus `kernel` label and
+    /// the JSON key, so it is a schema contract).
+    pub fn name(self) -> &'static str {
+        match self {
+            Kernel::MctRct => "mct_rct",
+            Kernel::MctIct => "mct_ict",
+            Kernel::Dwt53Vertical => "dwt53_vertical",
+            Kernel::Dwt53Horizontal => "dwt53_horizontal",
+            Kernel::Dwt97Vertical => "dwt97_vertical",
+            Kernel::Dwt97Horizontal => "dwt97_horizontal",
+            Kernel::Quantize => "quantize",
+            Kernel::Tier1Mq => "tier1_mq",
+            Kernel::Tier1Ht => "tier1_ht",
+        }
+    }
+}
+
+/// One kernel's accumulation cells.
+struct KernelCell {
+    invocations: AtomicU64,
+    samples: AtomicU64,
+    bytes: AtomicU64,
+    symbols: AtomicU64,
+    ns: AtomicU64,
+}
+
+impl KernelCell {
+    const fn new() -> KernelCell {
+        KernelCell {
+            invocations: AtomicU64::new(0),
+            samples: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            symbols: AtomicU64::new(0),
+            ns: AtomicU64::new(0),
+        }
+    }
+}
+
+static CELLS: [KernelCell; KERNEL_COUNT] = [const { KernelCell::new() }; KERNEL_COUNT];
+
+/// Record one kernel invocation directly (caller-measured duration).
+/// Gated: a no-op beyond the flag load while disabled.
+pub fn record(kernel: Kernel, samples: u64, bytes: u64, symbols: u64, ns: u64) {
+    if !enabled() {
+        return;
+    }
+    record_armed(kernel, samples, bytes, symbols, ns);
+}
+
+fn record_armed(kernel: Kernel, samples: u64, bytes: u64, symbols: u64, ns: u64) {
+    let c = &CELLS[kernel as usize];
+    c.invocations.fetch_add(1, Ordering::Relaxed);
+    c.samples.fetch_add(samples, Ordering::Relaxed);
+    c.bytes.fetch_add(bytes, Ordering::Relaxed);
+    c.symbols.fetch_add(symbols, Ordering::Relaxed);
+    c.ns.fetch_add(ns, Ordering::Relaxed);
+}
+
+/// RAII measurement guard: wall time from construction to drop lands in
+/// the kernel's `ns` cell together with the declared work. Disarmed
+/// (no clock read, no-op drop) while accounting is disabled.
+#[must_use = "a measure records until dropped"]
+pub struct Measure {
+    armed: Option<(Kernel, u64, u64, u64, Instant)>,
+}
+
+impl Measure {
+    /// Attach coded symbols discovered during the measured region
+    /// (Tier-1 knows its symbol count only after coding the block).
+    pub fn add_symbols(&mut self, n: u64) {
+        if let Some((_, _, _, symbols, _)) = self.armed.as_mut() {
+            *symbols += n;
+        }
+    }
+}
+
+impl Drop for Measure {
+    fn drop(&mut self) {
+        if let Some((kernel, samples, bytes, symbols, start)) = self.armed.take() {
+            record_armed(
+                kernel,
+                samples,
+                bytes,
+                symbols,
+                start.elapsed().as_nanos() as u64,
+            );
+        }
+    }
+}
+
+/// Open a measurement for `kernel` over `samples` work items moving
+/// `bytes` through the kernel. One relaxed load when disabled.
+#[inline]
+pub fn measure(kernel: Kernel, samples: u64, bytes: u64) -> Measure {
+    if !enabled() {
+        return Measure { armed: None };
+    }
+    Measure {
+        armed: Some((kernel, samples, bytes, 0, Instant::now())),
+    }
+}
+
+/// Point-in-time copy of one kernel's counters with derived rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelSnapshot {
+    /// Which kernel.
+    pub kernel: Kernel,
+    /// Measured regions recorded.
+    pub invocations: u64,
+    /// Work items (samples for transforms, code-block samples for
+    /// Tier-1).
+    pub samples: u64,
+    /// Bytes moved through the kernel.
+    pub bytes: u64,
+    /// Coded symbols (Tier-1 only; 0 elsewhere).
+    pub symbols: u64,
+    /// Accumulated wall nanoseconds inside the kernel.
+    pub ns: u64,
+}
+
+impl KernelSnapshot {
+    /// Derived throughput in gigabytes per second (0 when unmeasured).
+    pub fn gb_per_sec(&self) -> f64 {
+        if self.ns == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.ns as f64
+        }
+    }
+
+    /// Derived sample throughput per second (0 when unmeasured).
+    pub fn samples_per_sec(&self) -> f64 {
+        if self.ns == 0 {
+            0.0
+        } else {
+            self.samples as f64 * 1e9 / self.ns as f64
+        }
+    }
+
+    /// Derived symbol throughput per second (0 when unmeasured).
+    pub fn symbols_per_sec(&self) -> f64 {
+        if self.ns == 0 {
+            0.0
+        } else {
+            self.symbols as f64 * 1e9 / self.ns as f64
+        }
+    }
+}
+
+/// Snapshot every kernel — always the full declared set, including
+/// never-touched kernels, so consumers see a stable schema (the same
+/// always-emit rule the serve histogram series follow).
+pub fn snapshot() -> Vec<KernelSnapshot> {
+    Kernel::ALL
+        .iter()
+        .map(|&kernel| {
+            let c = &CELLS[kernel as usize];
+            KernelSnapshot {
+                kernel,
+                invocations: c.invocations.load(Ordering::Relaxed),
+                samples: c.samples.load(Ordering::Relaxed),
+                bytes: c.bytes.load(Ordering::Relaxed),
+                symbols: c.symbols.load(Ordering::Relaxed),
+                ns: c.ns.load(Ordering::Relaxed),
+            }
+        })
+        .collect()
+}
+
+/// Zero every kernel cell (bench / test isolation; the table is
+/// process-global).
+pub fn reset() {
+    for c in &CELLS {
+        c.invocations.store(0, Ordering::Relaxed);
+        c.samples.store(0, Ordering::Relaxed);
+        c.bytes.store(0, Ordering::Relaxed);
+        c.symbols.store(0, Ordering::Relaxed);
+        c.ns.store(0, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Named counter/gauge registry (dynamic series).
+// ---------------------------------------------------------------------
+
+/// A monotonic counter; increments are relaxed atomic adds.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins gauge.
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// Set the value.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Named counters and gauges. Like [`crate::hist::Registry`], the lock
+/// guards only name interning; updates through the returned handles are
+/// lock-free, so concurrent incrementers never lose updates (asserted
+/// by the concurrency proptest in `crates/obs/tests`).
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(c) = map.get(name) {
+            return Arc::clone(c);
+        }
+        let c = Arc::new(Counter::default());
+        map.insert(name.to_string(), Arc::clone(&c));
+        c
+    }
+
+    /// The gauge named `name`, created at zero on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(g) = map.get(name) {
+            return Arc::clone(g);
+        }
+        let g = Arc::new(Gauge::default());
+        map.insert(name.to_string(), Arc::clone(&g));
+        g
+    }
+
+    /// Every counter, sorted by name.
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        let map = self.counters.lock().unwrap_or_else(|p| p.into_inner());
+        map.iter().map(|(k, v)| (k.clone(), v.get())).collect()
+    }
+
+    /// Every gauge, sorted by name.
+    pub fn gauge_values(&self) -> Vec<(String, u64)> {
+        let map = self.gauges.lock().unwrap_or_else(|p| p.into_inner());
+        map.iter().map(|(k, v)| (k.clone(), v.get())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The kernel table is process-global; tests that touch it serialise
+    // and reset around themselves.
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn disabled_path_records_nothing_and_reads_no_clock() {
+        let _g = guard();
+        set_enabled(false);
+        reset();
+        // The disarmed guard holds no Instant — the disabled cost is the
+        // single relaxed flag load, nothing else.
+        let mut m = measure(Kernel::Quantize, 1_000_000, 4_000_000);
+        assert!(m.armed.is_none(), "disabled measure must not arm");
+        m.add_symbols(99);
+        drop(m);
+        record(Kernel::Tier1Mq, 1, 2, 3, 4);
+        for s in snapshot() {
+            assert_eq!(
+                (s.invocations, s.samples, s.bytes, s.symbols, s.ns),
+                (0, 0, 0, 0, 0),
+                "{} recorded while disabled",
+                s.kernel.name()
+            );
+        }
+    }
+
+    #[test]
+    fn armed_measure_accumulates_and_derives() {
+        let _g = guard();
+        set_enabled(true);
+        reset();
+        {
+            let mut m = measure(Kernel::Tier1Ht, 4096, 8192);
+            m.add_symbols(1234);
+        }
+        record(Kernel::Tier1Ht, 4096, 8192, 766, 1_000_000);
+        set_enabled(false);
+        let s = snapshot()
+            .into_iter()
+            .find(|s| s.kernel == Kernel::Tier1Ht)
+            .expect("full set");
+        assert_eq!(s.invocations, 2);
+        assert_eq!(s.samples, 8192);
+        assert_eq!(s.bytes, 16384);
+        assert_eq!(s.symbols, 2000);
+        assert!(s.ns >= 1_000_000);
+        assert!(s.gb_per_sec() > 0.0);
+        assert!(s.symbols_per_sec() > 0.0);
+        reset();
+    }
+
+    #[test]
+    fn snapshot_always_carries_the_full_kernel_set() {
+        let _g = guard();
+        let snap = snapshot();
+        assert_eq!(snap.len(), KERNEL_COUNT);
+        for (s, k) in snap.iter().zip(Kernel::ALL) {
+            assert_eq!(s.kernel, k, "export order is Kernel::ALL order");
+        }
+        // Names are unique and snake_case (Prometheus label values).
+        let mut names: Vec<&str> = Kernel::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), KERNEL_COUNT);
+    }
+
+    #[test]
+    fn zero_ns_derives_zero_rates() {
+        let s = KernelSnapshot {
+            kernel: Kernel::Quantize,
+            invocations: 0,
+            samples: 10,
+            bytes: 10,
+            symbols: 10,
+            ns: 0,
+        };
+        assert_eq!(s.gb_per_sec(), 0.0);
+        assert_eq!(s.samples_per_sec(), 0.0);
+        assert_eq!(s.symbols_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn registry_interns_counters_and_gauges() {
+        let r = Registry::new();
+        r.counter("jobs").add(3);
+        r.counter("jobs").inc();
+        r.gauge("depth").set(7);
+        r.gauge("depth").set(5);
+        assert_eq!(r.counter("jobs").get(), 4);
+        assert_eq!(r.counter_values(), vec![("jobs".to_string(), 4)]);
+        assert_eq!(r.gauge_values(), vec![("depth".to_string(), 5)]);
+    }
+}

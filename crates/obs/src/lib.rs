@@ -17,10 +17,21 @@
 //!   no floats on the record path, mergeable) plus a named-series
 //!   [`Registry`]. [`prom`] renders a registry in Prometheus text
 //!   exposition format 0.0.4 and validates scraped output for tests.
+//!
+//! Plus the perf-observability layer (DESIGN.md §17):
+//!
+//! * [`counters`] — per-kernel samples/bytes/symbols/ns accounting
+//!   behind the same single relaxed-atomic gate discipline as
+//!   [`trace`], with derived GB/s and symbols/s, and a named
+//!   counter/gauge registry for dynamic series.
+//! * [`slo`] — multi-window burn-rate evaluation over cumulative
+//!   good/total counts (latency and error-rate objectives).
 
 pub mod chrome;
+pub mod counters;
 pub mod hist;
 pub mod prom;
+pub mod slo;
 pub mod trace;
 
 pub use hist::{Histogram, HistogramSnapshot, HistogramStats, Registry};

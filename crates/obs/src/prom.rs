@@ -16,6 +16,32 @@ fn header(out: &mut String, name: &str, help: &str, kind: &str) {
     out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
 }
 
+/// Escape a label value for Prometheus exposition: backslash, double
+/// quote, and newline must be escaped inside the quoted value.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn label_block(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
 /// Append a counter sample.
 pub fn counter(out: &mut String, name: &str, help: &str, value: u64) {
     header(out, name, help, "counter");
@@ -26,6 +52,29 @@ pub fn counter(out: &mut String, name: &str, help: &str, value: u64) {
 pub fn gauge(out: &mut String, name: &str, help: &str, value: u64) {
     header(out, name, help, "gauge");
     out.push_str(&format!("{name} {value}\n"));
+}
+
+/// Append a counter family with one sample per label set (one shared
+/// HELP/TYPE header). Label values are escaped.
+pub fn counter_vec(out: &mut String, name: &str, help: &str, samples: &[(Vec<(&str, &str)>, u64)]) {
+    header(out, name, help, "counter");
+    for (labels, value) in samples {
+        out.push_str(&format!("{name}{} {value}\n", label_block(labels)));
+    }
+}
+
+/// Append a gauge family with float samples per label set. Values are
+/// rendered with enough precision to round-trip typical rates.
+pub fn gauge_vec_f64(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    samples: &[(Vec<(&str, &str)>, f64)],
+) {
+    header(out, name, help, "gauge");
+    for (labels, value) in samples {
+        out.push_str(&format!("{name}{} {value:.6}\n", label_block(labels)));
+    }
 }
 
 /// Append a histogram family: cumulative `_bucket{le="..."}` samples
@@ -52,10 +101,76 @@ pub fn histogram(out: &mut String, name: &str, help: &str, snap: &HistogramSnaps
     out.push_str(&format!("{name}_count {}\n", snap.count));
 }
 
+/// Parse the interior of a `{...}` label block into (name, unescaped
+/// value) pairs, rejecting malformed label syntax: unquoted values,
+/// bad label names, bad escapes, unterminated strings.
+fn parse_labels(block: &str) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    let bytes = block.as_bytes();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let name_start = pos;
+        while pos < bytes.len() && bytes[pos] != b'=' {
+            pos += 1;
+        }
+        if pos >= bytes.len() {
+            return Err("label without '='".into());
+        }
+        let name = &block[name_start..pos];
+        if !valid_name(name) {
+            return Err(format!("bad label name {name:?}"));
+        }
+        pos += 1; // '='
+        if bytes.get(pos) != Some(&b'"') {
+            return Err(format!("label {name} value not quoted"));
+        }
+        pos += 1;
+        let mut value = String::new();
+        loop {
+            match bytes.get(pos) {
+                None => return Err(format!("label {name}: unterminated value")),
+                Some(b'"') => {
+                    pos += 1;
+                    break;
+                }
+                Some(b'\\') => {
+                    match bytes.get(pos + 1) {
+                        Some(b'\\') => value.push('\\'),
+                        Some(b'"') => value.push('"'),
+                        Some(b'n') => value.push('\n'),
+                        other => {
+                            return Err(format!(
+                                "label {name}: bad escape \\{}",
+                                other.map_or(' ', |&b| b as char)
+                            ))
+                        }
+                    }
+                    pos += 2;
+                }
+                Some(_) => {
+                    // Advance one UTF-8 scalar.
+                    let rest = &block[pos..];
+                    let c = rest.chars().next().expect("non-empty");
+                    value.push(c);
+                    pos += c.len_utf8();
+                }
+            }
+        }
+        out.push((name.to_string(), value));
+        match bytes.get(pos) {
+            None => break,
+            Some(b',') => pos += 1,
+            Some(&b) => return Err(format!("expected ',' between labels, got {:?}", b as char)),
+        }
+    }
+    Ok(out)
+}
+
 /// Validate Prometheus text exposition: line syntax, metric-name
-/// syntax, numeric sample values, and histogram invariants (buckets
-/// cumulative and non-decreasing, `+Inf` bucket present and equal to
-/// `_count`). Returns the number of samples checked.
+/// syntax, label syntax and value escaping, numeric sample values, and
+/// histogram invariants (buckets cumulative and non-decreasing, `+Inf`
+/// bucket present and equal to `_count`). Returns the number of samples
+/// checked.
 pub fn validate(text: &str) -> Result<usize, String> {
     struct HistState {
         last_cum: u64,
@@ -92,16 +207,22 @@ pub fn validate(text: &str) -> Result<usize, String> {
         if !valid_name(name) {
             return Err(format!("line {}: bad metric name {name:?}", lineno + 1));
         }
+        let labels = match labels {
+            Some(block) => Some(
+                parse_labels(block).map_err(|e| format!("line {}: {e}: {line:?}", lineno + 1))?,
+            ),
+            None => None,
+        };
         samples += 1;
 
         if let Some(base) = name.strip_suffix("_bucket") {
             let labels =
                 labels.ok_or_else(|| format!("line {}: _bucket without labels", lineno + 1))?;
             let le = labels
-                .split(',')
-                .find_map(|kv| kv.strip_prefix("le="))
-                .ok_or_else(|| format!("line {}: _bucket without le label", lineno + 1))?
-                .trim_matches('"');
+                .iter()
+                .find(|(k, _)| k == "le")
+                .map(|(_, v)| v.as_str())
+                .ok_or_else(|| format!("line {}: _bucket without le label", lineno + 1))?;
             let cum = value as u64;
             let st = match hists.iter_mut().find(|(n, _)| n == base) {
                 Some((_, st)) => st,
@@ -197,6 +318,63 @@ mod tests {
         histogram(&mut out, "m_empty", "h", &Histogram::new().snapshot());
         validate(&out).expect("empty histogram is well-formed");
         assert!(out.contains("m_empty_bucket{le=\"+Inf\"} 0"));
+    }
+
+    #[test]
+    fn labeled_counters_and_float_gauges_validate() {
+        let mut out = String::new();
+        counter_vec(
+            &mut out,
+            "j2k_kernel_bytes_total",
+            "Bytes through each kernel.",
+            &[
+                (vec![("kernel", "dwt53_vertical")], 1 << 20),
+                (vec![("kernel", "quantize")], 12345),
+            ],
+        );
+        gauge_vec_f64(
+            &mut out,
+            "j2k_kernel_gb_per_sec",
+            "Derived kernel throughput.",
+            &[(vec![("kernel", "dwt53_vertical")], 3.25)],
+        );
+        let n = validate(&out).expect("labeled exposition validates");
+        assert_eq!(n, 3);
+        assert!(out.contains("j2k_kernel_bytes_total{kernel=\"dwt53_vertical\"} 1048576\n"));
+        assert!(out.contains("j2k_kernel_gb_per_sec{kernel=\"dwt53_vertical\"} 3.250000\n"));
+        // One HELP/TYPE header per family, not per sample.
+        assert_eq!(out.matches("# TYPE j2k_kernel_bytes_total").count(), 1);
+    }
+
+    #[test]
+    fn label_values_are_escaped_and_unescape_in_the_validator() {
+        let mut out = String::new();
+        counter_vec(
+            &mut out,
+            "m_total",
+            "h",
+            &[(vec![("slo", "we\"ird\\name\nx")], 7)],
+        );
+        assert!(
+            out.contains(r#"m_total{slo="we\"ird\\name\nx"} 7"#),
+            "escaped exposition: {out}"
+        );
+        validate(&out).expect("escaped label values validate");
+        assert_eq!(escape_label_value("plain"), "plain");
+        assert_eq!(escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn validator_rejects_malformed_labels() {
+        assert!(validate("m{k=unquoted} 1\n").is_err(), "unquoted value");
+        assert!(validate("m{k=\"open 1\n").is_err(), "unterminated value");
+        assert!(validate("m{1bad=\"v\"} 1\n").is_err(), "bad label name");
+        assert!(validate("m{k=\"a\\q\"} 1\n").is_err(), "bad escape");
+        assert!(
+            validate("m{k=\"a\"extra=\"b\"} 1\n").is_err(),
+            "missing comma"
+        );
+        assert!(validate("m{k=\"a\",j=\"b\"} 1\n").is_ok(), "two labels ok");
     }
 
     #[test]

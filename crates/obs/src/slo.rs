@@ -1,0 +1,326 @@
+//! Multi-window burn-rate SLO evaluation over cumulative good/total
+//! event counts.
+//!
+//! The model is the SRE-workbook alerting scheme: an SLO promises that
+//! a fraction `objective` of events are *good* (e.g. 99% of completed
+//! jobs finish under the latency threshold). The **error budget** is
+//! `1 - objective`; the **burn rate** over a trailing window is
+//!
+//! ```text
+//! burn = bad_fraction(window) / (1 - objective)
+//! ```
+//!
+//! so `burn == 1` consumes the budget exactly at the sustainable pace,
+//! and `burn == 14.4` over a 5-minute window exhausts a 30-day budget
+//! in ~2 days. A breach fires only when **every** configured window
+//! exceeds its threshold — the short window proves the problem is
+//! happening *now*, the long window proves it is not a blip (the
+//! classic fast+slow AND).
+//!
+//! The monitor consumes *cumulative* counters (monotone `good`/`total`
+//! pairs, exactly what [`crate::hist::HistogramSnapshot`]s and service
+//! counters provide) and keeps a bounded ring of timestamped
+//! observations; window deltas come from the ring, so the caller only
+//! has to call [`SloMonitor::observe`] on its natural sampling cadence
+//! (health probes, metric scrapes). Time is an explicit `now_ms`
+//! parameter — deterministic in tests, monotonic-clock-driven in the
+//! daemon.
+
+use crate::hist::{bucket_upper, HistogramSnapshot};
+use std::collections::VecDeque;
+
+/// One trailing evaluation window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Window {
+    /// Window length in seconds.
+    pub secs: u64,
+    /// Burn rate at or above which this window votes breach.
+    pub burn_threshold: f64,
+}
+
+/// What an SLO promises: `objective` of events are good.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloSpec {
+    /// Series name (`latency_p99`, `error_rate`, ...): the Prometheus
+    /// `slo` label and Health field prefix.
+    pub name: String,
+    /// Promised good fraction in `(0, 1)`, e.g. `0.99`.
+    pub objective: f64,
+}
+
+/// Burn state of one window at evaluation time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowStatus {
+    /// The window's length in seconds.
+    pub secs: u64,
+    /// Events inside the window.
+    pub total: u64,
+    /// Bad events inside the window.
+    pub bad: u64,
+    /// Burn rate (`bad/total / (1-objective)`; 0 with no events).
+    pub burn_rate: f64,
+    /// Whether this window's burn is at/above its threshold.
+    pub burning: bool,
+}
+
+/// Evaluation result across every window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloStatus {
+    /// The spec's name.
+    pub name: String,
+    /// Per-window burn states, in configuration order.
+    pub windows: Vec<WindowStatus>,
+    /// True when **all** windows are burning (the page condition).
+    pub breached: bool,
+}
+
+/// Multi-window burn-rate monitor over one SLO.
+#[derive(Debug)]
+pub struct SloMonitor {
+    spec: SloSpec,
+    windows: Vec<Window>,
+    /// (now_ms, cumulative good, cumulative total), oldest first.
+    ring: VecDeque<(u64, u64, u64)>,
+    horizon_ms: u64,
+}
+
+impl SloMonitor {
+    /// A monitor for `spec` over `windows` (at least one; the longest
+    /// window bounds ring retention).
+    pub fn new(spec: SloSpec, windows: Vec<Window>) -> SloMonitor {
+        assert!(!windows.is_empty(), "an SLO needs at least one window");
+        assert!(
+            spec.objective > 0.0 && spec.objective < 1.0,
+            "objective must be in (0,1), got {}",
+            spec.objective
+        );
+        let horizon_ms = windows.iter().map(|w| w.secs).max().unwrap_or(0) * 1000;
+        SloMonitor {
+            spec,
+            windows,
+            ring: VecDeque::new(),
+            horizon_ms,
+        }
+    }
+
+    /// The monitored spec.
+    pub fn spec(&self) -> &SloSpec {
+        &self.spec
+    }
+
+    /// Feed one observation of the *cumulative* good/total counters at
+    /// `now_ms`. Out-of-order or counter-reset observations are clamped
+    /// monotone rather than corrupting window deltas.
+    pub fn observe(&mut self, now_ms: u64, good: u64, total: u64) {
+        if let Some(&(last_ms, last_good, last_total)) = self.ring.back() {
+            if now_ms < last_ms || good < last_good || total < last_total {
+                return;
+            }
+        }
+        self.ring.push_back((now_ms, good, total));
+        // Retain one observation older than the horizon so the longest
+        // window always has a baseline to delta against.
+        while self.ring.len() > 1 {
+            let second_oldest = self.ring[1].0;
+            if now_ms.saturating_sub(second_oldest) >= self.horizon_ms {
+                self.ring.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Evaluate every window's burn at `now_ms` against the ring.
+    pub fn evaluate(&self, now_ms: u64) -> SloStatus {
+        let budget = 1.0 - self.spec.objective;
+        let newest = self.ring.back().copied().unwrap_or((now_ms, 0, 0));
+        let windows: Vec<WindowStatus> = self
+            .windows
+            .iter()
+            .map(|w| {
+                let start = now_ms.saturating_sub(w.secs * 1000);
+                // Baseline: the newest observation at or before the
+                // window start (falling back to the oldest retained).
+                let base = self
+                    .ring
+                    .iter()
+                    .rev()
+                    .find(|&&(t, _, _)| t <= start)
+                    .or(self.ring.front())
+                    .copied()
+                    .unwrap_or((now_ms, 0, 0));
+                let total = newest.2.saturating_sub(base.2);
+                let good = newest.1.saturating_sub(base.1);
+                let bad = total.saturating_sub(good);
+                let burn_rate = if total == 0 {
+                    0.0
+                } else {
+                    (bad as f64 / total as f64) / budget
+                };
+                WindowStatus {
+                    secs: w.secs,
+                    total,
+                    bad,
+                    burn_rate,
+                    burning: total > 0 && burn_rate >= w.burn_threshold,
+                }
+            })
+            .collect();
+        let breached = !windows.is_empty() && windows.iter().all(|w| w.burning);
+        SloStatus {
+            name: self.spec.name.clone(),
+            windows,
+            breached,
+        }
+    }
+}
+
+/// Good-event count for a latency SLO read off a log₂ histogram: the
+/// samples whose bucket upper bound is `<= threshold`. Conservative by
+/// at most one bucket (≤ 2× relative threshold error) — the same
+/// coarseness the histogram's percentiles carry, documented in
+/// DESIGN.md §17.
+pub fn good_below(snap: &HistogramSnapshot, threshold: u64) -> u64 {
+    snap.buckets
+        .iter()
+        .enumerate()
+        .take_while(|&(i, _)| bucket_upper(i) <= threshold)
+        .map(|(_, &n)| n)
+        .sum()
+}
+
+/// The default fast+slow window pair (5 min at 14.4x, 1 h at 6x): the
+/// SRE-workbook page thresholds for a 30-day budget.
+pub fn default_windows() -> Vec<Window> {
+    vec![
+        Window {
+            secs: 300,
+            burn_threshold: 14.4,
+        },
+        Window {
+            secs: 3600,
+            burn_threshold: 6.0,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+
+    fn monitor(objective: f64, windows: Vec<Window>) -> SloMonitor {
+        SloMonitor::new(
+            SloSpec {
+                name: "t".into(),
+                objective,
+            },
+            windows,
+        )
+    }
+
+    #[test]
+    fn healthy_traffic_never_breaches() {
+        let mut m = monitor(0.99, default_windows());
+        // 1% bad is exactly the objective: burn == 1 < both thresholds.
+        for t in 0..120u64 {
+            m.observe(t * 60_000, 990 * (t + 1), 1000 * (t + 1));
+        }
+        let st = m.evaluate(120 * 60_000);
+        assert!(!st.breached, "{st:?}");
+        for w in &st.windows {
+            assert!(w.burn_rate <= 1.01, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn sustained_total_failure_breaches_all_windows() {
+        let mut m = monitor(0.99, default_windows());
+        // 2 hours of 100% bad events: burn = 1/0.01 = 100x everywhere.
+        for t in 0..=120u64 {
+            m.observe(t * 60_000, 0, 100 * (t + 1));
+        }
+        let st = m.evaluate(120 * 60_000);
+        assert!(st.breached, "{st:?}");
+        for w in &st.windows {
+            assert!(w.burning, "{w:?}");
+            assert!((w.burn_rate - 100.0).abs() < 1e-9, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn short_blip_fails_the_long_window_vote() {
+        let mut m = monitor(0.99, default_windows());
+        // 59 healthy minutes, then one terrible minute: the 5-minute
+        // window burns but the 1-hour window absorbs it (fast+slow AND).
+        let mut good = 0u64;
+        let mut total = 0u64;
+        for t in 0..59u64 {
+            good += 1000;
+            total += 1000;
+            m.observe(t * 60_000, good, total);
+        }
+        total += 1000; // 1000 bad events, no good ones
+        m.observe(59 * 60_000, good, total);
+        let st = m.evaluate(59 * 60_000);
+        assert!(st.windows[0].burning, "fast window sees the blip: {st:?}");
+        assert!(!st.windows[1].burning, "slow window absorbs it: {st:?}");
+        assert!(!st.breached);
+    }
+
+    #[test]
+    fn no_events_means_no_burn() {
+        let m = monitor(0.999, default_windows());
+        let st = m.evaluate(10_000_000);
+        assert!(!st.breached);
+        assert!(st.windows.iter().all(|w| w.burn_rate == 0.0 && !w.burning));
+    }
+
+    #[test]
+    fn non_monotone_observations_are_dropped() {
+        let mut m = monitor(
+            0.99,
+            vec![Window {
+                secs: 60,
+                burn_threshold: 1.0,
+            }],
+        );
+        m.observe(1000, 10, 10);
+        m.observe(500, 0, 0); // time going backwards
+        m.observe(2000, 5, 20); // good counter reset
+        assert_eq!(m.ring.len(), 1);
+        m.observe(2000, 10, 20);
+        assert_eq!(m.ring.len(), 2);
+    }
+
+    #[test]
+    fn ring_is_bounded_by_the_horizon() {
+        let mut m = monitor(
+            0.99,
+            vec![Window {
+                secs: 10,
+                burn_threshold: 1.0,
+            }],
+        );
+        for t in 0..1000u64 {
+            m.observe(t * 1000, t, t);
+        }
+        // Horizon is 10s: one in-horizon observation per second plus one
+        // pre-horizon baseline.
+        assert!(m.ring.len() <= 12, "ring len {}", m.ring.len());
+    }
+
+    #[test]
+    fn good_below_counts_whole_buckets() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 100, 5000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        // Threshold 127 covers buckets up to upper bound 127: values
+        // 1,2,3,100 are good; 5000 is bad.
+        assert_eq!(good_below(&s, 127), 4);
+        assert_eq!(good_below(&s, 8191), 5);
+        assert_eq!(good_below(&s, 0), 0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Concurrency and algebra properties of the perf-counter layer:
+//! concurrent increments through `counters::Registry` handles lose no
+//! updates, and histogram snapshot merging stays associative and
+//! commutative under arbitrary inputs (the fold-in-any-order contract
+//! shard aggregation relies on).
+
+use obs::counters::Registry;
+use obs::hist::{Histogram, HistogramSnapshot};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// N threads hammering the same named counter: the final value is
+    /// exactly the sum of everything added (no lost updates), because
+    /// the registry hands out shared handles over one atomic cell.
+    #[test]
+    fn concurrent_increments_lose_nothing(
+        threads in 2usize..8,
+        per_thread in prop::collection::vec(1u64..1000, 1..50),
+    ) {
+        let reg = Arc::new(Registry::new());
+        let adds = Arc::new(per_thread);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let reg = Arc::clone(&reg);
+                let adds = Arc::clone(&adds);
+                scope.spawn(move || {
+                    let c = reg.counter("shared");
+                    for &n in adds.iter() {
+                        c.add(n);
+                    }
+                    reg.counter("per_call_lookup").inc();
+                });
+            }
+        });
+        let want: u64 = adds.iter().sum::<u64>() * threads as u64;
+        prop_assert_eq!(reg.counter("shared").get(), want);
+        prop_assert_eq!(reg.counter("per_call_lookup").get(), threads as u64);
+    }
+
+    /// Gauges are last-write-wins; under concurrent writers the final
+    /// value is one of the written values, never a torn mix.
+    #[test]
+    fn concurrent_gauge_writes_land_on_a_written_value(
+        values in prop::collection::vec(0u64..1_000_000, 2..12),
+    ) {
+        let reg = Arc::new(Registry::new());
+        std::thread::scope(|scope| {
+            for &v in &values {
+                let reg = Arc::clone(&reg);
+                scope.spawn(move || reg.gauge("g").set(v));
+            }
+        });
+        let got = reg.gauge("g").get();
+        prop_assert!(values.contains(&got), "gauge {got} not among writes");
+    }
+
+    /// Histogram snapshot merge is associative and commutative with the
+    /// empty snapshot as identity, for arbitrary sample sets.
+    #[test]
+    fn histogram_merge_is_a_commutative_monoid(
+        a in prop::collection::vec(0u64..u64::MAX, 0..40),
+        b in prop::collection::vec(0u64..u64::MAX, 0..40),
+        c in prop::collection::vec(0u64..u64::MAX, 0..40),
+    ) {
+        let mk = |vals: &[u64]| {
+            let h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h.snapshot()
+        };
+        let (sa, sb, sc) = (mk(&a), mk(&b), mk(&c));
+        prop_assert_eq!(sa.merge(&sb).merge(&sc), sa.merge(&sb.merge(&sc)));
+        prop_assert_eq!(sa.merge(&sb), sb.merge(&sa));
+        let empty = HistogramSnapshot::default();
+        prop_assert_eq!(sa.merge(&empty), sa.clone());
+        prop_assert_eq!(empty.merge(&sa), sa);
+        // Merged count is the sum of parts.
+        prop_assert_eq!(
+            sa.merge(&sb).count,
+            (a.len() + b.len()) as u64
+        );
+    }
+}

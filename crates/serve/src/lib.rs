@@ -66,6 +66,6 @@ pub use queue::{JobQueue, PushError};
 pub use server::{serve, ServerConfig};
 pub use service::{
     EncodeJob, EncodeService, HealthSnapshot, JobHandle, JobOutcome, MetricsSnapshot,
-    ServiceConfig, SubmitError,
+    ServiceConfig, SloConfig, SubmitError,
 };
 pub use wire::{Request, Response, WireError};

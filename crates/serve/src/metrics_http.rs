@@ -163,9 +163,105 @@ pub fn render_prometheus(svc: &EncodeService) -> String {
                 "End-to-end latency of completed jobs, microseconds (submit to codestream)."
             }
             "tier1_symbols_per_sec" => "Per-job Tier-1 coding-pass symbol throughput.",
+            "tier1_symbols_per_sec_mq" => "Per-job Tier-1 symbol throughput, MQ-coded jobs.",
+            "tier1_symbols_per_sec_ht" => "Per-job Tier-1 symbol throughput, HT-coded jobs.",
             _ => "Per-stage encode wall time, microseconds.",
         };
         obs::prom::histogram(&mut out, &format!("j2k_{name}"), help, &snap);
+    }
+    // Per-kernel perf counters (obs::counters): always the full declared
+    // kernel set, all zeros unless counting is enabled (j2kserved turns
+    // it on at startup).
+    let ks = &m.kernels;
+    let labelled = |v: fn(&obs::counters::KernelSnapshot) -> u64| {
+        ks.iter()
+            .map(|k| (vec![("kernel", k.kernel.name())], v(k)))
+            .collect::<Vec<_>>()
+    };
+    obs::prom::counter_vec(
+        &mut out,
+        "j2k_kernel_invocations_total",
+        "Measured kernel invocations.",
+        &labelled(|k| k.invocations),
+    );
+    obs::prom::counter_vec(
+        &mut out,
+        "j2k_kernel_samples_total",
+        "Work items processed by the kernel.",
+        &labelled(|k| k.samples),
+    );
+    obs::prom::counter_vec(
+        &mut out,
+        "j2k_kernel_bytes_total",
+        "Bytes moved through the kernel.",
+        &labelled(|k| k.bytes),
+    );
+    obs::prom::counter_vec(
+        &mut out,
+        "j2k_kernel_symbols_total",
+        "Coded symbols produced (Tier-1 kernels only).",
+        &labelled(|k| k.symbols),
+    );
+    obs::prom::counter_vec(
+        &mut out,
+        "j2k_kernel_ns_total",
+        "Wall nanoseconds spent inside the kernel.",
+        &labelled(|k| k.ns),
+    );
+    let rates = |v: fn(&obs::counters::KernelSnapshot) -> f64| {
+        ks.iter()
+            .map(|k| (vec![("kernel", k.kernel.name())], v(k)))
+            .collect::<Vec<_>>()
+    };
+    obs::prom::gauge_vec_f64(
+        &mut out,
+        "j2k_kernel_gb_per_sec",
+        "Derived kernel throughput, gigabytes per second.",
+        &rates(|k| k.gb_per_sec()),
+    );
+    obs::prom::gauge_vec_f64(
+        &mut out,
+        "j2k_kernel_symbols_per_sec",
+        "Derived kernel symbol throughput per second.",
+        &rates(|k| k.symbols_per_sec()),
+    );
+    // Burn-rate SLO status (DESIGN.md §17): one burn-rate sample per
+    // (objective, window) and a 0/1 breach flag per objective.
+    let slo = svc.slo_status();
+    if !slo.is_empty() {
+        let windows: Vec<(&str, String, f64)> = slo
+            .iter()
+            .flat_map(|s| {
+                s.windows
+                    .iter()
+                    .map(|w| (s.name.as_str(), format!("{}s", w.secs), w.burn_rate))
+            })
+            .collect();
+        let burn: Vec<(Vec<(&str, &str)>, f64)> = windows
+            .iter()
+            .map(|(name, win, rate)| (vec![("slo", *name), ("window", win.as_str())], *rate))
+            .collect();
+        obs::prom::gauge_vec_f64(
+            &mut out,
+            "j2k_slo_burn_rate",
+            "Error-budget burn rate per SLO window (1.0 = exactly on budget).",
+            &burn,
+        );
+        let breached: Vec<(Vec<(&str, &str)>, f64)> = slo
+            .iter()
+            .map(|s| {
+                (
+                    vec![("slo", s.name.as_str())],
+                    if s.breached { 1.0 } else { 0.0 },
+                )
+            })
+            .collect();
+        obs::prom::gauge_vec_f64(
+            &mut out,
+            "j2k_slo_breached",
+            "1 when every window of the SLO burns over threshold.",
+            &breached,
+        );
     }
     out
 }
@@ -262,6 +358,20 @@ mod tests {
         assert!(text.contains("j2k_pixels_in_flight 0"));
         assert!(text.contains("j2k_connections_active 0"));
         assert!(text.contains("j2k_connections_rejected_total 0"));
+        // Satellite schema guarantee: the full declared histogram series
+        // set appears even though only the MQ coder ran.
+        assert!(text.contains("j2k_tier1_symbols_per_sec_ht_count 0"));
+        assert!(text.contains("j2k_tier1_symbols_per_sec_mq_count"));
+        assert!(text.contains("j2k_stage_transform_us_count 0"));
+        // Per-kernel counters carry the kernel label for the full set.
+        assert!(text.contains("j2k_kernel_samples_total{kernel=\"tier1_mq\"}"));
+        assert!(text.contains("j2k_kernel_gb_per_sec{kernel=\"dwt53_vertical\"}"));
+        // Burn-rate SLO gauges: both objectives over both windows, no
+        // breach on a healthy service.
+        assert!(text.contains("j2k_slo_burn_rate{slo=\"latency_p99\",window=\"300s\"}"));
+        assert!(text.contains("j2k_slo_burn_rate{slo=\"error_rate\",window=\"3600s\"}"));
+        assert!(text.contains("j2k_slo_breached{slo=\"latency_p99\"} 0.000000"));
+        assert!(text.contains("j2k_slo_breached{slo=\"error_rate\"} 0.000000"));
     }
 
     #[test]

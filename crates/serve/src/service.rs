@@ -242,6 +242,36 @@ struct Task {
     shared: Arc<JobShared>,
 }
 
+/// Service-level objectives evaluated by the embedded burn-rate monitor
+/// (DESIGN.md §17). Two objectives are tracked: *latency* (fraction of
+/// finished jobs whose end-to-end time stays under a threshold) and
+/// *errors* (fraction of finished jobs that complete). Each is watched
+/// over [`obs::slo::default_windows`] — a fast 5-minute window and a
+/// slow 1-hour window — and reports **breached** only when every window
+/// burns error budget faster than its threshold, the standard
+/// multi-window guard against paging on blips.
+#[derive(Debug, Clone)]
+pub struct SloConfig {
+    /// Latency objective: this fraction of finished jobs must complete
+    /// within [`latency_threshold_us`](Self::latency_threshold_us).
+    pub latency_objective: f64,
+    /// The latency SLO threshold, microseconds of job end-to-end time.
+    pub latency_threshold_us: u64,
+    /// Error objective: this fraction of finished jobs must complete
+    /// (rather than time out or fail).
+    pub error_objective: f64,
+}
+
+impl Default for SloConfig {
+    fn default() -> Self {
+        SloConfig {
+            latency_objective: 0.99,
+            latency_threshold_us: 500_000,
+            error_objective: 0.999,
+        }
+    }
+}
+
 /// Tuning of an [`EncodeService`].
 #[derive(Debug, Clone)]
 pub struct ServiceConfig {
@@ -277,6 +307,9 @@ pub struct ServiceConfig {
     /// admitted even at Critical pressure and never shed by the pressure
     /// policy (the queue bound still applies).
     pub high_priority_min: u8,
+    /// Burn-rate SLO monitoring (DESIGN.md §17); `None` disables it
+    /// (`slo_breached` then reports false everywhere).
+    pub slo: Option<SloConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -292,8 +325,18 @@ impl Default for ServiceConfig {
             trace_keep: 16,
             pressure: PressureConfig::default(),
             high_priority_min: 128,
+            slo: Some(SloConfig::default()),
         }
     }
+}
+
+/// Mutable burn-rate monitor state, sampled under one short lock from
+/// [`EncodeService::slo_status`]. `epoch` anchors the monitors' virtual
+/// millisecond clock so wall time never goes backwards on them.
+struct SloState {
+    latency: obs::slo::SloMonitor,
+    errors: obs::slo::SloMonitor,
+    epoch: Instant,
 }
 
 #[derive(Default)]
@@ -393,6 +436,11 @@ pub struct MetricsSnapshot {
     /// per-coder splits `tier1_symbols_per_sec_mq` /
     /// `tier1_symbols_per_sec_ht`), sorted by series name.
     pub histograms: Vec<(String, HistogramStats)>,
+    /// Per-kernel perf counters ([`obs::counters`]) — always the full
+    /// declared kernel set in [`obs::counters::Kernel::ALL`] order, all
+    /// zeros unless counting was enabled with
+    /// [`obs::counters::set_enabled`] (as `j2kserved` does).
+    pub kernels: Vec<obs::counters::KernelSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -421,6 +469,24 @@ impl MetricsSnapshot {
                 )
             })
             .collect();
+        let kernels: Vec<String> = self
+            .kernels
+            .iter()
+            .map(|k| {
+                format!(
+                    "\"{}\":{{\"invocations\":{},\"samples\":{},\"bytes\":{},\"symbols\":{},\
+                     \"ns\":{},\"gb_per_sec\":{:.6},\"symbols_per_sec\":{:.3}}}",
+                    k.kernel.name(),
+                    k.invocations,
+                    k.samples,
+                    k.bytes,
+                    k.symbols,
+                    k.ns,
+                    k.gb_per_sec(),
+                    k.symbols_per_sec()
+                )
+            })
+            .collect();
         format!(
             "{{\"queue_depth\":{},\"queue_capacity\":{},\"accepted\":{},\"rejected\":{},\
              \"completed\":{},\"timed_out\":{},\"cancelled\":{},\"failed\":{},\
@@ -429,7 +495,7 @@ impl MetricsSnapshot {
              \"workers_alive\":{},\"pressure_level\":{},\"pressure_transitions\":{},\
              \"jobs_shed\":{},\"jobs_degraded\":{},\"pixels_in_flight\":{},\
              \"connections_active\":{},\"connections_rejected\":{},\
-             \"stage_seconds\":{{{}}},\"histograms\":{{{}}}}}",
+             \"stage_seconds\":{{{}}},\"histograms\":{{{}}},\"kernels\":{{{}}}}}",
             self.queue_depth,
             self.queue_capacity,
             self.accepted,
@@ -452,7 +518,8 @@ impl MetricsSnapshot {
             self.connections_active,
             self.connections_rejected,
             stages.join(","),
-            hists.join(",")
+            hists.join(","),
+            kernels.join(",")
         )
     }
 }
@@ -482,6 +549,12 @@ pub struct HealthSnapshot {
     /// Current pressure classification (0 nominal / 1 elevated /
     /// 2 critical).
     pub pressure: u8,
+    /// True when any configured SLO's burn-rate monitor reports breach
+    /// (every window burning — DESIGN.md §17). An alerting signal, not a
+    /// routing one: it does not affect [`ready`](Self::ready), because a
+    /// replica already burning budget only burns faster if its traffic
+    /// is routed to the remaining replicas.
+    pub slo_breached: bool,
 }
 
 impl HealthSnapshot {
@@ -490,7 +563,7 @@ impl HealthSnapshot {
         format!(
             "{{\"workers_alive\":{},\"pool_threads\":{},\"workers_respawned\":{},\
              \"queue_depth\":{},\"queue_capacity\":{},\"jobs_retried\":{},\
-             \"jobs_poisoned\":{},\"accepting\":{},\"pressure\":{}}}",
+             \"jobs_poisoned\":{},\"accepting\":{},\"pressure\":{},\"slo_breached\":{}}}",
             self.workers_alive,
             self.pool_threads,
             self.workers_respawned,
@@ -500,6 +573,7 @@ impl HealthSnapshot {
             self.jobs_poisoned,
             self.accepting,
             self.pressure,
+            self.slo_breached,
         )
     }
 
@@ -531,7 +605,32 @@ pub struct EncodeService {
     pressure: Arc<PressureController>,
     supervisor: Mutex<Option<JoinHandle<()>>>,
     next_id: AtomicU64,
+    slo: Option<Mutex<SloState>>,
 }
+
+/// Every histogram series the service ever records, declared up front in
+/// [`EncodeService::start`] so `MetricsSnapshot` JSON and the Prometheus
+/// exposition carry the **full series set from the first scrape** —
+/// zero-count histograms included. Recording lazily (as the workers do)
+/// would otherwise make the schema depend on which coder or pipeline
+/// happened to run first, breaking dashboards that join on series names.
+/// Stage names cover the parallel driver's stages plus the sequential
+/// pipeline's fused `transform` stage.
+const DECLARED_HISTOGRAMS: &[&str] = &[
+    "queue_wait_us",
+    "job_e2e_us",
+    "stage_convert_us",
+    "stage_mct_us",
+    "stage_dwt_us",
+    "stage_quantize_us",
+    "stage_transform_us",
+    "stage_tier1_us",
+    "stage_rate_control_us",
+    "stage_tier2_us",
+    "tier1_symbols_per_sec",
+    "tier1_symbols_per_sec_mq",
+    "tier1_symbols_per_sec_ht",
+];
 
 impl EncodeService {
     /// Start the worker pool (under its supervisor) and return the
@@ -539,6 +638,9 @@ impl EncodeService {
     pub fn start(cfg: ServiceConfig) -> Self {
         let queue = Arc::new(JobQueue::new(cfg.queue_capacity));
         let metrics = Arc::new(Metrics::default());
+        for series in DECLARED_HISTOGRAMS {
+            metrics.hist.histogram(series);
+        }
         let pressure = Arc::new(PressureController::new(cfg.pressure.clone()));
         let (tx, rx) = channel::<SupMsg>();
         let mut handles = HashMap::new();
@@ -566,6 +668,25 @@ impl EncodeService {
                 })
             })
         };
+        let slo = cfg.slo.as_ref().map(|s| {
+            Mutex::new(SloState {
+                latency: obs::slo::SloMonitor::new(
+                    obs::slo::SloSpec {
+                        name: "latency_p99".to_string(),
+                        objective: s.latency_objective,
+                    },
+                    obs::slo::default_windows(),
+                ),
+                errors: obs::slo::SloMonitor::new(
+                    obs::slo::SloSpec {
+                        name: "error_rate".to_string(),
+                        objective: s.error_objective,
+                    },
+                    obs::slo::default_windows(),
+                ),
+                epoch: Instant::now(),
+            })
+        });
         EncodeService {
             cfg,
             queue,
@@ -573,6 +694,7 @@ impl EncodeService {
             pressure,
             supervisor: Mutex::new(Some(supervisor)),
             next_id: AtomicU64::new(1),
+            slo,
         }
     }
 
@@ -772,6 +894,7 @@ impl EncodeService {
                 .into_iter()
                 .map(|(n, h)| (n, h.stats()))
                 .collect(),
+            kernels: obs::counters::snapshot(),
         }
     }
 
@@ -798,12 +921,40 @@ impl EncodeService {
             .map(|(_, j)| j.clone())
     }
 
+    /// Feed the burn-rate monitors from the live counters and evaluate
+    /// every configured SLO (empty when monitoring is disabled).
+    ///
+    /// The monitors consume *cumulative* good/total pairs: latency reads
+    /// the `job_e2e_us` histogram (good = samples at or under the
+    /// threshold bucket, via [`obs::slo::good_below`]); errors read the
+    /// outcome counters (good = completed, total = completed + timed-out
+    /// + failed — cancellations are caller-initiated, not errors).
+    pub fn slo_status(&self) -> Vec<obs::slo::SloStatus> {
+        let Some(state) = self.slo.as_ref() else {
+            return Vec::new();
+        };
+        let cfg = self.cfg.slo.as_ref().expect("slo state implies config");
+        let m = &self.metrics;
+        let e2e = self.metrics.hist.histogram("job_e2e_us").snapshot();
+        let lat_total: u64 = e2e.buckets.iter().sum();
+        let lat_good = obs::slo::good_below(&e2e, cfg.latency_threshold_us);
+        let completed = m.completed.load(Ordering::Relaxed);
+        let err_total =
+            completed + m.timed_out.load(Ordering::Relaxed) + m.failed.load(Ordering::Relaxed);
+        let mut st = state.lock().unwrap_or_else(|e| e.into_inner());
+        let now_ms = st.epoch.elapsed().as_millis() as u64;
+        st.latency.observe(now_ms, lat_good, lat_total);
+        st.errors.observe(now_ms, completed, err_total);
+        vec![st.latency.evaluate(now_ms), st.errors.evaluate(now_ms)]
+    }
+
     /// Readiness probe: pool strength, quarantine count, queue depth,
     /// pressure. Probing re-samples the controller, so pressure decays
     /// even when no submissions arrive.
     pub fn health(&self) -> HealthSnapshot {
         let m = &self.metrics;
         let level = self.pressure_level();
+        let slo_breached = self.slo_status().iter().any(|s| s.breached);
         HealthSnapshot {
             workers_alive: m.workers_alive.load(Ordering::Relaxed),
             pool_threads: self.cfg.pool_threads.max(1) as u64,
@@ -814,6 +965,7 @@ impl EncodeService {
             jobs_poisoned: m.poisoned.load(Ordering::Relaxed),
             accepting: !self.queue.is_closed(),
             pressure: level.as_u8(),
+            slo_breached,
         }
     }
 
@@ -1375,6 +1527,52 @@ mod tests {
     }
 
     #[test]
+    fn fresh_service_declares_the_full_histogram_series_set() {
+        let svc = EncodeService::start(ServiceConfig {
+            pool_threads: 1,
+            ..ServiceConfig::default()
+        });
+        let m = svc.metrics();
+        let names: Vec<&str> = m.histograms.iter().map(|(n, _)| n.as_str()).collect();
+        let mut want: Vec<&str> = DECLARED_HISTOGRAMS.to_vec();
+        want.sort_unstable();
+        assert_eq!(
+            names, want,
+            "metrics must carry every declared series before anything runs"
+        );
+        assert!(m.histograms.iter().all(|(_, h)| h.count == 0));
+        assert_eq!(m.kernels.len(), obs::counters::KERNEL_COUNT);
+        svc.begin_shutdown();
+    }
+
+    #[test]
+    fn slo_monitor_evaluates_and_feeds_health() {
+        let svc = EncodeService::start(ServiceConfig {
+            pool_threads: 1,
+            ..ServiceConfig::default()
+        });
+        let st = svc.slo_status();
+        assert_eq!(st.len(), 2);
+        assert_eq!(st[0].name, "latency_p99");
+        assert_eq!(st[1].name, "error_rate");
+        assert!(
+            st.iter().all(|s| !s.breached),
+            "an idle service must not breach"
+        );
+        assert!(!svc.health().slo_breached);
+        svc.begin_shutdown();
+
+        let off = EncodeService::start(ServiceConfig {
+            pool_threads: 1,
+            slo: None,
+            ..ServiceConfig::default()
+        });
+        assert!(off.slo_status().is_empty());
+        assert!(!off.health().slo_breached);
+        off.begin_shutdown();
+    }
+
+    #[test]
     fn metrics_json_shape() {
         let snap = MetricsSnapshot {
             queue_depth: 1,
@@ -1410,6 +1608,14 @@ mod tests {
                     max: 180,
                 },
             )],
+            kernels: vec![obs::counters::KernelSnapshot {
+                kernel: obs::counters::Kernel::Tier1Mq,
+                invocations: 2,
+                samples: 4096,
+                bytes: 16384,
+                symbols: 9000,
+                ns: 1_000_000,
+            }],
         };
         let j = snap.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'));
@@ -1429,6 +1635,11 @@ mod tests {
         assert!(j.contains("\"connections_rejected\":1"));
         assert!(j.contains("\"dwt\":0.250000"));
         assert!(j.contains("\"histograms\":{\"job_e2e_us\":{\"count\":3,\"p50\":100"));
+        assert!(j.contains(
+            "\"kernels\":{\"tier1_mq\":{\"invocations\":2,\"samples\":4096,\"bytes\":16384,\
+             \"symbols\":9000,\"ns\":1000000,\"gb_per_sec\":0.016384,\
+             \"symbols_per_sec\":9000000.000}}"
+        ));
     }
 
     #[test]
@@ -1443,12 +1654,14 @@ mod tests {
             jobs_poisoned: 1,
             accepting: true,
             pressure: 0,
+            slo_breached: false,
         };
         let j = h.to_json();
         assert!(j.contains("\"workers_alive\":2"));
         assert!(j.contains("\"jobs_poisoned\":1"));
         assert!(j.contains("\"accepting\":true"));
         assert!(j.contains("\"pressure\":0"));
+        assert!(j.contains("\"slo_breached\":false"));
     }
 
     #[test]
@@ -1463,6 +1676,7 @@ mod tests {
             jobs_poisoned: 0,
             accepting: true,
             pressure: 2,
+            slo_breached: false,
         };
         assert!(!h.ready(), "Critical pressure must fail readiness");
         assert!(HealthSnapshot { pressure: 1, ..h }.ready());

@@ -34,7 +34,8 @@ pub const MAGIC: u16 = 0x4A32;
 /// Protocol version. v2 added the encode-request flags byte
 /// (`allow_degraded`), the `degraded` marker on `EncodeOk`, the
 /// `retry_after_ms` hint on `Overloaded`, and the health pressure byte.
-pub const VERSION: u8 = 2;
+/// v3 appended the health `slo_breached` byte.
+pub const VERSION: u8 = 3;
 /// Frame header size in bytes.
 pub const HEADER_LEN: usize = 8;
 /// Default ceiling on payload size: fits a 3072x3072 RGB u16 image
@@ -574,7 +575,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         }
         Response::Pong => vec![TAG_PONG],
         Response::Health(h) => {
-            let mut out = Vec::with_capacity(1 + 7 * 8 + 2);
+            let mut out = Vec::with_capacity(1 + 7 * 8 + 3);
             out.push(TAG_HEALTH_OK);
             for v in [
                 h.workers_alive,
@@ -589,6 +590,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
             }
             out.push(u8::from(h.accepting));
             out.push(h.pressure);
+            out.push(u8::from(h.slo_breached));
             out
         }
         Response::Poisoned(m) => {
@@ -680,6 +682,13 @@ pub fn parse_response(payload: &[u8]) -> Result<Response, WireError> {
                     p @ 0..=2 => p,
                     p => {
                         return Err(WireError::Malformed(format!("bad pressure level {p}")));
+                    }
+                },
+                slo_breached: match rd.u8()? {
+                    0 => false,
+                    1 => true,
+                    b => {
+                        return Err(WireError::Malformed(format!("bad slo_breached flag {b}")));
                     }
                 },
             };
@@ -784,6 +793,7 @@ mod tests {
                 jobs_poisoned: 1,
                 accepting: true,
                 pressure: 2,
+                slo_breached: true,
             }),
             Response::Poisoned("job 7 crashed its worker 2 times".into()),
             Response::TraceJson("{\"traceEvents\":[]}".into()),

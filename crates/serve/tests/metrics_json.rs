@@ -9,6 +9,7 @@
 //! commit and call the change out in the PR.
 
 use j2k_serve::MetricsSnapshot;
+use obs::counters::{Kernel, KernelSnapshot};
 use obs::hist::HistogramStats;
 
 fn populated() -> MetricsSnapshot {
@@ -59,6 +60,27 @@ fn populated() -> MetricsSnapshot {
                 },
             ),
         ],
+        kernels: vec![
+            // One measured kernel and one idle kernel: pins both the
+            // derived-rate formatting and the all-zeros rendering (the
+            // live service always emits the full Kernel::ALL set).
+            KernelSnapshot {
+                kernel: Kernel::Dwt97Horizontal,
+                invocations: 12,
+                samples: 3_145_728,
+                bytes: 12_582_912,
+                symbols: 0,
+                ns: 8_000_000,
+            },
+            KernelSnapshot {
+                kernel: Kernel::Tier1Ht,
+                invocations: 0,
+                samples: 0,
+                bytes: 0,
+                symbols: 0,
+                ns: 0,
+            },
+        ],
     }
 }
 
@@ -101,7 +123,9 @@ fn empty_collections_serialize_as_empty_objects() {
     let mut snap = populated();
     snap.stage_seconds.clear();
     snap.histograms.clear();
+    snap.kernels.clear();
     let j = snap.to_json();
     assert!(j.contains("\"stage_seconds\":{}"));
     assert!(j.contains("\"histograms\":{}"));
+    assert!(j.contains("\"kernels\":{}"));
 }

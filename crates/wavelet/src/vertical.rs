@@ -249,6 +249,12 @@ pub fn fwd53_rows(mut rows: Rows<'_, i32>, variant: VerticalVariant) {
     if h < 2 {
         return;
     }
+    let samples = (rows.width() * h) as u64;
+    let _m = obs::counters::measure(
+        obs::counters::Kernel::Dwt53Vertical,
+        samples,
+        samples * std::mem::size_of::<i32>() as u64,
+    );
     match variant {
         VerticalVariant::Separate => {
             split_rows(rows);
@@ -502,6 +508,12 @@ pub fn fwd97_rows<T: Arith97>(mut rows: Rows<'_, T>, variant: VerticalVariant) {
     if h < 2 {
         return;
     }
+    let samples = (rows.width() * h) as u64;
+    let _m = obs::counters::measure(
+        obs::counters::Kernel::Dwt97Vertical,
+        samples,
+        samples * std::mem::size_of::<T>() as u64,
+    );
     match variant {
         VerticalVariant::Separate => {
             split_rows(rows);

@@ -23,7 +23,7 @@
 //! stages plus the dynamic Tier-1 queue — producing a codestream
 //! byte-identical to the sequential encoder.
 
-use jpeg2000_cell::codec::cell::{simulate, SimOptions};
+use jpeg2000_cell::codec::cell::{simulate_traced, SimOptions};
 use jpeg2000_cell::codec::codestream;
 use jpeg2000_cell::codec::{
     decode, decode_layers, decode_resolution, encode_with_profile, Coder, EncoderParams, Mode,
@@ -49,6 +49,7 @@ usage:
                   max error, bit-exactness); exits 1 when a --min-* floor
                   is violated, 2 on incomparable geometry
   j2kcell simulate INPUT.{bmp,pgm,ppm} [--lossy RATE] [--spes N] [--ppes N]
+                  [--cell-trace-out FILE]
   j2kcell info    INPUT.{j2c,jp2}
   j2kcell synth   OUTPUT.{bmp,pgm,ppm} [--size N] [--seed N] [--gray]
                   write a deterministic natural-statistics test image
@@ -81,7 +82,16 @@ encode options:
                      write it to FILE (load in Perfetto / about:tracing);
                      routes the encode through the parallel driver so
                      per-stage and per-chunk spans exist even at
-                     --workers 1 — output bytes are unchanged";
+                     --workers 1 — output bytes are unchanged
+
+simulate options:
+  --cell-trace-out FILE
+                     export the simulated schedule as Chrome trace-event
+                     JSON on the *virtual* clock: one span per pipeline
+                     stage plus per-PE compute and DMA tracks (GET /
+                     compute / PUT per task), so double-buffered overlap
+                     and the Tier-1 queue's load balance are visible in
+                     Perfetto";
 
 fn read_image(path: &str) -> Image {
     let ext = Path::new(path)
@@ -130,6 +140,7 @@ struct Opt {
     coder: Coder,
     failpoints: Option<String>,
     trace_out: Option<String>,
+    cell_trace_out: Option<String>,
     size: usize,
     seed: u64,
     gray: bool,
@@ -156,6 +167,7 @@ fn parse(args: &[String]) -> Opt {
         coder: Coder::Mq,
         failpoints: None,
         trace_out: None,
+        cell_trace_out: None,
         size: 256,
         seed: 7,
         gray: false,
@@ -214,6 +226,10 @@ fn parse(args: &[String]) -> Opt {
             }
             "--trace-out" => {
                 o.trace_out = Some(need(i).clone());
+                i += 2;
+            }
+            "--cell-trace-out" => {
+                o.cell_trace_out = Some(need(i).clone());
                 i += 2;
             }
             "--size" => {
@@ -441,7 +457,7 @@ fn main() {
                 MachineConfig::qs20_single()
             };
             let cfg = base.with_spes(o.spes).with_ppes(o.ppes);
-            let tl = simulate(
+            let (tl, tr) = simulate_traced(
                 &prof,
                 &cfg,
                 &SimOptions {
@@ -449,6 +465,16 @@ fn main() {
                     ..Default::default()
                 },
             );
+            if let Some(trace_path) = &o.cell_trace_out {
+                let json = tr.to_chrome_json();
+                std::fs::write(trace_path, &json)
+                    .unwrap_or_else(|e| die(&format!("cannot write {trace_path}: {e}")));
+                eprintln!(
+                    "j2kcell: wrote simulated schedule ({} stages, {} cycles) to {trace_path}",
+                    tr.stages().len(),
+                    tr.total_cycles()
+                );
+            }
             println!(
                 "simulated encode on {} SPE + {} PPE Cell/B.E. @ {:.1} GHz:",
                 cfg.num_spes,

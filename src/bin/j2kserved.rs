@@ -43,7 +43,22 @@
 //!                      Elevated                             (default 75)
 //!   --pressure-critical PCT  queue-depth percent at which pressure is
 //!                      Critical                             (default 95)
+//!   --slo-latency-ms N  latency SLO threshold: jobs should finish end
+//!                      to end within N milliseconds         (default 500)
+//!   --slo-latency-objective PCT  fraction of jobs (percent) that must
+//!                      meet the latency threshold            (default 99)
+//!   --slo-error-objective PCT  fraction of finished jobs (percent,
+//!                      fractions allowed, e.g. 99.9) that must
+//!                      complete rather than fail or time out
+//!                                                          (default 99.9)
+//!   --no-slo           disable burn-rate SLO monitoring
 //! ```
+//!
+//! The daemon always enables the per-kernel perf counters
+//! (`obs::counters`): GB/s and symbols/s per kernel appear in the
+//! Prometheus exposition and the wire Metrics JSON. The armed cost is a
+//! few relaxed atomic adds per kernel invocation — negligible next to
+//! the kernels themselves.
 //!
 //! The daemon exits after a Shutdown request, draining queued and
 //! in-flight jobs first. Under pressure it sheds low-priority work with
@@ -68,7 +83,9 @@ const USAGE: &str = "usage: j2kserved [--addr HOST:PORT] [--pool N] [--job-worke
                      [--trace] [--trace-dir DIR] [--trace-keep N] \
                      [--metrics-addr HOST:PORT] [--io-timeout-ms N] \
                      [--max-conns N] [--pixel-budget-mp N] [--high-priority N] \
-                     [--pressure-elevated PCT] [--pressure-critical PCT]";
+                     [--pressure-elevated PCT] [--pressure-critical PCT] \
+                     [--slo-latency-ms N] [--slo-latency-objective PCT] \
+                     [--slo-error-objective PCT] [--no-slo]";
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -152,6 +169,37 @@ fn main() {
                     .unwrap_or_else(|| die("--pressure-critical PCT (1..=100)"));
                 cfg.pressure.critical_depth = pct as f64 / 100.0;
             }
+            "--no-slo" => {
+                cfg.slo = None;
+                i += 1;
+                continue;
+            }
+            "--slo-latency-ms" => {
+                let ms: u64 = need(i)
+                    .parse()
+                    .unwrap_or_else(|_| die("--slo-latency-ms N"));
+                cfg.slo
+                    .get_or_insert_with(Default::default)
+                    .latency_threshold_us = ms * 1000;
+            }
+            "--slo-latency-objective" => {
+                let pct: f64 = need(i)
+                    .parse()
+                    .ok()
+                    .filter(|p| (0.0..100.0).contains(p) && *p > 0.0)
+                    .unwrap_or_else(|| die("--slo-latency-objective PCT in (0,100)"));
+                cfg.slo
+                    .get_or_insert_with(Default::default)
+                    .latency_objective = pct / 100.0;
+            }
+            "--slo-error-objective" => {
+                let pct: f64 = need(i)
+                    .parse()
+                    .ok()
+                    .filter(|p| (0.0..100.0).contains(p) && *p > 0.0)
+                    .unwrap_or_else(|| die("--slo-error-objective PCT in (0,100)"));
+                cfg.slo.get_or_insert_with(Default::default).error_objective = pct / 100.0;
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return;
@@ -164,6 +212,9 @@ fn main() {
     if trace_on {
         obs::trace::set_enabled(true);
     }
+    // Per-kernel perf counters are always on in the daemon: the armed
+    // cost is a handful of relaxed atomic adds per kernel invocation.
+    obs::counters::set_enabled(true);
     let listener = TcpListener::bind(&addr).unwrap_or_else(|e| die(&format!("bind {addr}: {e}")));
     println!(
         "j2kserved listening on {} (pool {}, {} workers/job, queue {}, default timeout {:?}{})",
