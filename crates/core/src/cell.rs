@@ -107,13 +107,14 @@ fn chunked_stage(
     Assignment::Static(lists)
 }
 
-/// Lifting passes per vertical filtering (arithmetic work, identical
-/// across loop-schedule variants).
+/// Arithmetic work units (MACs) per sample of the fused lifting kernel,
+/// identical across loop-schedule variants. Derived from the cost model the
+/// wavelet crate publishes ([`wavelet::conv::lifting_macs_per_sample`]) so
+/// the simulated stage costs cannot drift from the shipped kernels: 2 for
+/// 5/3 (two lifting steps), 5 for 9/7 (four lifting steps plus the K/1/K
+/// scaling the fused pass folds in).
 fn lift_passes(filter: Filter) -> u64 {
-    match filter {
-        Filter::Rev53 => 2,
-        Filter::Irr97 => 4,
-    }
+    wavelet::conv::lifting_macs_per_sample(filter).round() as u64
 }
 
 /// One-way DMA factor of the vertical stage: total traffic divided by

@@ -25,6 +25,7 @@ pub mod coder;
 pub mod codestream;
 pub mod control;
 pub mod jp2;
+pub mod kernels;
 pub mod mct;
 pub mod parallel;
 pub mod pipeline;

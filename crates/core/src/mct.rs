@@ -16,37 +16,31 @@ pub fn forward_rct_shift(planes: &mut [AlignedPlane<i32>], shift: i32) {
         samples,
         samples * std::mem::size_of::<i32>() as u64,
     );
+    let (p0, rest) = planes.split_at_mut(1);
+    let (p1, p2) = rest.split_at_mut(1);
     for y in 0..h {
-        for x in 0..w {
-            let r = planes[0].get(x, y) - shift;
-            let g = planes[1].get(x, y) - shift;
-            let b = planes[2].get(x, y) - shift;
-            let yy = (r + 2 * g + b) >> 2;
-            let u = b - g;
-            let v = r - g;
-            planes[0].set(x, y, yy);
-            planes[1].set(x, y, u);
-            planes[2].set(x, y, v);
-        }
+        crate::kernels::rct_forward_row(
+            p0[0].row_mut(y),
+            p1[0].row_mut(y),
+            p2[0].row_mut(y),
+            shift,
+        );
     }
 }
 
 /// Inverse RCT with level unshift.
 pub fn inverse_rct_shift(planes: &mut [AlignedPlane<i32>], shift: i32) {
     assert_eq!(planes.len(), 3);
-    let (w, h) = (planes[0].width(), planes[0].height());
+    let h = planes[0].height();
+    let (p0, rest) = planes.split_at_mut(1);
+    let (p1, p2) = rest.split_at_mut(1);
     for y in 0..h {
-        for x in 0..w {
-            let yy = planes[0].get(x, y);
-            let u = planes[1].get(x, y);
-            let v = planes[2].get(x, y);
-            let g = yy - ((u + v) >> 2);
-            let r = v + g;
-            let b = u + g;
-            planes[0].set(x, y, r + shift);
-            planes[1].set(x, y, g + shift);
-            planes[2].set(x, y, b + shift);
-        }
+        crate::kernels::rct_inverse_row(
+            p0[0].row_mut(y),
+            p1[0].row_mut(y),
+            p2[0].row_mut(y),
+            shift,
+        );
     }
 }
 
@@ -64,18 +58,18 @@ pub fn forward_ict_shift(planes: &[AlignedPlane<i32>], shift: f32) -> Vec<Aligne
     let mut out: Vec<AlignedPlane<f32>> = (0..3)
         .map(|_| AlignedPlane::new(w, h).expect("geometry"))
         .collect();
+    let (o0, rest) = out.split_at_mut(1);
+    let (o1, o2) = rest.split_at_mut(1);
     for y in 0..h {
-        for x in 0..w {
-            let r = planes[0].get(x, y) as f32 - shift;
-            let g = planes[1].get(x, y) as f32 - shift;
-            let b = planes[2].get(x, y) as f32 - shift;
-            let yy = 0.299 * r + 0.587 * g + 0.114 * b;
-            let cb = -0.168_736 * r - 0.331_264 * g + 0.5 * b;
-            let cr = 0.5 * r - 0.418_688 * g - 0.081_312 * b;
-            out[0].set(x, y, yy);
-            out[1].set(x, y, cb);
-            out[2].set(x, y, cr);
-        }
+        crate::kernels::ict_forward_row(
+            planes[0].row(y),
+            planes[1].row(y),
+            planes[2].row(y),
+            o0[0].row_mut(y),
+            o1[0].row_mut(y),
+            o2[0].row_mut(y),
+            shift,
+        );
     }
     out
 }
@@ -105,12 +99,16 @@ pub fn inverse_ict_shift(planes: &[AlignedPlane<f32>], shift: f32) -> Vec<Aligne
 
 /// Plain level shift for non-RGB images (in place).
 pub fn level_shift(plane: &mut AlignedPlane<i32>, shift: i32) {
-    plane.for_each_mut(|_, _, v| *v -= shift);
+    for y in 0..plane.height() {
+        crate::kernels::level_shift_row(plane.row_mut(y), shift);
+    }
 }
 
 /// Inverse level shift (in place).
 pub fn level_unshift(plane: &mut AlignedPlane<i32>, shift: i32) {
-    plane.for_each_mut(|_, _, v| *v += shift);
+    for y in 0..plane.height() {
+        crate::kernels::level_shift_row(plane.row_mut(y), -shift);
+    }
 }
 
 #[cfg(test)]

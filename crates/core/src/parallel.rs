@@ -25,7 +25,7 @@ use crate::pipeline::{
     BlockRecord, Transformed,
 };
 use crate::profile::StageTime;
-use crate::quant::{band_delta, quantize, StepSize, GUARD_BITS};
+use crate::quant::{band_delta, StepSize, GUARD_BITS};
 use crate::{codestream::Quant, Arithmetic, CodecError, EncoderParams, Mode, WorkloadProfile};
 use imgio::Image;
 use obs::trace;
@@ -442,14 +442,7 @@ impl Assignment {
 /// Forward RCT + level shift over three parallel row segments (identical
 /// arithmetic to [`crate::mct::forward_rct_shift`]).
 fn rct_shift_rows(py: &mut [i32], pu: &mut [i32], pv: &mut [i32], shift: i32) {
-    for i in 0..py.len() {
-        let r = py[i] - shift;
-        let g = pu[i] - shift;
-        let b = pv[i] - shift;
-        py[i] = (r + 2 * g + b) >> 2;
-        pu[i] = b - g;
-        pv[i] = r - g;
-    }
+    crate::kernels::rct_forward_row(py, pu, pv, shift);
 }
 
 /// Forward ICT + level shift over row segments (identical arithmetic to
@@ -464,14 +457,7 @@ fn ict_shift_rows(
     cr: &mut [f32],
     shift: f32,
 ) {
-    for i in 0..r.len() {
-        let rf = r[i] as f32 - shift;
-        let gf = g[i] as f32 - shift;
-        let bf = b[i] as f32 - shift;
-        yy[i] = 0.299 * rf + 0.587 * gf + 0.114 * bf;
-        cb[i] = -0.168_736 * rf - 0.331_264 * gf + 0.5 * bf;
-        cr[i] = 0.5 * rf - 0.418_688 * gf - 0.081_312 * bf;
-    }
+    crate::kernels::ict_forward_row(r, g, b, yy, cb, cr, shift);
 }
 
 /// Chunk-parallel version of [`crate::pipeline::transform_samples`]:
@@ -818,17 +804,13 @@ pub(crate) fn transform_samples_parallel_ctl(
                         }
                         let d = delta_sigs[bi];
                         for y in b.y0..b.y0 + b.h {
-                            let dst = rows.row_mut(y);
+                            let dst = &mut rows.row_mut(y)[lo - x0..hi - x0];
                             if fixed {
                                 let s = q13[j.comp].row(y);
-                                for x in lo..hi {
-                                    dst[x - x0] = quantize(s[x] as f32 / 8192.0, d);
-                                }
+                                crate::kernels::quantize_q13_row(&s[lo..hi], dst, d);
                             } else {
                                 let s = fp[j.comp].row(y);
-                                for x in lo..hi {
-                                    dst[x - x0] = quantize(s[x], d);
-                                }
+                                crate::kernels::quantize_row(&s[lo..hi], dst, d);
                             }
                         }
                     }

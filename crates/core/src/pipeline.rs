@@ -6,7 +6,7 @@
 
 use crate::codestream::{self, BlockStream, MainHeader, Quant};
 use crate::profile::{BlockWork, LevelWork, StageTime, WorkloadProfile};
-use crate::quant::{band_delta, dequantize, quantize, StepSize, GUARD_BITS};
+use crate::quant::{band_delta, dequantize, StepSize, GUARD_BITS};
 use crate::{mct, Arithmetic, CodecError, EncoderParams, Mode};
 use ebcot::block::{BandKind, EncodedBlock};
 use ebcot::rate::{search_threshold, BlockSummary, PreparedBlock, Threshold};
@@ -223,9 +223,9 @@ pub(crate) fn transform_samples(
                 weights.push((delta_sig * nrm) * (delta_sig * nrm));
                 for (c, plane) in coeff_value.iter().enumerate() {
                     for y in b.y0..b.y0 + b.h {
-                        for x in b.x0..b.x0 + b.w {
-                            indices[c].set(x, y, quantize(plane.get(x, y), delta_sig));
-                        }
+                        let src = &plane.row(y)[b.x0..b.x0 + b.w];
+                        let dst = &mut indices[c].row_mut(y)[b.x0..b.x0 + b.w];
+                        crate::kernels::quantize_row(src, dst, delta_sig);
                     }
                 }
             }

@@ -12,7 +12,9 @@
 //! distortion reduction (for PCRD), and the MQ decision count (the Tier-1
 //! work items consumed by the `cellsim` cost model).
 
-use crate::context::{initial_contexts, mr_context, sc_context, zc_context, CTX_RL, CTX_UNI};
+use crate::context::{
+    initial_contexts, mr_context, sc_index, sc_lut, zc_index, zc_lut, CTX_RL, CTX_UNI,
+};
 use mqcoder::{Contexts, MqDecoder, MqEncoder, RawDecoder, RawEncoder};
 
 /// Band class for context selection.
@@ -91,10 +93,20 @@ const VISITED: u8 = 2;
 const REFINED: u8 = 4;
 const NEG: u8 = 8;
 
-/// Shared significance/sign state grid with border handling.
+/// Shared significance/sign state grid.
+///
+/// Flags live in a `(w + 2) x (h + 2)` array whose one-cell border stays
+/// all-zero, so the 8-neighbor reads in [`Grid::counts`] and
+/// [`Grid::sign_sums`] need no bounds checks or edge branches — the border
+/// cells supply the "outside the block = insignificant" rule by value. With
+/// the context tables from [`crate::context`] this makes every significance
+/// state update in the hot passes branch-free (straight-line loads, masks
+/// and adds feeding a table index).
 struct Grid {
     w: usize,
     h: usize,
+    /// Padded row stride, `w + 2`.
+    stride: usize,
     flags: Vec<u8>,
 }
 
@@ -103,56 +115,59 @@ impl Grid {
         Grid {
             w,
             h,
-            flags: vec![0; w * h],
+            stride: w + 2,
+            flags: vec![0; (w + 2) * (h + 2)],
         }
     }
 
+    /// Index of interior cell `(x, y)` in the padded array.
     #[inline]
-    fn f(&self, x: isize, y: isize) -> u8 {
-        if x < 0 || y < 0 || x >= self.w as isize || y >= self.h as isize {
-            0
-        } else {
-            self.flags[y as usize * self.w + x as usize]
-        }
+    fn idx(&self, x: usize, y: usize) -> usize {
+        (y + 1) * self.stride + (x + 1)
     }
 
     #[inline]
     fn get(&self, x: usize, y: usize) -> u8 {
-        self.flags[y * self.w + x]
+        self.flags[self.idx(x, y)]
     }
 
     #[inline]
     fn set(&mut self, x: usize, y: usize, bit: u8) {
-        self.flags[y * self.w + x] |= bit;
+        let i = self.idx(x, y);
+        self.flags[i] |= bit;
     }
 
     /// (horizontal, vertical, diagonal) significant-neighbor counts.
+    /// Branch-free: `SIG` is bit 0, so each neighbor contributes
+    /// `flags & 1` directly.
     #[inline]
     fn counts(&self, x: usize, y: usize) -> (u32, u32, u32) {
-        let (x, y) = (x as isize, y as isize);
-        let s = |dx: isize, dy: isize| u32::from(self.f(x + dx, y + dy) & SIG != 0);
-        let h = s(-1, 0) + s(1, 0);
-        let v = s(0, -1) + s(0, 1);
-        let d = s(-1, -1) + s(1, -1) + s(-1, 1) + s(1, 1);
+        let i = self.idx(x, y);
+        let up = i - self.stride;
+        let dn = i + self.stride;
+        let s = |j: usize| (self.flags[j] & SIG) as u32;
+        let h = s(i - 1) + s(i + 1);
+        let v = s(up) + s(dn);
+        let d = s(up - 1) + s(up + 1) + s(dn - 1) + s(dn + 1);
         (h, v, d)
     }
 
-    /// Clamped sign contributions (hc, vc) of significant neighbors.
+    /// Raw (unclamped) sign contribution sums `(hc, vc)`, each in -2..=2:
+    /// a significant positive neighbor adds +1, a significant negative one
+    /// -1. The clamp of Annex D is folded into [`sc_lut`]. Branch-free:
+    /// with `SIG` at bit 0 and `NEG` at bit 3, the contribution is
+    /// `sig - 2 * (sig & neg)`.
     #[inline]
-    fn sign_contrib(&self, x: usize, y: usize) -> (i32, i32) {
-        let (x, y) = (x as isize, y as isize);
-        let c = |dx: isize, dy: isize| -> i32 {
-            let f = self.f(x + dx, y + dy);
-            if f & SIG == 0 {
-                0
-            } else if f & NEG != 0 {
-                -1
-            } else {
-                1
-            }
+    fn sign_sums(&self, x: usize, y: usize) -> (i32, i32) {
+        let i = self.idx(x, y);
+        let c = |j: usize| -> i32 {
+            let f = self.flags[j];
+            let sig = (f & SIG) as i32;
+            let neg = ((f >> 3) & 1) as i32;
+            sig - 2 * (sig & neg)
         };
-        let hc = (c(-1, 0) + c(1, 0)).clamp(-1, 1);
-        let vc = (c(0, -1) + c(0, 1)).clamp(-1, 1);
+        let hc = c(i - 1) + c(i + 1);
+        let vc = c(i - self.stride) + c(i + self.stride);
         (hc, vc)
     }
 
@@ -235,7 +250,7 @@ pub fn encode_block_opts(
     let mut grid = Grid::new(w, h);
     for (i, &v) in data.iter().enumerate() {
         if v < 0 {
-            grid.flags[i] |= NEG;
+            grid.set(i % w, i / w, NEG);
         }
     }
     let mut ctxs = initial_contexts();
@@ -301,10 +316,10 @@ fn stripe_rows(h: usize, y0: usize) -> usize {
 }
 
 fn code_sign_enc(enc: &mut MqEncoder, ctxs: &mut Contexts, grid: &Grid, x: usize, y: usize) {
-    let (hc, vc) = grid.sign_contrib(x, y);
-    let (cx, xor) = sc_context(hc, vc);
+    let (hc, vc) = grid.sign_sums(x, y);
+    let (cx, xor) = sc_lut()[sc_index(hc, vc)];
     let neg = u8::from(grid.get(x, y) & NEG != 0);
-    enc.encode(ctxs, cx, neg ^ xor);
+    enc.encode(ctxs, cx as usize, neg ^ xor);
 }
 
 fn sig_prop_enc(
@@ -316,6 +331,7 @@ fn sig_prop_enc(
     kind: BandKind,
     dist: &mut f64,
 ) {
+    let lut = zc_lut(kind);
     let (w, h) = (grid.w, grid.h);
     let mut y0 = 0;
     while y0 < h {
@@ -326,7 +342,7 @@ fn sig_prop_enc(
                     continue;
                 }
                 let (hc, vc, dc) = grid.counts(x, y);
-                let cx = zc_context(kind, hc, vc, dc);
+                let cx = lut[zc_index(hc, vc, dc)] as usize;
                 if cx == 0 {
                     continue; // not in the preferred neighborhood
                 }
@@ -383,6 +399,7 @@ fn sig_prop_enc_raw(
     kind: BandKind,
     dist: &mut f64,
 ) -> u64 {
+    let lut = zc_lut(kind);
     let (w, h) = (grid.w, grid.h);
     let mut bits = 0u64;
     let mut y0 = 0;
@@ -394,7 +411,7 @@ fn sig_prop_enc_raw(
                     continue;
                 }
                 let (hc, vc, dc) = grid.counts(x, y);
-                if zc_context(kind, hc, vc, dc) == 0 {
+                if lut[zc_index(hc, vc, dc)] as usize == 0 {
                     continue;
                 }
                 let bit = ((mags[y * w + x] >> plane) & 1) as u8;
@@ -452,6 +469,7 @@ fn cleanup_enc(
     kind: BandKind,
     dist: &mut f64,
 ) {
+    let lut = zc_lut(kind);
     let (w, h) = (grid.w, grid.h);
     let mut y0 = 0;
     while y0 < h {
@@ -465,7 +483,7 @@ fn cleanup_enc(
                     let f = grid.get(x, y);
                     f & (SIG | VISITED) == 0 && {
                         let (hc, vc, dc) = grid.counts(x, y);
-                        zc_context(kind, hc, vc, dc) == 0
+                        lut[zc_index(hc, vc, dc)] as usize == 0
                     }
                 });
             if run_ok {
@@ -494,7 +512,7 @@ fn cleanup_enc(
                     continue;
                 }
                 let (hc, vc, dc) = grid.counts(x, y);
-                let cx = zc_context(kind, hc, vc, dc);
+                let cx = lut[zc_index(hc, vc, dc)] as usize;
                 let bit = ((mags[y * w + x] >> plane) & 1) as u8;
                 enc.encode(ctxs, cx, bit);
                 if bit == 1 {
@@ -519,9 +537,9 @@ fn code_sign_dec(
     x: usize,
     y: usize,
 ) {
-    let (hc, vc) = grid.sign_contrib(x, y);
-    let (cx, xor) = sc_context(hc, vc);
-    let bit = dec.decode(ctxs, cx) ^ xor;
+    let (hc, vc) = grid.sign_sums(x, y);
+    let (cx, xor) = sc_lut()[sc_index(hc, vc)];
+    let bit = dec.decode(ctxs, cx as usize) ^ xor;
     if bit == 1 {
         grid.set(x, y, NEG);
     }
@@ -631,7 +649,7 @@ pub fn decode_block_opts(
                 0
             } else {
                 let v = (m + half) as i32;
-                if grid.flags[i] & NEG != 0 {
+                if grid.get(i % w, i / w) & NEG != 0 {
                     -v
                 } else {
                     v
@@ -649,6 +667,7 @@ fn sig_prop_dec(
     plane: u8,
     kind: BandKind,
 ) {
+    let lut = zc_lut(kind);
     let (w, h) = (grid.w, grid.h);
     let mut y0 = 0;
     while y0 < h {
@@ -659,7 +678,7 @@ fn sig_prop_dec(
                     continue;
                 }
                 let (hc, vc, dc) = grid.counts(x, y);
-                let cx = zc_context(kind, hc, vc, dc);
+                let cx = lut[zc_index(hc, vc, dc)] as usize;
                 if cx == 0 {
                     continue;
                 }
@@ -713,6 +732,7 @@ fn sig_prop_dec_raw(
     plane: u8,
     kind: BandKind,
 ) {
+    let lut = zc_lut(kind);
     let (w, h) = (grid.w, grid.h);
     let mut y0 = 0;
     while y0 < h {
@@ -723,7 +743,7 @@ fn sig_prop_dec_raw(
                     continue;
                 }
                 let (hc, vc, dc) = grid.counts(x, y);
-                if zc_context(kind, hc, vc, dc) == 0 {
+                if lut[zc_index(hc, vc, dc)] as usize == 0 {
                     continue;
                 }
                 let bit = dec.get();
@@ -770,6 +790,7 @@ fn cleanup_dec(
     plane: u8,
     kind: BandKind,
 ) {
+    let lut = zc_lut(kind);
     let (w, h) = (grid.w, grid.h);
     let mut y0 = 0;
     while y0 < h {
@@ -782,7 +803,7 @@ fn cleanup_dec(
                     let f = grid.get(x, y);
                     f & (SIG | VISITED) == 0 && {
                         let (hc, vc, dc) = grid.counts(x, y);
-                        zc_context(kind, hc, vc, dc) == 0
+                        lut[zc_index(hc, vc, dc)] as usize == 0
                     }
                 });
             if run_ok {
@@ -803,7 +824,7 @@ fn cleanup_dec(
                     continue;
                 }
                 let (hc, vc, dc) = grid.counts(x, y);
-                let cx = zc_context(kind, hc, vc, dc);
+                let cx = lut[zc_index(hc, vc, dc)] as usize;
                 let bit = dec.decode(ctxs, cx);
                 if bit == 1 {
                     code_sign_dec(dec, ctxs, grid, x, y);

@@ -84,15 +84,28 @@ pub fn fwd_97_conv(x: &[f32], out: &mut Vec<f32>) {
 }
 
 /// Multiplies-and-adds per output sample of the convolution path
-/// (9 + 7 taps over 2 outputs) vs. the lifting path (2 MACs per lifting
-/// step x 4 steps over 2 outputs + 2 scales). Used by the cost models.
+/// (9 + 7 taps over 2 outputs). Used by the cost models.
 pub fn conv_macs_per_sample() -> f64 {
     (9.0 + 7.0) / 2.0
 }
 
-/// See [`conv_macs_per_sample`].
-pub fn lifting_macs_per_sample() -> f64 {
-    (4.0 * 2.0 + 2.0) / 2.0
+/// Multiplies-and-adds per output sample of the *fused* lifting path, per
+/// filter. The fused/blocked kernels perform every lifting step (and, for
+/// 9/7, the K/1/K normalization) in one streaming pass, so arithmetic per
+/// sample is schedule-independent:
+///
+/// * 5/3: 2 lifting steps x 2 MACs over 2 outputs = 2 MACs/sample
+///   (no scaling pass);
+/// * 9/7: 4 lifting steps x 2 MACs + 2 scale multiplies over 2 outputs
+///   = 5 MACs/sample.
+///
+/// `cellsim` stage costs and the `obs::counters` GB/s denominators both
+/// divide by these, so they must track the kernels actually shipped.
+pub fn lifting_macs_per_sample(filter: crate::Filter) -> f64 {
+    match filter {
+        crate::Filter::Rev53 => (2.0 * 2.0) / 2.0,
+        crate::Filter::Irr97 => (4.0 * 2.0 + 2.0) / 2.0,
+    }
 }
 
 #[cfg(test)]
@@ -142,7 +155,19 @@ mod tests {
 
     #[test]
     fn conv_cost_exceeds_lifting_cost() {
-        assert!(conv_macs_per_sample() > lifting_macs_per_sample());
+        assert!(conv_macs_per_sample() > lifting_macs_per_sample(crate::Filter::Irr97));
+        assert!(
+            lifting_macs_per_sample(crate::Filter::Irr97)
+                > lifting_macs_per_sample(crate::Filter::Rev53)
+        );
+    }
+
+    #[test]
+    fn lifting_macs_track_lift_step_counts() {
+        // 5/3 runs 2 lifting steps, 9/7 runs 4 plus the scale pass; one MAC
+        // per step per sample pair member.
+        assert_eq!(lifting_macs_per_sample(crate::Filter::Rev53), 2.0);
+        assert_eq!(lifting_macs_per_sample(crate::Filter::Irr97), 5.0);
     }
 
     #[test]

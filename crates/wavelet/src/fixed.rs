@@ -58,53 +58,27 @@ pub const INV_K_Q13: i32 = q13(1.0 / 1.230174104914001);
 /// High-pass scale K.
 pub const K_Q13: i32 = q13(1.230174104914001);
 
+/// One predict-phase Q13 step over the split bands (clamped-index form of
+/// the interleaved mirror stencil; see `crate::line` for the derivation):
+/// `high[i] += fix_mul(c, low[i] + low[min(i+1, nl-1)])`.
 #[inline]
-fn mirror(i: isize, n: usize) -> usize {
-    let n = n as isize;
-    let mut i = i;
-    if i < 0 {
-        i = -i;
-    }
-    if i >= n {
-        i = 2 * (n - 1) - i;
-    }
-    i as usize
-}
-
-fn lift_pass_fixed(x: &mut [i32], phase: usize, c: i32) {
-    let n = x.len();
-    let mut k = phase;
-    while k < n {
-        let a = x[mirror(k as isize - 1, n)];
-        let b = x[mirror(k as isize + 1, n)];
-        x[k] += fix_mul(c, a.wrapping_add(b));
-        k += 2;
+fn lift_hi(low: &[i32], high: &mut [i32], nl: usize, nh: usize, c: i32) {
+    let bulk = nh.min(nl - 1);
+    crate::rowops::lift_q13(&mut high[..bulk], &low[..bulk], &low[1..], c);
+    for i in bulk..nh {
+        high[i] += fix_mul(c, low[i].wrapping_add(low[nl - 1]));
     }
 }
 
-fn deinterleave(x: &mut [i32], scratch: &mut Vec<i32>) {
-    let n = x.len();
-    scratch.clear();
-    scratch.extend_from_slice(x);
-    let nl = low_len(n);
-    for i in 0..nl {
-        x[i] = scratch[2 * i];
-    }
-    for i in 0..high_len(n) {
-        x[nl + i] = scratch[2 * i + 1];
-    }
-}
-
-fn interleave(x: &mut [i32], scratch: &mut Vec<i32>) {
-    let n = x.len();
-    scratch.clear();
-    scratch.extend_from_slice(x);
-    let nl = low_len(n);
-    for i in 0..nl {
-        x[2 * i] = scratch[i];
-    }
-    for i in 0..high_len(n) {
-        x[2 * i + 1] = scratch[nl + i];
+/// One update-phase Q13 step:
+/// `low[i] += fix_mul(c, high[max(i-1,0)] + high[min(i, nh-1)])`.
+#[inline]
+fn lift_lo(low: &mut [i32], high: &[i32], nl: usize, nh: usize, c: i32) {
+    low[0] += fix_mul(c, high[0].wrapping_add(high[0]));
+    crate::rowops::lift_q13(&mut low[1..nh], &high[..nh - 1], &high[1..], c);
+    let tail = fix_mul(c, high[nh - 1].wrapping_add(high[nh - 1]));
+    for v in &mut low[nh.max(1)..nl] {
+        *v += tail;
     }
 }
 
@@ -114,21 +88,18 @@ pub fn fwd_97_fixed(x: &mut [i32], scratch: &mut Vec<i32>) {
     if n <= 1 {
         return;
     }
-    lift_pass_fixed(x, 1, ALPHA_Q13);
-    lift_pass_fixed(x, 0, BETA_Q13);
-    lift_pass_fixed(x, 1, GAMMA_Q13);
-    lift_pass_fixed(x, 0, DELTA_Q13);
-    let mut k = 0;
-    while k < n {
-        x[k] = fix_mul(x[k], INV_K_Q13);
-        k += 2;
-    }
-    let mut k = 1;
-    while k < n {
-        x[k] = fix_mul(x[k], K_Q13);
-        k += 2;
-    }
-    deinterleave(x, scratch);
+    let nl = low_len(n);
+    let nh = high_len(n);
+    scratch.clear();
+    scratch.extend_from_slice(x);
+    let (low, high) = x.split_at_mut(nl);
+    crate::rowops::deinterleave_i32(scratch, low, high);
+    lift_hi(low, high, nl, nh, ALPHA_Q13);
+    lift_lo(low, high, nl, nh, BETA_Q13);
+    lift_hi(low, high, nl, nh, GAMMA_Q13);
+    lift_lo(low, high, nl, nh, DELTA_Q13);
+    crate::rowops::scale_q13(low, INV_K_Q13);
+    crate::rowops::scale_q13(high, K_Q13);
 }
 
 /// Inverse 9/7 on a Q13 line (low/high halves in, natural order out).
@@ -137,21 +108,21 @@ pub fn inv_97_fixed(x: &mut [i32], scratch: &mut Vec<i32>) {
     if n <= 1 {
         return;
     }
-    interleave(x, scratch);
-    let mut k = 0;
-    while k < n {
-        x[k] = fix_mul(x[k], K_Q13);
-        k += 2;
+    let nl = low_len(n);
+    let nh = high_len(n);
+    {
+        let (low, high) = x.split_at_mut(nl);
+        crate::rowops::scale_q13(low, K_Q13);
+        crate::rowops::scale_q13(high, INV_K_Q13);
+        lift_lo(low, high, nl, nh, -DELTA_Q13);
+        lift_hi(low, high, nl, nh, -GAMMA_Q13);
+        lift_lo(low, high, nl, nh, -BETA_Q13);
+        lift_hi(low, high, nl, nh, -ALPHA_Q13);
     }
-    let mut k = 1;
-    while k < n {
-        x[k] = fix_mul(x[k], INV_K_Q13);
-        k += 2;
-    }
-    lift_pass_fixed(x, 0, -DELTA_Q13);
-    lift_pass_fixed(x, 1, -GAMMA_Q13);
-    lift_pass_fixed(x, 0, -BETA_Q13);
-    lift_pass_fixed(x, 1, -ALPHA_Q13);
+    scratch.clear();
+    scratch.extend_from_slice(x);
+    let (low, high) = scratch.split_at(nl);
+    crate::rowops::interleave_i32(low, high, x);
 }
 
 #[cfg(test)]

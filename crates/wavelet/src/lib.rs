@@ -26,11 +26,13 @@
 //! splitting step").
 
 pub mod conv;
+pub mod dispatch;
 pub mod fixed;
 pub mod horizontal;
 pub mod line;
 pub mod norms;
 pub mod rowops;
+pub mod simd;
 pub mod transform2d;
 pub mod vertical;
 

@@ -7,11 +7,30 @@
 //! the low-pass phase); output is *deinterleaved in place* — low band in
 //! `x[0..low_len(n)]`, high band in `x[low_len(n)..n]`. Boundary handling is
 //! whole-sample symmetric extension (`x[-1] = x[1]`, `x[n] = x[n-2]`).
+//!
+//! ## Loop structure
+//!
+//! The transforms deinterleave *first* and then run every lifting step as a
+//! contiguous slice operation over the half-bands (through the dispatching
+//! [`crate::rowops`] kernels), instead of striding by 2 over the interleaved
+//! signal. The arithmetic is unchanged: for the predict-phase steps the
+//! interleaved stencil `x[2i+1] ⊕= f(x[2i], x[mirror(2i+2)])` is exactly
+//! `high[i] ⊕= f(low[i], low[min(i+1, nl-1)])` in the split domain, and the
+//! update-phase stencil `x[2i] ⊕= f(x[mirror(2i-1)], x[mirror(2i+1)])` is
+//! `low[i] ⊕= f(high[clamp(i-1)], high[min(i, nh-1)])` — the whole-sample
+//! symmetric extension becomes an index clamp because the mirror of an
+//! even/odd index always lands on the opposite phase's edge sample. Only
+//! the clamped boundary elements (at most two per step) run outside the
+//! bulk slice kernel, so the hot loops are stride-1 and vectorize.
 
 use crate::consts::{ALPHA, BETA, DELTA, GAMMA, INV_K, K};
+use crate::rowops;
 use crate::{high_len, low_len};
 
-/// Symmetric extension of index `i` (as isize) into `0..n`.
+/// Symmetric extension of index `i` (as isize) into `0..n`. The bulk loops
+/// below bake the mirror into index clamps; this is kept as the reference
+/// definition for the tests.
+#[cfg_attr(not(test), allow(dead_code))]
 #[inline]
 fn mirror(i: isize, n: usize) -> usize {
     let n = n as isize;
@@ -28,57 +47,31 @@ fn mirror(i: isize, n: usize) -> usize {
     i as usize
 }
 
-/// Deinterleave `x` (even samples first) using `scratch`.
-fn deinterleave<T: Copy>(x: &mut [T], scratch: &mut Vec<T>) {
-    let n = x.len();
-    scratch.clear();
-    scratch.extend_from_slice(x);
-    let nl = low_len(n);
-    for i in 0..nl {
-        x[i] = scratch[2 * i];
-    }
-    for i in 0..high_len(n) {
-        x[nl + i] = scratch[2 * i + 1];
-    }
-}
-
-/// Interleave `x` (low band first) back to natural order using `scratch`.
-fn interleave<T: Copy>(x: &mut [T], scratch: &mut Vec<T>) {
-    let n = x.len();
-    scratch.clear();
-    scratch.extend_from_slice(x);
-    let nl = low_len(n);
-    for i in 0..nl {
-        x[2 * i] = scratch[i];
-    }
-    for i in 0..high_len(n) {
-        x[2 * i + 1] = scratch[nl + i];
-    }
-}
-
 /// Forward reversible 5/3 transform of one line.
 pub fn fwd_53(x: &mut [i32], scratch: &mut Vec<i32>) {
     let n = x.len();
     if n <= 1 {
         return;
     }
-    // Predict (high): x[k] -= floor((x[k-1] + x[k+1]) / 2) for odd k.
-    let mut k = 1;
-    while k < n {
-        let a = x[mirror(k as isize - 1, n)];
-        let b = x[mirror(k as isize + 1, n)];
-        x[k] -= (a + b) >> 1;
-        k += 2;
+    let nl = low_len(n);
+    let nh = high_len(n);
+    scratch.clear();
+    scratch.extend_from_slice(x);
+    let (low, high) = x.split_at_mut(nl);
+    rowops::deinterleave_i32(scratch, low, high);
+    // Predict (high): high[i] -= (low[i] + low[min(i+1, nl-1)]) >> 1.
+    let bulk = nh.min(nl - 1);
+    rowops::predict53(&mut high[..bulk], &low[..bulk], &low[1..]);
+    for i in bulk..nh {
+        high[i] -= (low[i] + low[nl - 1]) >> 1;
     }
-    // Update (low): x[k] += floor((x[k-1] + x[k+1] + 2) / 4) for even k.
-    let mut k = 0;
-    while k < n {
-        let a = x[mirror(k as isize - 1, n)];
-        let b = x[mirror(k as isize + 1, n)];
-        x[k] += (a + b + 2) >> 2;
-        k += 2;
+    // Update (low): low[i] += (high[max(i-1,0)] + high[min(i,nh-1)] + 2) >> 2.
+    low[0] += (high[0] + high[0] + 2) >> 2;
+    rowops::update53(&mut low[1..nh], &high[..nh - 1], &high[1..]);
+    let tail = (high[nh - 1] + high[nh - 1] + 2) >> 2;
+    for v in &mut low[nh.max(1)..nl] {
+        *v += tail;
     }
-    deinterleave(x, scratch);
 }
 
 /// Inverse reversible 5/3 transform of one line.
@@ -87,34 +80,50 @@ pub fn inv_53(x: &mut [i32], scratch: &mut Vec<i32>) {
     if n <= 1 {
         return;
     }
-    interleave(x, scratch);
-    // Undo update.
-    let mut k = 0;
-    while k < n {
-        let a = x[mirror(k as isize - 1, n)];
-        let b = x[mirror(k as isize + 1, n)];
-        x[k] -= (a + b + 2) >> 2;
-        k += 2;
+    let nl = low_len(n);
+    let nh = high_len(n);
+    {
+        let (low, high) = x.split_at_mut(nl);
+        // Undo update.
+        low[0] -= (high[0] + high[0] + 2) >> 2;
+        rowops::unupdate53(&mut low[1..nh], &high[..nh - 1], &high[1..]);
+        let tail = (high[nh - 1] + high[nh - 1] + 2) >> 2;
+        for v in &mut low[nh.max(1)..nl] {
+            *v -= tail;
+        }
+        // Undo predict.
+        let bulk = nh.min(nl - 1);
+        rowops::unpredict53(&mut high[..bulk], &low[..bulk], &low[1..]);
+        for i in bulk..nh {
+            high[i] += (low[i] + low[nl - 1]) >> 1;
+        }
     }
-    // Undo predict.
-    let mut k = 1;
-    while k < n {
-        let a = x[mirror(k as isize - 1, n)];
-        let b = x[mirror(k as isize + 1, n)];
-        x[k] += (a + b) >> 1;
-        k += 2;
+    scratch.clear();
+    scratch.extend_from_slice(x);
+    let (low, high) = scratch.split_at(nl);
+    rowops::interleave_i32(low, high, x);
+}
+
+/// One predict-phase 9/7 step over the split bands:
+/// `high[i] += c * (low[i] + low[min(i+1, nl-1)])`.
+#[inline]
+fn lift_hi(low: &[f32], high: &mut [f32], nl: usize, nh: usize, c: f32) {
+    let bulk = nh.min(nl - 1);
+    rowops::lift_f32(&mut high[..bulk], &low[..bulk], &low[1..], c);
+    for i in bulk..nh {
+        high[i] += c * (low[i] + low[nl - 1]);
     }
 }
 
+/// One update-phase 9/7 step over the split bands:
+/// `low[i] += c * (high[max(i-1,0)] + high[min(i, nh-1)])`.
 #[inline]
-fn lift_pass(x: &mut [f32], phase: usize, c: f32) {
-    let n = x.len();
-    let mut k = phase;
-    while k < n {
-        let a = x[mirror(k as isize - 1, n)];
-        let b = x[mirror(k as isize + 1, n)];
-        x[k] += c * (a + b);
-        k += 2;
+fn lift_lo(low: &mut [f32], high: &[f32], nl: usize, nh: usize, c: f32) {
+    low[0] += c * (high[0] + high[0]);
+    rowops::lift_f32(&mut low[1..nh], &high[..nh - 1], &high[1..], c);
+    let tail = c * (high[nh - 1] + high[nh - 1]);
+    for v in &mut low[nh.max(1)..nl] {
+        *v += tail;
     }
 }
 
@@ -125,21 +134,18 @@ pub fn fwd_97(x: &mut [f32], scratch: &mut Vec<f32>) {
     if n <= 1 {
         return;
     }
-    lift_pass(x, 1, ALPHA);
-    lift_pass(x, 0, BETA);
-    lift_pass(x, 1, GAMMA);
-    lift_pass(x, 0, DELTA);
-    let mut k = 0;
-    while k < n {
-        x[k] *= INV_K;
-        k += 2;
-    }
-    let mut k = 1;
-    while k < n {
-        x[k] *= K;
-        k += 2;
-    }
-    deinterleave(x, scratch);
+    let nl = low_len(n);
+    let nh = high_len(n);
+    scratch.clear();
+    scratch.extend_from_slice(x);
+    let (low, high) = x.split_at_mut(nl);
+    rowops::deinterleave_f32(scratch, low, high);
+    lift_hi(low, high, nl, nh, ALPHA);
+    lift_lo(low, high, nl, nh, BETA);
+    lift_hi(low, high, nl, nh, GAMMA);
+    lift_lo(low, high, nl, nh, DELTA);
+    rowops::scale_f32(low, INV_K);
+    rowops::scale_f32(high, K);
 }
 
 /// Inverse irreversible 9/7 transform of one line.
@@ -148,21 +154,21 @@ pub fn inv_97(x: &mut [f32], scratch: &mut Vec<f32>) {
     if n <= 1 {
         return;
     }
-    interleave(x, scratch);
-    let mut k = 0;
-    while k < n {
-        x[k] *= K;
-        k += 2;
+    let nl = low_len(n);
+    let nh = high_len(n);
+    {
+        let (low, high) = x.split_at_mut(nl);
+        rowops::scale_f32(low, K);
+        rowops::scale_f32(high, INV_K);
+        lift_lo(low, high, nl, nh, -DELTA);
+        lift_hi(low, high, nl, nh, -GAMMA);
+        lift_lo(low, high, nl, nh, -BETA);
+        lift_hi(low, high, nl, nh, -ALPHA);
     }
-    let mut k = 1;
-    while k < n {
-        x[k] *= INV_K;
-        k += 2;
-    }
-    lift_pass(x, 0, -DELTA);
-    lift_pass(x, 1, -GAMMA);
-    lift_pass(x, 0, -BETA);
-    lift_pass(x, 1, -ALPHA);
+    scratch.clear();
+    scratch.extend_from_slice(x);
+    let (low, high) = scratch.split_at(nl);
+    rowops::interleave_f32(low, high, x);
 }
 
 #[cfg(test)]
@@ -277,13 +283,51 @@ mod tests {
 
     #[test]
     fn deinterleave_interleave_inverse() {
-        let mut s = Vec::new();
         for n in [2usize, 3, 9, 10] {
             let orig: Vec<i32> = (0..n as i32).collect();
-            let mut x = orig.clone();
-            deinterleave(&mut x, &mut s);
-            interleave(&mut x, &mut s);
-            assert_eq!(x, orig);
+            let nl = low_len(n);
+            let mut low = vec![0; nl];
+            let mut high = vec![0; n - nl];
+            rowops::deinterleave_i32(&orig, &mut low, &mut high);
+            let mut back = vec![0; n];
+            rowops::interleave_i32(&low, &high, &mut back);
+            assert_eq!(back, orig);
+        }
+    }
+
+    #[test]
+    fn fwd53_matches_interleaved_mirror_reference() {
+        // The clamped-index split-band loops must reproduce the textbook
+        // interleaved stencil with whole-sample symmetric extension exactly.
+        for n in 2..=33usize {
+            let orig: Vec<i32> = (0..n)
+                .map(|i| ((i * 2654435761) % 521) as i32 - 260)
+                .collect();
+            // Reference: stride-2 loops over the interleaved signal.
+            let mut r = orig.clone();
+            let mut k = 1;
+            while k < n {
+                let a = r[mirror(k as isize - 1, n)];
+                let b = r[mirror(k as isize + 1, n)];
+                r[k] -= (a + b) >> 1;
+                k += 2;
+            }
+            let mut k = 0;
+            while k < n {
+                let a = r[mirror(k as isize - 1, n)];
+                let b = r[mirror(k as isize + 1, n)];
+                r[k] += (a + b + 2) >> 2;
+                k += 2;
+            }
+            let nl = low_len(n);
+            let mut want = vec![0; n];
+            let (lo, hi) = want.split_at_mut(nl);
+            rowops::scalar::deinterleave_i32(&r, lo, hi);
+
+            let mut got = orig.clone();
+            let mut s = Vec::new();
+            fwd_53(&mut got, &mut s);
+            assert_eq!(got, want, "n={n}");
         }
     }
 }

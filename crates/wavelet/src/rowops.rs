@@ -119,6 +119,25 @@ impl<'a, T: Copy + Default> Rows<'a, T> {
         unsafe { std::slice::from_raw_parts_mut(self.ptr.add(s), self.w) }
     }
 
+    /// Reborrow a column range `[x0, x0 + w)` of this view (all rows).
+    ///
+    /// Used by the cache-blocked vertical filter: the region is processed
+    /// one column group at a time so the pipeline's working set fits the
+    /// host cache, and columns are independent so the result is
+    /// byte-identical to one full-width pass.
+    pub fn subcols(&mut self, x0: usize, w: usize) -> Rows<'_, T> {
+        assert!(x0 + w <= self.w);
+        Rows {
+            ptr: self.ptr,
+            len: self.len,
+            stride: self.stride,
+            base: self.base + x0,
+            w,
+            h: self.h,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
     /// One mutable destination row plus two shared source rows.
     ///
     /// `ya`/`yb` may coincide with each other (mirror boundaries) but must
@@ -207,84 +226,249 @@ impl<'a, T: Copy + Default> SharedPlane<'a, T> {
     }
 }
 
-/// `dst -= (a + b) >> 1` elementwise (5/3 predict).
-#[inline]
-pub fn predict53(dst: &mut [i32], a: &[i32], b: &[i32]) {
-    for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
-        *d -= (x + y) >> 1;
+/// Always-compiled scalar reference kernels. The dispatching wrappers below
+/// route here when [`crate::dispatch::active`] selects
+/// [`crate::dispatch::Backend::Scalar`] (or on targets without explicit
+/// SIMD); the differential test layer runs both backends through the same
+/// wrappers and asserts byte-identical results.
+pub mod scalar {
+    /// `dst -= (a + b) >> 1` elementwise (5/3 predict).
+    #[inline]
+    pub fn predict53(dst: &mut [i32], a: &[i32], b: &[i32]) {
+        for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+            *d -= (x + y) >> 1;
+        }
+    }
+
+    /// `dst += (a + b) >> 1` elementwise (5/3 predict undo).
+    #[inline]
+    pub fn unpredict53(dst: &mut [i32], a: &[i32], b: &[i32]) {
+        for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+            *d += (x + y) >> 1;
+        }
+    }
+
+    /// `dst += (a + b + 2) >> 2` elementwise (5/3 update).
+    #[inline]
+    pub fn update53(dst: &mut [i32], a: &[i32], b: &[i32]) {
+        for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+            *d += (x + y + 2) >> 2;
+        }
+    }
+
+    /// `dst -= (a + b + 2) >> 2` elementwise (5/3 update undo).
+    #[inline]
+    pub fn unupdate53(dst: &mut [i32], a: &[i32], b: &[i32]) {
+        for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+            *d -= (x + y + 2) >> 2;
+        }
+    }
+
+    /// `out = center - ((a + b) >> 1)` elementwise.
+    #[inline]
+    pub fn predict53_into(out: &mut [i32], center: &[i32], a: &[i32], b: &[i32]) {
+        for i in 0..out.len() {
+            out[i] = center[i] - ((a[i] + b[i]) >> 1);
+        }
+    }
+
+    /// `out = center + ((a + b + 2) >> 2)` elementwise.
+    #[inline]
+    pub fn update53_into(out: &mut [i32], center: &[i32], a: &[i32], b: &[i32]) {
+        for i in 0..out.len() {
+            out[i] = center[i] + ((a[i] + b[i] + 2) >> 2);
+        }
+    }
+
+    /// `dst += c * (a + b)` elementwise (9/7 lifting step).
+    #[inline]
+    pub fn lift_f32(dst: &mut [f32], a: &[f32], b: &[f32], c: f32) {
+        for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+            *d += c * (x + y);
+        }
+    }
+
+    /// `out = center + c * (a + b)` elementwise.
+    #[inline]
+    pub fn lift_f32_into(out: &mut [f32], center: &[f32], a: &[f32], b: &[f32], c: f32) {
+        for i in 0..out.len() {
+            out[i] = center[i] + c * (a[i] + b[i]);
+        }
+    }
+
+    /// `dst *= k` elementwise.
+    #[inline]
+    pub fn scale_f32(dst: &mut [f32], k: f32) {
+        for d in dst {
+            *d *= k;
+        }
+    }
+
+    /// `dst += (c * (a + b)) >> 13` elementwise (Q13 lifting step).
+    #[inline]
+    pub fn lift_q13(dst: &mut [i32], a: &[i32], b: &[i32], c: i32) {
+        for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+            *d += crate::fixed::fix_mul(c, x.wrapping_add(y));
+        }
+    }
+
+    /// `out = center + ((c * (a + b)) >> 13)` elementwise.
+    #[inline]
+    pub fn lift_q13_into(out: &mut [i32], center: &[i32], a: &[i32], b: &[i32], c: i32) {
+        for i in 0..out.len() {
+            out[i] = center[i] + crate::fixed::fix_mul(c, a[i].wrapping_add(b[i]));
+        }
+    }
+
+    /// `dst = (dst * k) >> 13` elementwise.
+    #[inline]
+    pub fn scale_q13(dst: &mut [i32], k: i32) {
+        for d in dst {
+            *d = crate::fixed::fix_mul(*d, k);
+        }
+    }
+
+    /// Split interleaved `src` into `low` (even indices) / `high` (odd).
+    #[inline]
+    pub fn deinterleave_i32(src: &[i32], low: &mut [i32], high: &mut [i32]) {
+        for (i, l) in low.iter_mut().enumerate() {
+            *l = src[2 * i];
+        }
+        for (i, h) in high.iter_mut().enumerate() {
+            *h = src[2 * i + 1];
+        }
+    }
+
+    /// Merge `low`/`high` halves into interleaved `dst`.
+    #[inline]
+    pub fn interleave_i32(low: &[i32], high: &[i32], dst: &mut [i32]) {
+        for (i, &l) in low.iter().enumerate() {
+            dst[2 * i] = l;
+        }
+        for (i, &h) in high.iter().enumerate() {
+            dst[2 * i + 1] = h;
+        }
+    }
+
+    /// See [`deinterleave_i32`].
+    #[inline]
+    pub fn deinterleave_f32(src: &[f32], low: &mut [f32], high: &mut [f32]) {
+        for (i, l) in low.iter_mut().enumerate() {
+            *l = src[2 * i];
+        }
+        for (i, h) in high.iter_mut().enumerate() {
+            *h = src[2 * i + 1];
+        }
+    }
+
+    /// See [`interleave_i32`].
+    #[inline]
+    pub fn interleave_f32(low: &[f32], high: &[f32], dst: &mut [f32]) {
+        for (i, &l) in low.iter().enumerate() {
+            dst[2 * i] = l;
+        }
+        for (i, &h) in high.iter().enumerate() {
+            dst[2 * i + 1] = h;
+        }
     }
 }
 
-/// `dst += (a + b + 2) >> 2` elementwise (5/3 update).
-#[inline]
-pub fn update53(dst: &mut [i32], a: &[i32], b: &[i32]) {
-    for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
-        *d += (x + y + 2) >> 2;
-    }
+/// Expands to a dispatching wrapper: SIMD when the active backend selects
+/// it (and the target compiles the `simd` module), scalar otherwise.
+macro_rules! dispatched {
+    ($(#[$doc:meta])* $name:ident ( $($arg:ident : $ty:ty),* )) => {
+        $(#[$doc])*
+        #[inline]
+        pub fn $name($($arg: $ty),*) {
+            #[cfg(target_arch = "x86_64")]
+            if crate::dispatch::active() == crate::dispatch::Backend::Simd {
+                return crate::simd::$name($($arg),*);
+            }
+            scalar::$name($($arg),*)
+        }
+    };
 }
 
-/// `out = center - ((a + b) >> 1)` elementwise.
-#[inline]
-pub fn predict53_into(out: &mut [i32], center: &[i32], a: &[i32], b: &[i32]) {
-    for i in 0..out.len() {
-        out[i] = center[i] - ((a[i] + b[i]) >> 1);
-    }
+/// Same, but the SIMD path additionally needs the SSE4.1 Q13 multiply.
+macro_rules! dispatched_q13 {
+    ($(#[$doc:meta])* $name:ident ( $($arg:ident : $ty:ty),* )) => {
+        $(#[$doc])*
+        #[inline]
+        pub fn $name($($arg: $ty),*) {
+            #[cfg(target_arch = "x86_64")]
+            if crate::dispatch::active() == crate::dispatch::Backend::Simd
+                && crate::dispatch::simd_q13_available()
+            {
+                return crate::simd::$name($($arg),*);
+            }
+            scalar::$name($($arg),*)
+        }
+    };
 }
 
-/// `out = center + ((a + b + 2) >> 2)` elementwise.
-#[inline]
-pub fn update53_into(out: &mut [i32], center: &[i32], a: &[i32], b: &[i32]) {
-    for i in 0..out.len() {
-        out[i] = center[i] + ((a[i] + b[i] + 2) >> 2);
-    }
+dispatched! {
+    /// `dst -= (a + b) >> 1` elementwise (5/3 predict).
+    predict53(dst: &mut [i32], a: &[i32], b: &[i32])
 }
-
-/// `dst += c * (a + b)` elementwise (9/7 lifting step).
-#[inline]
-pub fn lift_f32(dst: &mut [f32], a: &[f32], b: &[f32], c: f32) {
-    for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
-        *d += c * (x + y);
-    }
+dispatched! {
+    /// `dst += (a + b) >> 1` elementwise (5/3 predict undo).
+    unpredict53(dst: &mut [i32], a: &[i32], b: &[i32])
 }
-
-/// `out = center + c * (a + b)` elementwise.
-#[inline]
-pub fn lift_f32_into(out: &mut [f32], center: &[f32], a: &[f32], b: &[f32], c: f32) {
-    for i in 0..out.len() {
-        out[i] = center[i] + c * (a[i] + b[i]);
-    }
+dispatched! {
+    /// `dst += (a + b + 2) >> 2` elementwise (5/3 update).
+    update53(dst: &mut [i32], a: &[i32], b: &[i32])
 }
-
-/// `dst *= k` elementwise.
-#[inline]
-pub fn scale_f32(dst: &mut [f32], k: f32) {
-    for d in dst {
-        *d *= k;
-    }
+dispatched! {
+    /// `dst -= (a + b + 2) >> 2` elementwise (5/3 update undo).
+    unupdate53(dst: &mut [i32], a: &[i32], b: &[i32])
 }
-
-/// `dst += (c * (a + b)) >> 13` elementwise (Q13 lifting step).
-#[inline]
-pub fn lift_q13(dst: &mut [i32], a: &[i32], b: &[i32], c: i32) {
-    for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
-        *d += crate::fixed::fix_mul(c, x.wrapping_add(y));
-    }
+dispatched! {
+    /// `out = center - ((a + b) >> 1)` elementwise.
+    predict53_into(out: &mut [i32], center: &[i32], a: &[i32], b: &[i32])
 }
-
-/// `out = center + ((c * (a + b)) >> 13)` elementwise.
-#[inline]
-pub fn lift_q13_into(out: &mut [i32], center: &[i32], a: &[i32], b: &[i32], c: i32) {
-    for i in 0..out.len() {
-        out[i] = center[i] + crate::fixed::fix_mul(c, a[i].wrapping_add(b[i]));
-    }
+dispatched! {
+    /// `out = center + ((a + b + 2) >> 2)` elementwise.
+    update53_into(out: &mut [i32], center: &[i32], a: &[i32], b: &[i32])
 }
-
-/// `dst = (dst * k) >> 13` elementwise.
-#[inline]
-pub fn scale_q13(dst: &mut [i32], k: i32) {
-    for d in dst {
-        *d = crate::fixed::fix_mul(*d, k);
-    }
+dispatched! {
+    /// `dst += c * (a + b)` elementwise (9/7 lifting step).
+    lift_f32(dst: &mut [f32], a: &[f32], b: &[f32], c: f32)
+}
+dispatched! {
+    /// `out = center + c * (a + b)` elementwise.
+    lift_f32_into(out: &mut [f32], center: &[f32], a: &[f32], b: &[f32], c: f32)
+}
+dispatched! {
+    /// `dst *= k` elementwise.
+    scale_f32(dst: &mut [f32], k: f32)
+}
+dispatched_q13! {
+    /// `dst += (c * (a + b)) >> 13` elementwise (Q13 lifting step).
+    lift_q13(dst: &mut [i32], a: &[i32], b: &[i32], c: i32)
+}
+dispatched_q13! {
+    /// `out = center + ((c * (a + b)) >> 13)` elementwise.
+    lift_q13_into(out: &mut [i32], center: &[i32], a: &[i32], b: &[i32], c: i32)
+}
+dispatched_q13! {
+    /// `dst = (dst * k) >> 13` elementwise.
+    scale_q13(dst: &mut [i32], k: i32)
+}
+dispatched! {
+    /// Split interleaved `src` into `low` (even indices) / `high` (odd).
+    deinterleave_i32(src: &[i32], low: &mut [i32], high: &mut [i32])
+}
+dispatched! {
+    /// Merge `low`/`high` halves into interleaved `dst`.
+    interleave_i32(low: &[i32], high: &[i32], dst: &mut [i32])
+}
+dispatched! {
+    /// Split interleaved f32 `src` into `low`/`high` (bit-preserving).
+    deinterleave_f32(src: &[f32], low: &mut [f32], high: &mut [f32])
+}
+dispatched! {
+    /// Merge f32 `low`/`high` into interleaved `dst` (bit-preserving).
+    interleave_f32(low: &[f32], high: &[f32], dst: &mut [f32])
 }
 
 #[cfg(test)]

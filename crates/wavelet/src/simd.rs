@@ -1,0 +1,508 @@
+//! Explicit-width SIMD row kernels (x86_64).
+//!
+//! Each function computes *exactly* the arithmetic of its scalar twin in
+//! [`crate::rowops`] — same operands, same operation order per element — so
+//! outputs are byte-identical (asserted by the differential test layer):
+//!
+//! * i32 adds/subtracts/shifts are exact in both forms (wrapping two's
+//!   complement; the scalar release build wraps identically).
+//! * f32 lifting uses only `mul`/`add` in the same per-element order; Rust
+//!   never contracts `a + c * b` into an FMA, and neither do these
+//!   intrinsics, so results are IEEE-identical lane by lane.
+//! * Q13 lifting needs the 32×32→64 signed multiply (`_mm_mul_epi32`,
+//!   SSE4.1). `(a*b) >> 13` keeps product bits 13..45, which are identical
+//!   under logical and arithmetic 64-bit shifts, so `_mm_srli_epi64` is
+//!   exact. Callers must gate on [`crate::dispatch::simd_q13_available`].
+//!
+//! Every loop handles the tail (`len % 4 != 0`) with the scalar expression,
+//! and loads are unaligned (`loadu`) so misaligned region base pointers —
+//! odd `x0` offsets into a plane — are handled without a peel loop.
+#![cfg(target_arch = "x86_64")]
+
+use crate::fixed::FRAC_BITS;
+#[cfg(target_arch = "x86_64")]
+use std::arch::x86_64::*;
+
+#[inline]
+unsafe fn load(p: *const i32) -> __m128i {
+    _mm_loadu_si128(p as *const __m128i)
+}
+
+#[inline]
+unsafe fn store(p: *mut i32, v: __m128i) {
+    _mm_storeu_si128(p as *mut __m128i, v)
+}
+
+/// `dst -= (a + b) >> 1` (5/3 predict).
+pub fn predict53(dst: &mut [i32], a: &[i32], b: &[i32]) {
+    let n = dst.len().min(a.len()).min(b.len());
+    // SAFETY: all accesses are `< n`, within each slice.
+    unsafe {
+        let (dp, ap, bp) = (dst.as_mut_ptr(), a.as_ptr(), b.as_ptr());
+        let mut i = 0;
+        while i + 4 <= n {
+            let s = _mm_srai_epi32::<1>(_mm_add_epi32(load(ap.add(i)), load(bp.add(i))));
+            store(dp.add(i), _mm_sub_epi32(load(dp.add(i)), s));
+            i += 4;
+        }
+        while i < n {
+            *dp.add(i) -= (*ap.add(i) + *bp.add(i)) >> 1;
+            i += 1;
+        }
+    }
+}
+
+/// `dst += (a + b) >> 1` (5/3 predict undo).
+pub fn unpredict53(dst: &mut [i32], a: &[i32], b: &[i32]) {
+    let n = dst.len().min(a.len()).min(b.len());
+    // SAFETY: all accesses are `< n`, within each slice.
+    unsafe {
+        let (dp, ap, bp) = (dst.as_mut_ptr(), a.as_ptr(), b.as_ptr());
+        let mut i = 0;
+        while i + 4 <= n {
+            let s = _mm_srai_epi32::<1>(_mm_add_epi32(load(ap.add(i)), load(bp.add(i))));
+            store(dp.add(i), _mm_add_epi32(load(dp.add(i)), s));
+            i += 4;
+        }
+        while i < n {
+            *dp.add(i) += (*ap.add(i) + *bp.add(i)) >> 1;
+            i += 1;
+        }
+    }
+}
+
+#[inline]
+unsafe fn update_term(a: __m128i, b: __m128i) -> __m128i {
+    _mm_srai_epi32::<2>(_mm_add_epi32(_mm_add_epi32(a, b), _mm_set1_epi32(2)))
+}
+
+/// `dst += (a + b + 2) >> 2` (5/3 update).
+pub fn update53(dst: &mut [i32], a: &[i32], b: &[i32]) {
+    let n = dst.len().min(a.len()).min(b.len());
+    // SAFETY: all accesses are `< n`, within each slice.
+    unsafe {
+        let (dp, ap, bp) = (dst.as_mut_ptr(), a.as_ptr(), b.as_ptr());
+        let mut i = 0;
+        while i + 4 <= n {
+            let s = update_term(load(ap.add(i)), load(bp.add(i)));
+            store(dp.add(i), _mm_add_epi32(load(dp.add(i)), s));
+            i += 4;
+        }
+        while i < n {
+            *dp.add(i) += (*ap.add(i) + *bp.add(i) + 2) >> 2;
+            i += 1;
+        }
+    }
+}
+
+/// `dst -= (a + b + 2) >> 2` (5/3 update undo).
+pub fn unupdate53(dst: &mut [i32], a: &[i32], b: &[i32]) {
+    let n = dst.len().min(a.len()).min(b.len());
+    // SAFETY: all accesses are `< n`, within each slice.
+    unsafe {
+        let (dp, ap, bp) = (dst.as_mut_ptr(), a.as_ptr(), b.as_ptr());
+        let mut i = 0;
+        while i + 4 <= n {
+            let s = update_term(load(ap.add(i)), load(bp.add(i)));
+            store(dp.add(i), _mm_sub_epi32(load(dp.add(i)), s));
+            i += 4;
+        }
+        while i < n {
+            *dp.add(i) -= (*ap.add(i) + *bp.add(i) + 2) >> 2;
+            i += 1;
+        }
+    }
+}
+
+/// `out = center - ((a + b) >> 1)`.
+pub fn predict53_into(out: &mut [i32], center: &[i32], a: &[i32], b: &[i32]) {
+    let n = out.len().min(center.len()).min(a.len()).min(b.len());
+    // SAFETY: all accesses are `< n`, within each slice.
+    unsafe {
+        let (op, cp, ap, bp) = (out.as_mut_ptr(), center.as_ptr(), a.as_ptr(), b.as_ptr());
+        let mut i = 0;
+        while i + 4 <= n {
+            let s = _mm_srai_epi32::<1>(_mm_add_epi32(load(ap.add(i)), load(bp.add(i))));
+            store(op.add(i), _mm_sub_epi32(load(cp.add(i)), s));
+            i += 4;
+        }
+        while i < n {
+            *op.add(i) = *cp.add(i) - ((*ap.add(i) + *bp.add(i)) >> 1);
+            i += 1;
+        }
+    }
+}
+
+/// `out = center + ((a + b + 2) >> 2)`.
+pub fn update53_into(out: &mut [i32], center: &[i32], a: &[i32], b: &[i32]) {
+    let n = out.len().min(center.len()).min(a.len()).min(b.len());
+    // SAFETY: all accesses are `< n`, within each slice.
+    unsafe {
+        let (op, cp, ap, bp) = (out.as_mut_ptr(), center.as_ptr(), a.as_ptr(), b.as_ptr());
+        let mut i = 0;
+        while i + 4 <= n {
+            let s = update_term(load(ap.add(i)), load(bp.add(i)));
+            store(op.add(i), _mm_add_epi32(load(cp.add(i)), s));
+            i += 4;
+        }
+        while i < n {
+            *op.add(i) = *cp.add(i) + ((*ap.add(i) + *bp.add(i) + 2) >> 2);
+            i += 1;
+        }
+    }
+}
+
+/// `dst += c * (a + b)` (9/7 lifting step, f32).
+pub fn lift_f32(dst: &mut [f32], a: &[f32], b: &[f32], c: f32) {
+    let n = dst.len().min(a.len()).min(b.len());
+    // SAFETY: all accesses are `< n`, within each slice.
+    unsafe {
+        let (dp, ap, bp) = (dst.as_mut_ptr(), a.as_ptr(), b.as_ptr());
+        let vc = _mm_set1_ps(c);
+        let mut i = 0;
+        while i + 4 <= n {
+            let s = _mm_mul_ps(
+                vc,
+                _mm_add_ps(_mm_loadu_ps(ap.add(i)), _mm_loadu_ps(bp.add(i))),
+            );
+            _mm_storeu_ps(dp.add(i), _mm_add_ps(_mm_loadu_ps(dp.add(i)), s));
+            i += 4;
+        }
+        while i < n {
+            *dp.add(i) += c * (*ap.add(i) + *bp.add(i));
+            i += 1;
+        }
+    }
+}
+
+/// `out = center + c * (a + b)`.
+pub fn lift_f32_into(out: &mut [f32], center: &[f32], a: &[f32], b: &[f32], c: f32) {
+    let n = out.len().min(center.len()).min(a.len()).min(b.len());
+    // SAFETY: all accesses are `< n`, within each slice.
+    unsafe {
+        let (op, cp, ap, bp) = (out.as_mut_ptr(), center.as_ptr(), a.as_ptr(), b.as_ptr());
+        let vc = _mm_set1_ps(c);
+        let mut i = 0;
+        while i + 4 <= n {
+            let s = _mm_mul_ps(
+                vc,
+                _mm_add_ps(_mm_loadu_ps(ap.add(i)), _mm_loadu_ps(bp.add(i))),
+            );
+            _mm_storeu_ps(op.add(i), _mm_add_ps(_mm_loadu_ps(cp.add(i)), s));
+            i += 4;
+        }
+        while i < n {
+            *op.add(i) = *cp.add(i) + c * (*ap.add(i) + *bp.add(i));
+            i += 1;
+        }
+    }
+}
+
+/// `dst *= k`.
+pub fn scale_f32(dst: &mut [f32], k: f32) {
+    let n = dst.len();
+    // SAFETY: all accesses are `< n`.
+    unsafe {
+        let dp = dst.as_mut_ptr();
+        let vk = _mm_set1_ps(k);
+        let mut i = 0;
+        while i + 4 <= n {
+            _mm_storeu_ps(dp.add(i), _mm_mul_ps(_mm_loadu_ps(dp.add(i)), vk));
+            i += 4;
+        }
+        while i < n {
+            *dp.add(i) *= k;
+            i += 1;
+        }
+    }
+}
+
+/// Four-lane `(a * b) >> 13` with 64-bit intermediates (`fix_mul`).
+///
+/// `_mm_mul_epi32` multiplies lanes 0/2; lanes 1/3 are shifted down and
+/// multiplied separately, then the four 32-bit truncations are repacked.
+#[inline]
+#[target_feature(enable = "sse4.1")]
+unsafe fn fix_mul4(c: __m128i, s: __m128i) -> __m128i {
+    let p02 = _mm_mul_epi32(c, s);
+    let p13 = _mm_mul_epi32(c, _mm_srli_si128::<4>(s));
+    // Product bits 13..45 survive identically under a logical 64-bit shift.
+    let r02 = _mm_srli_epi64::<{ FRAC_BITS as i32 }>(p02);
+    let r13 = _mm_srli_epi64::<{ FRAC_BITS as i32 }>(p13);
+    // [x0, x2, _, _] and [x1, x3, _, _] -> [x0, x1, x2, x3].
+    let r02 = _mm_shuffle_epi32::<0b00_00_10_00>(r02);
+    let r13 = _mm_shuffle_epi32::<0b00_00_10_00>(r13);
+    _mm_unpacklo_epi32(r02, r13)
+}
+
+#[target_feature(enable = "sse4.1")]
+unsafe fn lift_q13_sse41(dst: &mut [i32], a: &[i32], b: &[i32], c: i32) {
+    let n = dst.len().min(a.len()).min(b.len());
+    let (dp, ap, bp) = (dst.as_mut_ptr(), a.as_ptr(), b.as_ptr());
+    let vc = _mm_set1_epi32(c);
+    let mut i = 0;
+    while i + 4 <= n {
+        let s = _mm_add_epi32(load(ap.add(i)), load(bp.add(i)));
+        store(dp.add(i), _mm_add_epi32(load(dp.add(i)), fix_mul4(vc, s)));
+        i += 4;
+    }
+    while i < n {
+        *dp.add(i) += crate::fixed::fix_mul(c, (*ap.add(i)).wrapping_add(*bp.add(i)));
+        i += 1;
+    }
+}
+
+/// `dst += fix_mul(c, a + b)` (Q13 lifting step). Requires SSE4.1
+/// ([`crate::dispatch::simd_q13_available`]); callers fall back to scalar.
+pub fn lift_q13(dst: &mut [i32], a: &[i32], b: &[i32], c: i32) {
+    debug_assert!(crate::dispatch::simd_q13_available());
+    // SAFETY: gated on SSE4.1 by the dispatch layer.
+    unsafe { lift_q13_sse41(dst, a, b, c) }
+}
+
+#[target_feature(enable = "sse4.1")]
+unsafe fn lift_q13_into_sse41(out: &mut [i32], center: &[i32], a: &[i32], b: &[i32], c: i32) {
+    let n = out.len().min(center.len()).min(a.len()).min(b.len());
+    let (op, cp, ap, bp) = (out.as_mut_ptr(), center.as_ptr(), a.as_ptr(), b.as_ptr());
+    let vc = _mm_set1_epi32(c);
+    let mut i = 0;
+    while i + 4 <= n {
+        let s = _mm_add_epi32(load(ap.add(i)), load(bp.add(i)));
+        store(op.add(i), _mm_add_epi32(load(cp.add(i)), fix_mul4(vc, s)));
+        i += 4;
+    }
+    while i < n {
+        *op.add(i) = *cp.add(i) + crate::fixed::fix_mul(c, (*ap.add(i)).wrapping_add(*bp.add(i)));
+        i += 1;
+    }
+}
+
+/// `out = center + fix_mul(c, a + b)` (Q13). Requires SSE4.1.
+pub fn lift_q13_into(out: &mut [i32], center: &[i32], a: &[i32], b: &[i32], c: i32) {
+    debug_assert!(crate::dispatch::simd_q13_available());
+    // SAFETY: gated on SSE4.1 by the dispatch layer.
+    unsafe { lift_q13_into_sse41(out, center, a, b, c) }
+}
+
+#[target_feature(enable = "sse4.1")]
+unsafe fn scale_q13_sse41(dst: &mut [i32], k: i32) {
+    let n = dst.len();
+    let dp = dst.as_mut_ptr();
+    let vk = _mm_set1_epi32(k);
+    let mut i = 0;
+    while i + 4 <= n {
+        store(dp.add(i), fix_mul4(vk, load(dp.add(i))));
+        i += 4;
+    }
+    while i < n {
+        *dp.add(i) = crate::fixed::fix_mul(*dp.add(i), k);
+        i += 1;
+    }
+}
+
+/// `dst = fix_mul(dst, k)` (Q13). Requires SSE4.1.
+pub fn scale_q13(dst: &mut [i32], k: i32) {
+    debug_assert!(crate::dispatch::simd_q13_available());
+    // SAFETY: gated on SSE4.1 by the dispatch layer.
+    unsafe { scale_q13_sse41(dst, k) }
+}
+
+/// Split interleaved `src` into `low` (even indices) and `high` (odd).
+///
+/// `low.len() == src.len() - src.len() / 2`, `high.len() == src.len() / 2`.
+pub fn deinterleave_i32(src: &[i32], low: &mut [i32], high: &mut [i32]) {
+    let nh = high.len();
+    let nl = low.len();
+    assert!(nl + nh == src.len() && nl >= nh && nl - nh <= 1);
+    // SAFETY: loads reach src[2i+7] with i+4 <= nh, i.e. < 2*nh <= len.
+    unsafe {
+        let sp = src.as_ptr();
+        let (lp, hp) = (low.as_mut_ptr(), high.as_mut_ptr());
+        let mut i = 0;
+        while i + 4 <= nh {
+            let v0 = _mm_castsi128_ps(load(sp.add(2 * i)));
+            let v1 = _mm_castsi128_ps(load(sp.add(2 * i + 4)));
+            store(
+                lp.add(i),
+                _mm_castps_si128(_mm_shuffle_ps::<0b10_00_10_00>(v0, v1)),
+            );
+            store(
+                hp.add(i),
+                _mm_castps_si128(_mm_shuffle_ps::<0b11_01_11_01>(v0, v1)),
+            );
+            i += 4;
+        }
+        while i < nh {
+            *lp.add(i) = *sp.add(2 * i);
+            *hp.add(i) = *sp.add(2 * i + 1);
+            i += 1;
+        }
+        if nl > nh {
+            *lp.add(nl - 1) = *sp.add(2 * (nl - 1));
+        }
+    }
+}
+
+/// Merge `low`/`high` halves back into interleaved `dst`.
+pub fn interleave_i32(low: &[i32], high: &[i32], dst: &mut [i32]) {
+    let nh = high.len();
+    let nl = low.len();
+    assert!(nl + nh == dst.len() && nl >= nh && nl - nh <= 1);
+    // SAFETY: stores reach dst[2i+7] with i+4 <= nh, i.e. < 2*nh <= len.
+    unsafe {
+        let dp = dst.as_mut_ptr();
+        let (lp, hp) = (low.as_ptr(), high.as_ptr());
+        let mut i = 0;
+        while i + 4 <= nh {
+            let lo4 = load(lp.add(i));
+            let hi4 = load(hp.add(i));
+            store(dp.add(2 * i), _mm_unpacklo_epi32(lo4, hi4));
+            store(dp.add(2 * i + 4), _mm_unpackhi_epi32(lo4, hi4));
+            i += 4;
+        }
+        while i < nh {
+            *dp.add(2 * i) = *lp.add(i);
+            *dp.add(2 * i + 1) = *hp.add(i);
+            i += 1;
+        }
+        if nl > nh {
+            *dp.add(2 * (nl - 1)) = *lp.add(nl - 1);
+        }
+    }
+}
+
+#[inline]
+fn as_i32(s: &[f32]) -> &[i32] {
+    // SAFETY: f32 and i32 have identical size/alignment; values are only
+    // moved, never reinterpreted arithmetically.
+    unsafe { std::slice::from_raw_parts(s.as_ptr() as *const i32, s.len()) }
+}
+
+#[inline]
+fn as_i32_mut(s: &mut [f32]) -> &mut [i32] {
+    // SAFETY: as in `as_i32`, plus exclusive access via `&mut`.
+    unsafe { std::slice::from_raw_parts_mut(s.as_mut_ptr() as *mut i32, s.len()) }
+}
+
+/// [`deinterleave_i32`] for f32 rows (bit-preserving moves).
+pub fn deinterleave_f32(src: &[f32], low: &mut [f32], high: &mut [f32]) {
+    deinterleave_i32(as_i32(src), as_i32_mut(low), as_i32_mut(high));
+}
+
+/// [`interleave_i32`] for f32 rows (bit-preserving moves).
+pub fn interleave_f32(low: &[f32], high: &[f32], dst: &mut [f32]) {
+    interleave_i32(as_i32(low), as_i32(high), as_i32_mut(dst));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vecs(n: usize, seed: i32) -> (Vec<i32>, Vec<i32>, Vec<i32>) {
+        let gen = |s: i32| {
+            (0..n)
+                .map(|i| ((i as i32).wrapping_mul(2654435761u32 as i32) ^ s) % 10007 - 5003)
+                .collect::<Vec<i32>>()
+        };
+        (gen(seed), gen(seed ^ 77), gen(seed ^ 991))
+    }
+
+    #[test]
+    fn i32_kernels_match_scalar_all_lengths() {
+        for n in 0..=19 {
+            let (d0, a, b) = vecs(n, 3);
+            let mut want = d0.clone();
+            for i in 0..n {
+                want[i] -= (a[i] + b[i]) >> 1;
+            }
+            let mut got = d0.clone();
+            predict53(&mut got, &a, &b);
+            assert_eq!(got, want, "predict n={n}");
+
+            let mut want = d0.clone();
+            for i in 0..n {
+                want[i] += (a[i] + b[i] + 2) >> 2;
+            }
+            let mut got = d0.clone();
+            update53(&mut got, &a, &b);
+            assert_eq!(got, want, "update n={n}");
+
+            let mut got = d0.clone();
+            predict53(&mut got, &a, &b);
+            unpredict53(&mut got, &a, &b);
+            assert_eq!(got, d0, "unpredict n={n}");
+            update53(&mut got, &a, &b);
+            unupdate53(&mut got, &a, &b);
+            assert_eq!(got, d0, "unupdate n={n}");
+        }
+    }
+
+    #[test]
+    fn q13_kernels_match_scalar() {
+        if !crate::dispatch::simd_q13_available() {
+            return;
+        }
+        for n in 0..=19 {
+            let (d0, a, b) = vecs(n, 9);
+            for c in [crate::fixed::ALPHA_Q13, crate::fixed::K_Q13, -12345] {
+                let mut want = d0.clone();
+                for i in 0..n {
+                    want[i] += crate::fixed::fix_mul(c, a[i].wrapping_add(b[i]));
+                }
+                let mut got = d0.clone();
+                lift_q13(&mut got, &a, &b, c);
+                assert_eq!(got, want, "lift_q13 n={n} c={c}");
+
+                let mut want = d0.clone();
+                for v in want.iter_mut() {
+                    *v = crate::fixed::fix_mul(*v, c);
+                }
+                let mut got = d0.clone();
+                scale_q13(&mut got, c);
+                assert_eq!(got, want, "scale_q13 n={n} c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn f32_kernels_bit_identical_to_scalar() {
+        for n in 0..=19 {
+            let (d0, a, b) = vecs(n, 21);
+            let df: Vec<f32> = d0.iter().map(|&v| v as f32 * 0.37).collect();
+            let af: Vec<f32> = a.iter().map(|&v| v as f32 * 1.13).collect();
+            let bf: Vec<f32> = b.iter().map(|&v| v as f32 * -0.71).collect();
+            let c = crate::consts::ALPHA;
+            let mut want = df.clone();
+            for i in 0..n {
+                want[i] += c * (af[i] + bf[i]);
+            }
+            let mut got = df.clone();
+            lift_f32(&mut got, &af, &bf, c);
+            assert_eq!(
+                got.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                want.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "lift_f32 n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn deinterleave_interleave_roundtrip_all_lengths() {
+        for n in 0..=33 {
+            let src: Vec<i32> = (0..n as i32).map(|i| i * 3 - 7).collect();
+            let nl = crate::low_len(n);
+            let mut low = vec![0; nl];
+            let mut high = vec![0; n - nl];
+            deinterleave_i32(&src, &mut low, &mut high);
+            for i in 0..nl {
+                assert_eq!(low[i], src[2 * i], "n={n} low {i}");
+            }
+            for i in 0..n - nl {
+                assert_eq!(high[i], src[2 * i + 1], "n={n} high {i}");
+            }
+            let mut back = vec![0; n];
+            interleave_i32(&low, &high, &mut back);
+            assert_eq!(back, src, "n={n}");
+        }
+    }
+}

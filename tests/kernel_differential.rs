@@ -1,0 +1,185 @@
+//! Differential test layer for the kernel-dispatch switch: the SIMD and
+//! scalar backends must produce byte-identical codestreams and bit-identical
+//! coefficients on *adversarial* geometry — tiny planes, dimensions that are
+//! not multiples of the 4-lane SIMD width, deep bit depths, row base
+//! pointers misaligned by region offsets, and every worker count the
+//! host-parallel driver supports.
+//!
+//! The global force guard (`wavelet::dispatch::force_guard`) serializes
+//! backend selection across these tests, so they are safe under the default
+//! multi-threaded test harness.
+
+use jpeg2000_cell::codec::{decode, encode, encode_parallel, Arithmetic, EncoderParams};
+use jpeg2000_cell::decomposition::AlignedPlane;
+use jpeg2000_cell::dwt::dispatch::{self, Backend};
+use jpeg2000_cell::dwt::rowops::Region;
+use jpeg2000_cell::dwt::{vertical, VerticalVariant};
+use jpeg2000_cell::images::Image;
+use proptest::prelude::*;
+
+fn test_image(w: usize, h: usize, comps: usize, depth: u8, seed: u32) -> Image {
+    let mut im = Image::new(w, h, comps, depth).unwrap();
+    let maxv = (1u32 << depth) - 1;
+    let mut x = seed | 1;
+    for c in 0..comps {
+        for i in 0..w * h {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            im.planes[c][i] = ((x >> 9) % (maxv + 1)) as u16;
+        }
+    }
+    im
+}
+
+fn encode_forced(backend: Backend, im: &Image, params: &EncoderParams) -> Vec<u8> {
+    let _g = dispatch::force_guard(backend);
+    encode(im, params).unwrap()
+}
+
+fn shape_strategy() -> impl Strategy<Value = (usize, usize)> {
+    // 1..=17 covers every remainder class of the 4-lane kernels (0..=3 tail
+    // elements) on both axes, plus sub-lane and single-sample planes.
+    (1usize..=17, 1usize..=17)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn lossless_streams_identical_across_backends(
+        (w, h) in shape_strategy(),
+        comps in prop_oneof![Just(1usize), Just(3)],
+        depth in prop_oneof![Just(8u8), Just(10), Just(12), Just(16)],
+        levels in 1usize..4,
+        seed in any::<u32>(),
+    ) {
+        let im = test_image(w, h, comps, depth, seed);
+        let params = EncoderParams { levels, ..EncoderParams::lossless() };
+        let scalar = encode_forced(Backend::Scalar, &im, &params);
+        let simd = encode_forced(Backend::Simd, &im, &params);
+        prop_assert_eq!(scalar, simd);
+    }
+
+    #[test]
+    fn lossy_streams_identical_across_backends(
+        (w, h) in shape_strategy(),
+        comps in prop_oneof![Just(1usize), Just(3)],
+        depth in prop_oneof![Just(8u8), Just(10), Just(12)],
+        arith in prop_oneof![Just(Arithmetic::Float32), Just(Arithmetic::FixedQ13)],
+        seed in any::<u32>(),
+    ) {
+        let im = test_image(w, h, comps, depth, seed);
+        let params = EncoderParams {
+            arithmetic: arith,
+            levels: 2,
+            ..EncoderParams::lossy(1.0)
+        };
+        let scalar = encode_forced(Backend::Scalar, &im, &params);
+        let simd = encode_forced(Backend::Simd, &im, &params);
+        prop_assert_eq!(scalar, simd);
+    }
+
+    #[test]
+    fn forced_scalar_parallel_matches_simd_sequential(
+        (w, h) in shape_strategy(),
+        workers in 1usize..=8,
+        lossless in any::<bool>(),
+        seed in any::<u32>(),
+    ) {
+        let im = test_image(w, h, 3, 8, seed);
+        let params = if lossless {
+            EncoderParams { levels: 2, ..EncoderParams::lossless() }
+        } else {
+            EncoderParams { levels: 2, ..EncoderParams::lossy(1.0) }
+        };
+        let seq = encode_forced(Backend::Simd, &im, &params);
+        let par = {
+            let _g = dispatch::force_guard(Backend::Scalar);
+            encode_parallel(&im, &params, workers).unwrap()
+        };
+        prop_assert_eq!(seq, par, "workers={}", workers);
+        // And the stream stays decodable.
+        let _ = decode(&encode_forced(Backend::Simd, &im, &params)).unwrap();
+    }
+
+    #[test]
+    fn misaligned_region_offsets_identical_53(
+        x0 in 0usize..=5,
+        w in 1usize..=13,
+        h in 2usize..=13,
+        variant in prop_oneof![
+            Just(VerticalVariant::Separate),
+            Just(VerticalVariant::Interleaved),
+            Just(VerticalVariant::Merged),
+        ],
+        seed in any::<u32>(),
+    ) {
+        // Odd x0 makes the row base pointer 4-byte-but-not-16-byte aligned:
+        // the SIMD loads must be unaligned-safe and the outputs identical.
+        let full_w = x0 + w + 2;
+        let mut p = AlignedPlane::<i32>::new(full_w, h).unwrap();
+        let mut x = seed | 1;
+        p.for_each_mut(|_, _, v| {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            *v = ((x >> 8) % 511) as i32 - 255;
+        });
+        let region = Region { x0, y0: 0, w, h };
+        let mut a = p.clone();
+        let mut b = p.clone();
+        {
+            let _g = dispatch::force_guard(Backend::Scalar);
+            vertical::fwd53_vertical(&mut a, region, variant);
+        }
+        {
+            let _g = dispatch::force_guard(Backend::Simd);
+            vertical::fwd53_vertical(&mut b, region, variant);
+        }
+        prop_assert_eq!(a.to_dense(), b.to_dense());
+        // Inverse under each backend restores the original region.
+        {
+            let _g = dispatch::force_guard(Backend::Simd);
+            vertical::inv53_vertical(&mut b, region);
+        }
+        prop_assert_eq!(b.to_dense(), p.to_dense());
+    }
+
+    #[test]
+    fn misaligned_region_offsets_identical_97(
+        x0 in 0usize..=5,
+        w in 1usize..=13,
+        h in 2usize..=13,
+        seed in any::<u32>(),
+    ) {
+        let full_w = x0 + w + 2;
+        let mut p = AlignedPlane::<i32>::new(full_w, h).unwrap();
+        let mut x = seed | 1;
+        p.for_each_mut(|_, _, v| {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            *v = ((x >> 8) % 511) as i32 - 255;
+        });
+        let pf = p.to_f32();
+        let region = Region { x0, y0: 0, w, h };
+        let mut a = pf.clone();
+        let mut b = pf.clone();
+        {
+            let _g = dispatch::force_guard(Backend::Scalar);
+            vertical::fwd97_vertical(&mut a, region, VerticalVariant::Merged);
+        }
+        {
+            let _g = dispatch::force_guard(Backend::Simd);
+            vertical::fwd97_vertical(&mut b, region, VerticalVariant::Merged);
+        }
+        let ab: Vec<u32> = a.to_dense().iter().map(|v| v.to_bits()).collect();
+        let bb: Vec<u32> = b.to_dense().iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(ab, bb);
+    }
+}
+
+/// The `J2K_KERNELS` env knob and programmatic force agree on naming.
+#[test]
+fn dispatch_description_mentions_backend() {
+    let _g = dispatch::force_guard(Backend::Scalar);
+    assert!(dispatch::description().contains("scalar"));
+    drop(_g);
+    let _g = dispatch::force_guard(Backend::Simd);
+    assert!(dispatch::description().contains("simd"));
+}
